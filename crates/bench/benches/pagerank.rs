@@ -1,0 +1,43 @@
+//! Criterion wall-clock benches for the PageRank implementations
+//! (simulator throughput; the paper-facing round counts live in the
+//! `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use km_core::NetConfig;
+use km_graph::generators::gnp;
+use km_graph::Partition;
+use km_pagerank::congest_baseline::run_congest_pagerank;
+use km_pagerank::kmachine::{bidirect, run_kmachine_pagerank};
+use km_pagerank::power_iteration::power_iteration;
+use km_pagerank::PrConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn bench_pagerank(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let g = bidirect(&gnp(600, 0.02, &mut rng));
+    let cfg = PrConfig::paper(g.n(), 0.4, 2.0);
+
+    let mut group = c.benchmark_group("pagerank");
+    group.sample_size(10);
+
+    group.bench_function("power_iteration/n600", |b| {
+        b.iter(|| power_iteration(&g, 0.4, 1e-10, 10_000))
+    });
+
+    for k in [4usize, 8] {
+        let part = Arc::new(Partition::by_hash(g.n(), k, 3));
+        let net = NetConfig::polylog(k, g.n(), 7).max_rounds(50_000_000);
+        group.bench_with_input(BenchmarkId::new("algorithm1", k), &k, |b, _| {
+            b.iter(|| run_kmachine_pagerank(&g, &part, cfg, net).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("congest_baseline", k), &k, |b, _| {
+            b.iter(|| run_congest_pagerank(&g, &part, cfg, net).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank);
+criterion_main!(benches);

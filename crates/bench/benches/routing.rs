@@ -1,0 +1,38 @@
+//! Criterion benches for the engines and the Lemma 13 scatter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use km_core::router::UniformScatter;
+use km_core::{NetConfig, ParallelEngine, SequentialEngine};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+
+    let k = 16;
+    let x = 2048;
+    let cfg = NetConfig::with_bandwidth(k, 64, 9).max_rounds(50_000_000);
+
+    group.bench_function("sequential/scatter_k16_x2048", |b| {
+        b.iter(|| {
+            let machines: Vec<UniformScatter> = (0..k).map(|_| UniformScatter::new(x)).collect();
+            SequentialEngine::run(cfg, machines).unwrap()
+        })
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel/scatter_k16_x2048", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let machines: Vec<UniformScatter> =
+                        (0..k).map(|_| UniformScatter::new(x)).collect();
+                    ParallelEngine::with_threads(threads).run(cfg, machines).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches for the sorting and MST applications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use km_core::NetConfig;
+use km_graph::generators::classic::complete_weighted_random;
+use km_graph::Partition;
+use km_mst::{kruskal, run_boruvka};
+use km_sort::{run_sample_sort, SampleSort};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort");
+    group.sample_size(10);
+    let n = 10_000;
+    for k in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("sample_sort_n10k", k), &k, |b, &k| {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let inputs = SampleSort::random_input(n, k, &mut rng);
+            let net = NetConfig::polylog(k, n, 5).max_rounds(50_000_000);
+            b.iter(|| run_sample_sort(inputs.clone(), net).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let g = complete_weighted_random(150, &mut rng);
+
+    group.bench_function("kruskal/K150", |b| b.iter(|| kruskal(&g)));
+    for k in [4usize, 8] {
+        let part = Arc::new(Partition::by_hash(g.n(), k, 2));
+        let net = NetConfig::polylog(k, g.n(), 3).max_rounds(50_000_000);
+        group.bench_with_input(BenchmarkId::new("boruvka/K150", k), &k, |b, _| {
+            b.iter(|| run_boruvka(&g, &part, net).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort, bench_mst);
+criterion_main!(benches);

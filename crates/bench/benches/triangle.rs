@@ -1,0 +1,44 @@
+//! Criterion benches for triangle enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use km_core::NetConfig;
+use km_graph::generators::gnp;
+use km_graph::Partition;
+use km_triangle::baseline::run_broadcast_triangles;
+use km_triangle::clique::run_clique_triangles;
+use km_triangle::kmachine::{run_kmachine_triangles, TriConfig};
+use km_triangle::seq::{enumerate_triangles, node_iterator_naive};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn bench_triangles(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = gnp(250, 0.5, &mut rng);
+
+    let mut group = c.benchmark_group("triangles");
+    group.sample_size(10);
+
+    group.bench_function("sequential_forward/n250", |b| b.iter(|| enumerate_triangles(&g)));
+    group.bench_function("sequential_naive/n250", |b| b.iter(|| node_iterator_naive(&g)));
+
+    for k in [8usize, 27] {
+        let part = Arc::new(Partition::by_hash(g.n(), k, 3));
+        let net = NetConfig::polylog(k, g.n(), 7).max_rounds(50_000_000);
+        group.bench_with_input(BenchmarkId::new("kmachine_color", k), &k, |b, _| {
+            b.iter(|| run_kmachine_triangles(&g, &part, TriConfig::default(), net).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("broadcast_baseline", k), &k, |b, _| {
+            b.iter(|| run_broadcast_triangles(&g, &part, net).unwrap())
+        });
+    }
+
+    let small = gnp(64, 0.5, &mut rng);
+    group.bench_function("congested_clique/n64", |b| {
+        b.iter(|| run_clique_triangles(&small, 5).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangles);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerates every experiment table of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p km-bench --bin experiments            # all
+//! cargo run --release -p km-bench --bin experiments -- T4-UB   # one id
+//! cargo run --release -p km-bench --bin experiments -- --list
+//! cargo run --release -p km-bench --bin experiments -- --seed 7 F1 T5-UB
+//! ```
+//!
+//! Tables are printed to stdout and archived as JSON under `results/`.
+
+use km_bench::exp;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 42;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut list_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => list_only = true,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            id => wanted.push(id.to_string()),
+        }
+        i += 1;
+    }
+
+    let all = exp::all();
+    if list_only {
+        for (id, _) in &all {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let selected: Vec<_> = if wanted.is_empty() {
+        all
+    } else {
+        all.into_iter()
+            .filter(|(id, _)| wanted.iter().any(|w| w.eq_ignore_ascii_case(id)))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no experiment matches {wanted:?}; try --list");
+        std::process::exit(1);
+    }
+
+    std::fs::create_dir_all("results").ok();
+    for (id, runner) in selected {
+        let start = Instant::now();
+        let table = runner(seed);
+        let elapsed = start.elapsed();
+        println!("{}", table.render());
+        println!("  ({id} took {elapsed:.2?})\n");
+        let json = serde_json::to_string_pretty(&table).expect("serialize");
+        let path = format!("results/{}.json", id.to_lowercase().replace('/', "_"));
+        std::fs::write(&path, json).expect("write results file");
+    }
+}

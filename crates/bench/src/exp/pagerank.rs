@@ -1,0 +1,153 @@
+//! PageRank experiments (Figure 1, Theorems 2 and 4).
+
+use crate::table::{f, Table};
+use km_core::NetConfig;
+use km_graph::generators::lower_bound_h::LowerBoundGraph;
+use km_graph::generators::{chung_lu, classic, power_law_weights};
+use km_graph::Partition;
+use km_pagerank::analysis::log_log_slope;
+use km_pagerank::congest_baseline::run_congest_pagerank;
+use km_pagerank::kmachine::{bidirect, run_kmachine_pagerank};
+use km_pagerank::lemma4;
+use km_pagerank::{max_relative_error, power_iteration, PrConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn net(k: usize, n: usize, seed: u64) -> NetConfig {
+    NetConfig::polylog(k, n, seed).max_rounds(50_000_000)
+}
+
+/// F1 — Figure 1 + Lemma 4: the PageRank separation at `v_i`.
+pub fn f1_lemma4_separation(seed: u64) -> Table {
+    let n = 4001;
+    let mut t = Table::new(
+        "F1",
+        "Lemma 4 separation on H(n=4001): PageRank(v_i)·n by orientation bit",
+        &["eps", "PR|b=0 ·n", "PR|b=1 ·n", "ratio", "paper b=0", "paper b=1 (LB)", "powit dev"],
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let h = LowerBoundGraph::random(401, &mut rng); // concrete H for power iteration
+    for &eps in &[0.1, 0.2, 0.5, 0.85] {
+        let rows = lemma4::separation_table(&[eps], n);
+        let r = rows[0];
+        let dev = lemma4::verify_against_power_iteration(&h, eps);
+        t.row(vec![
+            f(eps),
+            f(r.pr_bit0_times_n),
+            f(r.pr_bit1_times_n),
+            f(r.ratio),
+            f(LowerBoundGraph::lemma4_value_bit0(n, eps) * n as f64),
+            f(LowerBoundGraph::lemma4_bound_bit1(n, eps) * n as f64),
+            format!("{dev:.1e}"),
+        ]);
+    }
+    t.note("paper: constant-factor separation for every eps < 1 (Lemma 4) — ratio > 1 in all rows");
+    t
+}
+
+/// T2-LB — Theorem 2: predicted `Ω(n/Bk²)` vs. the measured rounds of
+/// Algorithm 1 on the hard instance `H`.
+pub fn t2_lower_bound(seed: u64) -> Table {
+    let n = 2001;
+    let mut t = Table::new(
+        "T2-LB",
+        "Theorem 2 on H(n=2001): GLBT lower bound vs Algorithm 1 (B = polylog)",
+        &["k", "IC (bits)", "LB rounds", "measured rounds", "max |Pi| (bits)", "LB respected"],
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let h = LowerBoundGraph::random(n, &mut rng);
+    let g = &h.graph;
+    for &k in &[4usize, 8, 16] {
+        let netc = net(k, g.n(), seed + k as u64);
+        let lb = km_lower::pagerank_lb::PagerankLb::new(g.n(), k);
+        let bound = lb.glbt(netc.bandwidth_bits);
+        let part = Arc::new(Partition::by_hash(g.n(), k, seed + 1));
+        let cfg = PrConfig::paper(g.n(), 0.3, 4.0);
+        let (_, metrics) = run_kmachine_pagerank(g, &part, cfg, netc).expect("run");
+        t.row(vec![
+            k.to_string(),
+            f(bound.ic),
+            f(bound.round_lower_bound()),
+            metrics.rounds.to_string(),
+            metrics.max_recv_bits().to_string(),
+            bound.is_respected_by(&metrics).to_string(),
+        ]);
+    }
+    t.note("paper: T = Omega(n/Bk^2); every measured run must sit above the bound");
+    t
+}
+
+/// T4-UB — Theorem 4: rounds vs `k` for Algorithm 1 against the
+/// `O~(n/k)` conversion-theorem baseline, on the star (the congestion
+/// worst case) and a power-law graph.
+pub fn t4_scaling(seed: u64) -> Table {
+    let mut t = Table::new(
+        "T4-UB",
+        "Theorem 4: rounds vs k (Algorithm 1 vs conversion baseline)",
+        &["graph", "k", "alg1 rounds", "baseline rounds", "alg1 msgs", "baseline msgs"],
+    );
+    let ks = [4usize, 8, 16, 32];
+    let mut slopes: Vec<(String, f64, f64)> = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let star = bidirect(&classic::star(8000));
+    let pl = {
+        let w = power_law_weights(3000, 2.5, 8.0);
+        bidirect(&chung_lu(&w, &mut rng))
+    };
+    for (name, g) in [("star(8000)", &star), ("powerlaw(3000)", &pl)] {
+        let cfg = PrConfig::paper(g.n(), 0.4, 2.0);
+        let mut alg_rounds = Vec::new();
+        let mut base_rounds = Vec::new();
+        for &k in &ks {
+            let netc = net(k, g.n(), seed + k as u64);
+            let part = Arc::new(Partition::by_hash(g.n(), k, seed + 2));
+            let (_, ma) = run_kmachine_pagerank(g, &part, cfg, netc).expect("alg1");
+            let (_, mb) = run_congest_pagerank(g, &part, cfg, netc).expect("baseline");
+            alg_rounds.push(ma.rounds as f64);
+            base_rounds.push(mb.rounds as f64);
+            t.row(vec![
+                name.to_string(),
+                k.to_string(),
+                ma.rounds.to_string(),
+                mb.rounds.to_string(),
+                ma.total_msgs().to_string(),
+                mb.total_msgs().to_string(),
+            ]);
+        }
+        let xs: Vec<f64> = ks.iter().map(|&k| k as f64).collect();
+        let sa = log_log_slope(&xs, &alg_rounds).unwrap_or(f64::NAN);
+        let sb = log_log_slope(&xs, &base_rounds).unwrap_or(f64::NAN);
+        slopes.push((name.to_string(), sa, sb));
+    }
+    for (name, sa, sb) in slopes {
+        t.note(format!(
+            "{name}: fitted slope alg1 {sa:.2} (paper ~ -2 + additive polylog), baseline {sb:.2} (paper ~ -1)"
+        ));
+    }
+    t
+}
+
+/// T4-ACC — Theorem 4's δ-approximation: error vs token budget.
+pub fn t4_accuracy(seed: u64) -> Table {
+    let mut t = Table::new(
+        "T4-ACC",
+        "Theorem 4 accuracy: max relative error vs tokens per vertex (gnp(400, 0.05))",
+        &["tokens/vertex", "max rel err", "mean PR floor"],
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = bidirect(&km_graph::generators::gnp(400, 0.05, &mut rng));
+    let eps = 0.25;
+    let exact = power_iteration(&g, eps, 1e-13, 100_000);
+    let floor = eps / g.n() as f64;
+    for &tokens in &[64u64, 256, 1024, 4096] {
+        let cfg = PrConfig { reset_prob: eps, tokens_per_vertex: tokens };
+        let part = Arc::new(Partition::by_hash(g.n(), 8, seed + 3));
+        let (pr, _) = run_kmachine_pagerank(&g, &part, cfg, net(8, g.n(), seed)).expect("run");
+        let err = max_relative_error(&pr, &exact, floor);
+        t.row(vec![tokens.to_string(), f(err), format!("{floor:.2e}")]);
+    }
+    t.note("error shrinks ~ 1/sqrt(tokens): any constant delta is reachable (delta-approximation)");
+    t
+}

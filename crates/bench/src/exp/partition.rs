@@ -1,0 +1,92 @@
+//! Input-partition experiments (RVP balance, REP conversion,
+//! Proposition 2).
+
+use crate::table::{f, Table};
+use km_graph::generators::gnp;
+use km_graph::partition::balance::{edge_balance, is_vertex_balanced, vertex_balance};
+use km_graph::partition::rep::{conversion_rounds, EdgePartition};
+use km_graph::Partition;
+use km_lower::rodl_rucinski::{
+    expected_induced_edges, induced_edge_bound, mean_induced_edges, violation_rate,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// P2 — Proposition 2: `e(G[R]) ≤ 3ηt²` w.h.p.
+pub fn p2_rodl_rucinski(seed: u64) -> Table {
+    let mut t = Table::new(
+        "P2",
+        "Proposition 2 (Rodl-Rucinski) on gnp(400, p): induced edges of random t-subsets (300 trials)",
+        &["p", "t", "mean e(G[R])", "E[e(G[R])]", "bound 3*eta*t^2", "violations"],
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for &p in &[0.2, 0.5] {
+        let g = gnp(400, p, &mut rng);
+        for &tt in &[25usize, 50, 100] {
+            let mean = mean_induced_edges(&g, tt, 300, &mut rng);
+            let expect = expected_induced_edges(&g, tt);
+            let bound = induced_edge_bound(&g, tt);
+            let viol = violation_rate(&g, tt, 300, &mut rng);
+            t.row(vec![f(p), tt.to_string(), f(mean), f(expect), f(bound), f(viol)]);
+        }
+    }
+    t.note("paper: Pr[e(G[R]) > 3 eta t^2] < t e^{-ct} — violation rate must be ~0");
+    t
+}
+
+/// RVP — Section 1.1: every machine hosts `Θ~(n/k)` vertices.
+pub fn rvp_balance(seed: u64) -> Table {
+    let mut t = Table::new(
+        "RVP",
+        "Random vertex partition balance (n = 100000)",
+        &["k", "n/k ideal", "max load", "min load", "imbalance", "edge imb (gnp 0.001)", "ok"],
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = 100_000;
+    let g = gnp(5_000, 0.002, &mut rng); // separate graph for edge balance
+    for &k in &[10usize, 50, 100, 500] {
+        let part = Partition::random_vertex(n, k, &mut rng);
+        let vstats = vertex_balance(&part);
+        let gpart = Partition::random_vertex(g.n(), k.min(g.n()), &mut rng);
+        let estats = edge_balance(&g, &gpart);
+        t.row(vec![
+            k.to_string(),
+            f(n as f64 / k as f64),
+            vstats.max.to_string(),
+            vstats.min.to_string(),
+            f(vstats.imbalance),
+            f(estats.imbalance),
+            is_vertex_balanced(&part, 2.0).to_string(),
+        ]);
+    }
+    t.note("paper: each machine hosts Theta~(n/k) vertices w.h.p. — imbalance stays O(1)");
+    t
+}
+
+/// REP — footnote 3: REP→RVP conversion in `O~(m/k² + n/k)` rounds.
+pub fn rep_conversion(seed: u64) -> Table {
+    let mut t = Table::new(
+        "REP",
+        "REP->RVP conversion on gnp(2000, 0.01), B = 121 bits",
+        &["k", "m", "measured rounds", "m/k^2 + n/k shape", "ratio"],
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = 2000;
+    let g = gnp(n, 0.01, &mut rng);
+    let b = 121;
+    for &k in &[4usize, 8, 16, 32] {
+        let rep = EdgePartition::random(&g, k, &mut rng);
+        let rvp = Partition::random_vertex(n, k, &mut rng);
+        let rounds = conversion_rounds(&rep, &rvp, b);
+        let shape = km_lower::bounds::rep_conversion_rounds(n, g.m(), k);
+        t.row(vec![
+            k.to_string(),
+            g.m().to_string(),
+            rounds.to_string(),
+            f(shape),
+            f(rounds as f64 / shape),
+        ]);
+    }
+    t.note("paper (footnote 3): transformable in O~(m/k^2 + n/k) rounds — ratio stays O(1/B..1)");
+    t
+}

@@ -1,0 +1,44 @@
+//! Lemma 13 — randomized routing.
+
+use crate::table::{f, Table};
+use km_core::router::{lemma13_bound, UniformScatter};
+use km_core::{NetConfig, SequentialEngine};
+use km_pagerank::analysis::log_log_slope;
+
+/// L13 — each machine scatters `x` tokens to uniform destinations; the
+/// measured round count should track `(x log x)/k` (scaled by the
+/// tokens-per-round capacity of a link).
+pub fn l13_random_routing(seed: u64) -> Table {
+    let mut t = Table::new(
+        "L13",
+        "Lemma 13: uniform scatter of x messages/machine (16-bit tokens, B = 64)",
+        &["k", "x", "rounds", "(x log x)/k", "rounds*k/x"],
+    );
+    let mut per_k_rounds: Vec<(usize, Vec<f64>, Vec<f64>)> = Vec::new();
+    for &k in &[8usize, 16, 32] {
+        let mut xs = Vec::new();
+        let mut rs = Vec::new();
+        for &x in &[256usize, 1024, 4096] {
+            let cfg = NetConfig::with_bandwidth(k, 64, seed + (k * x) as u64)
+                .max_rounds(50_000_000);
+            let machines: Vec<UniformScatter> = (0..k).map(|_| UniformScatter::new(x)).collect();
+            let report = SequentialEngine::run(cfg, machines).expect("run");
+            let rounds = report.metrics.rounds;
+            xs.push(x as f64);
+            rs.push(rounds as f64);
+            t.row(vec![
+                k.to_string(),
+                x.to_string(),
+                rounds.to_string(),
+                f(lemma13_bound(x as f64, k)),
+                f(rounds as f64 * k as f64 / x as f64),
+            ]);
+        }
+        per_k_rounds.push((k, xs, rs));
+    }
+    for (k, xs, rs) in per_k_rounds {
+        let slope = log_log_slope(&xs, &rs).unwrap_or(f64::NAN);
+        t.note(format!("k={k}: rounds vs x slope {slope:.2} (paper: ~1, x log x/k)"));
+    }
+    t
+}

@@ -1,0 +1,47 @@
+//! The congested clique as a special case (`k = n`).
+//!
+//! Corollary 1 transfers the triangle-enumeration lower bound to the
+//! congested clique: `n` machines, one input vertex each, every machine
+//! knowing its vertex's incident edges, `Θ(log n)`-bit links. This module
+//! provides the conventional configuration and the identity
+//! vertex-to-machine placement.
+
+use crate::config::NetConfig;
+
+/// A congested-clique configuration: `k = n` machines and the model's
+/// conventional `B = Θ(log n)` link bandwidth (here `max(16, 2·⌈log₂ n⌉)`
+/// bits, enough for a constant number of vertex ids per message).
+pub fn clique_config(n: usize, seed: u64) -> NetConfig {
+    let log = (n.max(2) as f64).log2().ceil() as u64;
+    NetConfig {
+        k: n,
+        bandwidth_bits: (2 * log).max(16),
+        max_rounds: 100_000_000,
+        seed,
+    }
+}
+
+/// In the congested clique, vertex `v` lives on machine `v`.
+#[inline]
+pub fn home_of_vertex(v: u32) -> usize {
+    v as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_shape() {
+        let c = clique_config(1024, 9);
+        assert_eq!(c.k, 1024);
+        assert_eq!(c.bandwidth_bits, 20);
+        let tiny = clique_config(4, 0);
+        assert_eq!(tiny.bandwidth_bits, 16);
+    }
+
+    #[test]
+    fn identity_placement() {
+        assert_eq!(home_of_vertex(17), 17);
+    }
+}

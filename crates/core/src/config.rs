@@ -1,0 +1,78 @@
+//! Network configuration for a k-machine execution.
+
+/// Static parameters of a k-machine network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Number of machines `k` (the paper assumes `k > 2`, but the simulator
+    /// accepts any `k ≥ 1` for testing).
+    pub k: usize,
+    /// Per-link bandwidth `B` in bits per round.
+    pub bandwidth_bits: u64,
+    /// Safety valve: abort with [`crate::EngineError::RoundLimitExceeded`]
+    /// after this many rounds.
+    pub max_rounds: u64,
+    /// Global seed; machine `i`'s private RNG is derived from `(seed, i)`,
+    /// and the shared public random string from `seed` alone.
+    pub seed: u64,
+}
+
+impl NetConfig {
+    /// A configuration with the model's default `B = Θ(polylog n)`
+    /// bandwidth: `B = max(64, ⌈log₂ n⌉²)` bits per round, the convention
+    /// used by all experiments in EXPERIMENTS.md.
+    pub fn polylog(k: usize, n: usize, seed: u64) -> Self {
+        let log = (n.max(2) as f64).log2().ceil() as u64;
+        NetConfig {
+            k,
+            bandwidth_bits: (log * log).max(64),
+            max_rounds: 100_000_000,
+            seed,
+        }
+    }
+
+    /// Explicit bandwidth.
+    pub fn with_bandwidth(k: usize, bandwidth_bits: u64, seed: u64) -> Self {
+        NetConfig { k, bandwidth_bits, max_rounds: 100_000_000, seed }
+    }
+
+    /// Sets the round-limit safety valve.
+    pub fn max_rounds(mut self, limit: u64) -> Self {
+        self.max_rounds = limit;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or bandwidth is zero.
+    pub fn validate(&self) {
+        assert!(self.k >= 1, "need at least one machine");
+        assert!(self.bandwidth_bits >= 1, "bandwidth must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polylog_bandwidth_grows_with_n() {
+        let c1 = NetConfig::polylog(8, 1 << 10, 0);
+        let c2 = NetConfig::polylog(8, 1 << 20, 0);
+        assert_eq!(c1.bandwidth_bits, 100);
+        assert_eq!(c2.bandwidth_bits, 400);
+        assert!(NetConfig::polylog(8, 4, 0).bandwidth_bits >= 64);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = NetConfig::with_bandwidth(4, 128, 7).max_rounds(10);
+        assert_eq!((c.k, c.bandwidth_bits, c.max_rounds, c.seed), (4, 128, 10, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_machines_invalid() {
+        NetConfig::with_bandwidth(0, 64, 0).validate();
+    }
+}

@@ -1,0 +1,134 @@
+//! Execution engines.
+//!
+//! Both engines implement identical synchronous-round semantics:
+//!
+//! 1. every machine runs [`crate::Protocol::round`] on the messages delivered at
+//!    the start of this round and stages outgoing messages;
+//! 2. staged messages enter per-ordered-pair FIFO [`crate::link::Link`]s (self-sends
+//!    bypass links: local hand-off is free, like local computation);
+//! 3. each link releases up to `B` bits; released messages form the next
+//!    round's inboxes, ordered by sender index;
+//! 4. the run ends when every machine reports [`crate::Status::Done`] and all
+//!    links and inboxes are empty (global quiescence), or errs when the
+//!    round limit fires.
+//!
+//! [`SequentialEngine`] is the reference implementation;
+//! [`ParallelEngine`] distributes step 1 across crossbeam scoped threads
+//! and is transcript-identical (tested in `tests/engine_equivalence.rs`).
+
+pub mod parallel;
+pub mod sequential;
+
+pub use crate::metrics::RunReport;
+pub use parallel::ParallelEngine;
+pub use sequential::SequentialEngine;
+
+use crate::link::Link;
+use crate::message::{Envelope, WireSize};
+use crate::metrics::Metrics;
+use crate::protocol::Status;
+use crate::MachineIdx;
+
+/// Shared network state: the `k × k` ordered link matrix plus free
+/// self-delivery queues, with metrics accounting.
+pub(crate) struct Network<M> {
+    k: usize,
+    /// Ordered links, indexed `src * k + dst` (diagonal unused).
+    links: Vec<Link<M>>,
+    /// Self-sends waiting for next round (no bandwidth charge).
+    self_queues: Vec<Vec<Envelope<M>>>,
+    pub(crate) metrics: Metrics,
+}
+
+impl<M: WireSize> Network<M> {
+    pub(crate) fn new(k: usize) -> Self {
+        let mut links = Vec::with_capacity(k * k);
+        links.resize_with(k * k, Link::default);
+        Network {
+            k,
+            links,
+            self_queues: (0..k).map(|_| Vec::new()).collect(),
+            metrics: Metrics::new(k),
+        }
+    }
+
+    /// Stages one message. Link traffic is charged to the sender here
+    /// (bits are counted when sent, received when delivered).
+    pub(crate) fn stage(&mut self, src: MachineIdx, dst: MachineIdx, msg: M) {
+        if src == dst {
+            self.self_queues[src].push(Envelope { src, msg });
+            return;
+        }
+        let bits = msg.bits().max(1);
+        self.metrics.sent_msgs[src] += 1;
+        self.metrics.sent_bits[src] += bits;
+        self.links[src * self.k + dst].push(Envelope { src, msg });
+    }
+
+    /// Runs one delivery phase: every link releases up to `budget` bits.
+    /// Returns `true` if any link transmitted at least one bit.
+    pub(crate) fn deliver(
+        &mut self,
+        budget: u64,
+        inboxes: &mut [Vec<Envelope<M>>],
+    ) -> bool {
+        let mut any = false;
+        for (dst, inbox) in inboxes.iter_mut().enumerate().take(self.k) {
+            for src in 0..self.k {
+                if src == dst {
+                    inbox.append(&mut self.self_queues[dst]);
+                    continue;
+                }
+                let before = inbox.len();
+                let used = self.links[src * self.k + dst].deliver(budget, inbox);
+                if used > 0 {
+                    any = true;
+                    let delivered = inbox.len() - before;
+                    self.metrics.recv_msgs[dst] += delivered as u64;
+                }
+                // Charge received bits for fully delivered messages only.
+                for env in &inbox[before..] {
+                    debug_assert_eq!(env.src, src);
+                }
+                let bits: u64 = inbox[before..].iter().map(|e| e.msg.bits().max(1)).sum();
+                self.metrics.recv_bits[dst] += bits;
+            }
+        }
+        any
+    }
+
+    /// Whether all links and self-queues are empty.
+    pub(crate) fn is_drained(&self) -> bool {
+        self.links.iter().all(Link::is_empty) && self.self_queues.iter().all(Vec::is_empty)
+    }
+
+    /// Number of queued (undelivered) messages.
+    pub(crate) fn queued(&self) -> usize {
+        self.links.iter().map(Link::queued).sum::<usize>()
+            + self.self_queues.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Finalizes the max-per-link statistic.
+    pub(crate) fn finalize(&mut self) {
+        self.metrics.max_link_bits = self
+            .links
+            .iter()
+            .map(|l| l.totals().1)
+            .max()
+            .unwrap_or(0);
+    }
+}
+
+/// Outcome of the per-round termination check.
+pub(crate) fn quiescent<M>(
+    statuses: &[Status],
+    net: &Network<M>,
+    inboxes: &[Vec<Envelope<M>>],
+) -> bool
+where
+    M: WireSize,
+{
+    statuses.iter().all(|s| *s == Status::Done)
+        && net.is_drained()
+        && inboxes.iter().all(Vec::is_empty)
+}

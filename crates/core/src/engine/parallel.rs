@@ -1,0 +1,287 @@
+//! The thread-parallel engine (crossbeam scoped master/worker).
+//!
+//! Machines are partitioned into contiguous chunks, one worker thread per
+//! chunk. Each round the master ships every machine its inbox, workers run
+//! [`Protocol::round`] in parallel, and the master merges the returned
+//! outboxes *in machine order* before running the same delivery phase as
+//! the sequential engine — so transcripts, metrics, and RNG streams are
+//! bit-for-bit identical to [`super::SequentialEngine`].
+
+use crate::config::NetConfig;
+use crate::engine::{quiescent, Network};
+use crate::error::EngineError;
+use crate::message::{Envelope, Outbox};
+use crate::metrics::RunReport;
+use crate::protocol::{Protocol, RoundCtx, Status};
+use crate::rng;
+use crate::MachineIdx;
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+enum Cmd<M> {
+    Round { round: u64, inboxes: Vec<Vec<Envelope<M>>> },
+    Stop,
+}
+
+enum Resp<P, M> {
+    Round(Vec<(Vec<(MachineIdx, M)>, Status)>),
+    Final(Vec<P>),
+}
+
+/// A work-stealing-free, deterministic parallel engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelEngine {
+    /// Number of worker threads (capped at `k`).
+    pub threads: usize,
+}
+
+impl Default for ParallelEngine {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        ParallelEngine { threads }
+    }
+}
+
+impl ParallelEngine {
+    /// An engine using all available cores.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelEngine { threads: threads.max(1) }
+    }
+
+    /// Executes `machines` under `config`; semantics identical to
+    /// [`super::SequentialEngine::run`].
+    ///
+    /// # Panics
+    /// Panics if `machines.len() != config.k` or the config is invalid.
+    pub fn run<P>(
+        &self,
+        config: NetConfig,
+        machines: Vec<P>,
+    ) -> Result<RunReport<P>, EngineError>
+    where
+        P: Protocol + Send,
+        P::Msg: Send,
+    {
+        config.validate();
+        assert_eq!(machines.len(), config.k, "one protocol instance per machine");
+        let k = config.k;
+        let workers = self.threads.min(k).max(1);
+        if workers == 1 {
+            return super::SequentialEngine::run(config, machines);
+        }
+        let chunk = k.div_ceil(workers);
+        let shared = rng::shared_seed(config.seed);
+
+        // Partition machines into contiguous chunks with their RNGs.
+        let mut chunks: Vec<Vec<P>> = Vec::with_capacity(workers);
+        let mut bases: Vec<usize> = Vec::with_capacity(workers);
+        {
+            let mut rest = machines;
+            let mut base = 0;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let tail = rest.split_off(take);
+                bases.push(base);
+                base += take;
+                chunks.push(rest);
+                rest = tail;
+            }
+        }
+        let nchunks = chunks.len();
+
+        crossbeam::thread::scope(|scope| {
+            let mut cmd_txs: Vec<Sender<Cmd<P::Msg>>> = Vec::with_capacity(nchunks);
+            let mut resp_rxs: Vec<Receiver<Resp<P, P::Msg>>> = Vec::with_capacity(nchunks);
+
+            for (w, mut local) in chunks.into_iter().enumerate() {
+                let base = bases[w];
+                let (cmd_tx, cmd_rx) = bounded::<Cmd<P::Msg>>(1);
+                let (resp_tx, resp_rx) = bounded::<Resp<P, P::Msg>>(1);
+                cmd_txs.push(cmd_tx);
+                resp_rxs.push(resp_rx);
+                scope.spawn(move |_| {
+                    let mut rngs: Vec<_> = (0..local.len())
+                        .map(|j| rng::machine_rng(config.seed, base + j))
+                        .collect();
+                    let mut outbox = Outbox::new(k);
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        match cmd {
+                            Cmd::Round { round, inboxes } => {
+                                let mut results = Vec::with_capacity(local.len());
+                                for (j, inbox) in inboxes.into_iter().enumerate() {
+                                    let mut ctx = RoundCtx {
+                                        round,
+                                        me: base + j,
+                                        k,
+                                        bandwidth_bits: config.bandwidth_bits,
+                                        shared_seed: shared,
+                                        rng: &mut rngs[j],
+                                    };
+                                    let status = local[j].round(&mut ctx, &inbox, &mut outbox);
+                                    results.push((outbox.drain().collect(), status));
+                                }
+                                resp_tx.send(Resp::Round(results)).expect("master alive");
+                            }
+                            Cmd::Stop => {
+                                resp_tx.send(Resp::Final(local)).expect("master alive");
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+
+            // Master loop: identical delivery semantics to the sequential engine.
+            let mut net: Network<P::Msg> = Network::new(k);
+            let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..k).map(|_| Vec::new()).collect();
+            let mut statuses = vec![Status::Active; k];
+            let mut iterations: u64 = 0;
+            let mut comm_rounds: u64 = 0;
+            let result = loop {
+                // Ship inboxes (moving them out), collect outboxes in order.
+                let mut inbox_iter = std::mem::take(&mut inboxes).into_iter();
+                for (w, tx) in cmd_txs.iter().enumerate() {
+                    let take = if w + 1 < nchunks { bases[w + 1] - bases[w] } else { k - bases[w] };
+                    let batch: Vec<_> = inbox_iter.by_ref().take(take).collect();
+                    tx.send(Cmd::Round { round: iterations, inboxes: batch })
+                        .expect("worker alive");
+                }
+                for (w, rx) in resp_rxs.iter().enumerate() {
+                    match rx.recv().expect("worker alive") {
+                        Resp::Round(results) => {
+                            for (j, (msgs, status)) in results.into_iter().enumerate() {
+                                let me = bases[w] + j;
+                                statuses[me] = status;
+                                for (dst, msg) in msgs {
+                                    net.stage(me, dst, msg);
+                                }
+                            }
+                        }
+                        Resp::Final(_) => unreachable!("workers only finalize on Stop"),
+                    }
+                }
+                inboxes = (0..k).map(|_| Vec::new()).collect();
+                if net.deliver(config.bandwidth_bits, &mut inboxes) {
+                    comm_rounds += 1;
+                }
+                iterations += 1;
+                if quiescent(&statuses, &net, &inboxes) {
+                    break Ok(());
+                }
+                if iterations >= config.max_rounds {
+                    break Err(EngineError::RoundLimitExceeded {
+                        limit: config.max_rounds,
+                        active_machines: statuses
+                            .iter()
+                            .filter(|s| **s == Status::Active)
+                            .count(),
+                        queued_msgs: net.queued(),
+                    });
+                }
+            };
+
+            // Collect machines back (always, even on error, to join cleanly).
+            let mut final_machines: Vec<P> = Vec::with_capacity(k);
+            for tx in &cmd_txs {
+                tx.send(Cmd::Stop).expect("worker alive");
+            }
+            for rx in &resp_rxs {
+                match rx.recv().expect("worker alive") {
+                    Resp::Final(ms) => final_machines.extend(ms),
+                    Resp::Round(_) => unreachable!("Stop yields Final"),
+                }
+            }
+            result.map(|_| {
+                net.finalize();
+                net.metrics.rounds = comm_rounds;
+                RunReport { machines: final_machines, metrics: net.metrics }
+            })
+        })
+        .expect("worker thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SequentialEngine;
+    use rand::Rng;
+
+    /// Every machine sends a random number of random-sized greetings to
+    /// random peers for 3 rounds; outputs record everything received.
+    struct Gossip {
+        log: Vec<(usize, u32)>,
+    }
+
+    impl Protocol for Gossip {
+        type Msg = u32;
+        fn round(
+            &mut self,
+            ctx: &mut RoundCtx<'_>,
+            inbox: &[Envelope<u32>],
+            out: &mut Outbox<u32>,
+        ) -> Status {
+            for env in inbox {
+                self.log.push((env.src, env.msg));
+            }
+            if ctx.round < 3 {
+                let count = ctx.rng.gen_range(0..4);
+                for _ in 0..count {
+                    let dst = ctx.rng.gen_range(0..ctx.k);
+                    let val = ctx.rng.gen::<u32>();
+                    out.send(dst, val);
+                }
+                Status::Active
+            } else {
+                Status::Done
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_transcript() {
+        let mk = || (0..9).map(|_| Gossip { log: Vec::new() }).collect::<Vec<_>>();
+        let cfg = NetConfig::with_bandwidth(9, 48, 12345);
+        let seq = SequentialEngine::run(cfg, mk()).unwrap();
+        let par = ParallelEngine::with_threads(4).run(cfg, mk()).unwrap();
+        assert_eq!(seq.metrics, par.metrics);
+        for (s, p) in seq.machines.iter().zip(&par.machines) {
+            assert_eq!(s.log, p.log);
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_sequential() {
+        let cfg = NetConfig::with_bandwidth(3, 64, 7);
+        let machines = (0..3).map(|_| Gossip { log: Vec::new() }).collect();
+        let report = ParallelEngine::with_threads(1).run(cfg, machines).unwrap();
+        assert_eq!(report.machines.len(), 3);
+    }
+
+    #[test]
+    fn round_limit_error_propagates_and_joins() {
+        #[derive(Debug)]
+        struct Chatter;
+        impl Protocol for Chatter {
+            type Msg = u8;
+            fn round(
+                &mut self,
+                ctx: &mut RoundCtx<'_>,
+                _inbox: &[Envelope<u8>],
+                out: &mut Outbox<u8>,
+            ) -> Status {
+                out.send((ctx.me + 1) % ctx.k, 1);
+                Status::Active
+            }
+        }
+        let cfg = NetConfig::with_bandwidth(4, 8, 0).max_rounds(5);
+        let err = ParallelEngine::with_threads(2)
+            .run(cfg, vec![Chatter, Chatter, Chatter, Chatter])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::RoundLimitExceeded { limit: 5, .. }));
+    }
+}

@@ -1,0 +1,44 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Why an execution could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The round-limit safety valve fired before global quiescence —
+    /// almost always a protocol that never reaches `Status::Done`.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+        /// Machines still reporting `Active` when the limit fired.
+        active_machines: usize,
+        /// Messages still queued on links.
+        queued_msgs: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::RoundLimitExceeded { limit, active_machines, queued_msgs } => write!(
+                f,
+                "round limit {limit} exceeded with {active_machines} active machine(s) \
+                 and {queued_msgs} queued message(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::RoundLimitExceeded { limit: 5, active_machines: 2, queued_msgs: 7 };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains('2') && s.contains('7'));
+    }
+}

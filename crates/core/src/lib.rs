@@ -1,0 +1,47 @@
+//! # km-core — the k-machine model, executable
+//!
+//! A faithful simulator of the **k-machine model** (a.k.a. the Big Data
+//! model) of Klauck, Nanongkai, Pandurangan, and Robinson [SODA 2015], as
+//! used by *On the Distributed Complexity of Large-Scale Graph
+//! Computations* (SPAA 2018):
+//!
+//! * `k > 2` machines, pairwise interconnected by bidirectional
+//!   point-to-point links;
+//! * synchronous rounds; in each round every ordered link delivers at most
+//!   `B` bits (`B = Θ(polylog n)` by default, [`NetConfig::polylog`]);
+//! * local computation is free; the **round complexity** is the number of
+//!   rounds until every machine is done and all links are drained.
+//!
+//! Algorithms implement the [`Protocol`] trait and are executed by either
+//! the deterministic [`engine::SequentialEngine`] or the thread-parallel
+//! [`engine::ParallelEngine`] (identical semantics, bit-for-bit identical
+//! transcripts). Message sizes are *logical bit counts* via [`WireSize`],
+//! so experiments can charge exactly the `Θ(log n)`-bit id costs the
+//! theory uses. Detailed transcript statistics ([`Metrics`]) feed the
+//! lower-bound validators in `km-lower`.
+//!
+//! The congested clique (`k = n`, one vertex per machine — Corollary 1)
+//! is the special case provided by [`clique`]. The randomized-routing
+//! toolbox of Lemma 13 and the proxy patterns of Section 1.3 live in
+//! [`router`].
+
+pub mod clique;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod link;
+pub mod message;
+pub mod metrics;
+pub mod protocol;
+pub mod rng;
+pub mod router;
+
+pub use config::NetConfig;
+pub use engine::{ParallelEngine, RunReport, SequentialEngine};
+pub use error::EngineError;
+pub use message::{id_bits, Envelope, Outbox, Raw, WireSize};
+pub use metrics::Metrics;
+pub use protocol::{Protocol, RoundCtx, Status};
+
+/// Index of a machine, `0..k` (shared with `km-graph::MachineIdx`).
+pub type MachineIdx = usize;

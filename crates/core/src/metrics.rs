@@ -1,0 +1,109 @@
+//! Transcript statistics of a k-machine execution.
+//!
+//! These are the quantities the paper's lower bounds constrain: the round
+//! count (Theorems 2–5), the per-machine received bits (the transcript
+//! `Π_i` whose entropy Theorem 1 bounds by `O(BkT)`, Lemma 3), and total
+//! message counts (Corollary 2's message-complexity tradeoffs).
+
+use serde::Serialize;
+
+/// Aggregated statistics of one run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Metrics {
+    /// Rounds executed until global quiescence.
+    pub rounds: u64,
+    /// Per-machine count of messages sent (self-sends excluded).
+    pub sent_msgs: Vec<u64>,
+    /// Per-machine bits sent over links.
+    pub sent_bits: Vec<u64>,
+    /// Per-machine count of messages received over links.
+    pub recv_msgs: Vec<u64>,
+    /// Per-machine bits received over links — the size of the transcript
+    /// `Π_i` in Theorem 1.
+    pub recv_bits: Vec<u64>,
+    /// Maximum bits ever pushed through a single ordered link.
+    pub max_link_bits: u64,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics for `k` machines.
+    pub fn new(k: usize) -> Self {
+        Metrics {
+            rounds: 0,
+            sent_msgs: vec![0; k],
+            sent_bits: vec![0; k],
+            recv_msgs: vec![0; k],
+            recv_bits: vec![0; k],
+            max_link_bits: 0,
+        }
+    }
+
+    /// Total messages exchanged (sum over machines of sends).
+    pub fn total_msgs(&self) -> u64 {
+        self.sent_msgs.iter().sum()
+    }
+
+    /// Total bits exchanged.
+    pub fn total_bits(&self) -> u64 {
+        self.sent_bits.iter().sum()
+    }
+
+    /// The largest per-machine received-bit count: `max_i |Π_i|`. Theorem 1
+    /// lower-bounds this by `IC − o(IC)` for hard inputs, and Lemma 3
+    /// upper-bounds it by `(B+1)(k−1)T` — the bridge between information
+    /// cost and round complexity.
+    pub fn max_recv_bits(&self) -> u64 {
+        self.recv_bits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The largest per-machine sent-bit count.
+    pub fn max_sent_bits(&self) -> u64 {
+        self.sent_bits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Theoretical floor on rounds implied by this transcript: some machine
+    /// received `max_recv_bits()` over `k−1` links of `B` bits, so at least
+    /// `⌈max_recv/((k−1)B)⌉` rounds were necessary for *any* schedule.
+    pub fn round_floor(&self, bandwidth_bits: u64) -> u64 {
+        let k = self.recv_bits.len() as u64;
+        if k <= 1 {
+            return 0;
+        }
+        self.max_recv_bits().div_ceil(bandwidth_bits * (k - 1))
+    }
+}
+
+/// The result of a run: the final machine states plus metrics.
+#[derive(Debug)]
+pub struct RunReport<P> {
+    /// Final protocol states, indexed by machine.
+    pub machines: Vec<P>,
+    /// Transcript statistics.
+    pub metrics: Metrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_maxima() {
+        let mut m = Metrics::new(3);
+        m.sent_msgs = vec![1, 2, 3];
+        m.sent_bits = vec![10, 20, 30];
+        m.recv_bits = vec![5, 50, 7];
+        assert_eq!(m.total_msgs(), 6);
+        assert_eq!(m.total_bits(), 60);
+        assert_eq!(m.max_recv_bits(), 50);
+        assert_eq!(m.max_sent_bits(), 30);
+    }
+
+    #[test]
+    fn round_floor_matches_lemma3() {
+        let mut m = Metrics::new(5);
+        m.recv_bits = vec![0, 0, 4000, 0, 0];
+        // 4 links × 100 bits per round = 400 bits/round ⇒ 10 rounds.
+        assert_eq!(m.round_floor(100), 10);
+        assert_eq!(Metrics::new(1).round_floor(100), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Routing toolbox: Lemma 13, proxies, and two-hop (Valiant) routing.
+//!
+//! **Lemma 13** (the workhorse of both upper bounds): if every machine is
+//! the source (or destination) of `O(x)` messages whose destinations
+//! (sources) are i.i.d. uniform, then *direct* routing over the complete
+//! machine network delivers everything in `O((x log x)/k)` rounds w.h.p.
+//!
+//! When destinations are *not* uniform (e.g. all of a high-degree vertex's
+//! traffic aims at its home machine), the paper's algorithms first
+//! randomize: **randomized proxy computation** (Section 1.3) assigns each
+//! object (edge, vertex, token batch) a uniformly random proxy machine
+//! that does the work on its behalf. [`proxy_of`] provides the shared
+//! deterministic proxy map; [`Routed`] implements the two-hop pattern
+//! (source → random relay → destination) for raw traffic.
+
+use crate::message::{Envelope, Outbox, WireSize};
+use crate::rng::keyed_hash;
+use crate::MachineIdx;
+use rand::Rng;
+
+/// Upper-bound shape of Lemma 13: `(x log₂ x)/k` rounds (a constant-free
+/// reference curve for the L13 experiment).
+pub fn lemma13_bound(x: f64, k: usize) -> f64 {
+    if x <= 1.0 {
+        return 0.0;
+    }
+    x * x.log2() / k as f64
+}
+
+/// The deterministic proxy machine of an object identified by `key`,
+/// under the shared public random seed: uniform over machines, and every
+/// machine computes the same answer locally — no coordination needed.
+#[inline]
+pub fn proxy_of(shared_seed: u64, key: u64, k: usize) -> MachineIdx {
+    (keyed_hash(shared_seed, key) % k as u64) as MachineIdx
+}
+
+/// A message travelling via at most one random relay (Valiant routing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Routed<M> {
+    /// The machine that originally sent the message.
+    pub origin: MachineIdx,
+    /// The final destination.
+    pub target: MachineIdx,
+    /// The payload.
+    pub inner: M,
+}
+
+impl<M: WireSize> WireSize for Routed<M> {
+    fn bits(&self) -> u64 {
+        // Two machine indices (16 bits each supports k ≤ 65536) + payload.
+        32 + self.inner.bits()
+    }
+}
+
+/// Sends `msg` to `target` via a uniformly random relay machine. Use when
+/// the *destination* distribution is adversarial; the relay hop makes both
+/// legs uniform so Lemma 13 applies to each.
+pub fn send_via_random_relay<M, R: Rng>(
+    out: &mut Outbox<Routed<M>>,
+    rng: &mut R,
+    k: usize,
+    origin: MachineIdx,
+    target: MachineIdx,
+    inner: M,
+) {
+    let relay = rng.gen_range(0..k);
+    out.send(relay, Routed { origin, target, inner });
+}
+
+/// One round of relay processing: forwards messages not yet at their
+/// target and returns those that have arrived (as `(origin, payload)`).
+pub fn relay_round<M: Clone>(
+    me: MachineIdx,
+    inbox: &[Envelope<Routed<M>>],
+    out: &mut Outbox<Routed<M>>,
+) -> Vec<(MachineIdx, M)> {
+    let mut arrived = Vec::new();
+    for env in inbox {
+        if env.msg.target == me {
+            arrived.push((env.msg.origin, env.msg.inner.clone()));
+        } else {
+            out.send(env.msg.target, env.msg.clone());
+        }
+    }
+    arrived
+}
+
+/// Test/benchmark protocol for Lemma 13: every machine sends `x` unit
+/// messages to uniformly random destinations in round 0 (direct routing);
+/// the run's round count is the empirical left side of the lemma.
+#[derive(Debug)]
+pub struct UniformScatter {
+    /// Messages each machine originates.
+    pub x: usize,
+    /// Messages received (for conservation checks).
+    pub received: usize,
+}
+
+impl UniformScatter {
+    /// A scatter source of `x` messages.
+    pub fn new(x: usize) -> Self {
+        UniformScatter { x, received: 0 }
+    }
+}
+
+/// A fixed-size scatter payload standing in for an `O(log n)`-bit token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScatterToken;
+
+impl WireSize for ScatterToken {
+    fn bits(&self) -> u64 {
+        16
+    }
+}
+
+impl crate::protocol::Protocol for UniformScatter {
+    type Msg = ScatterToken;
+
+    fn round(
+        &mut self,
+        ctx: &mut crate::protocol::RoundCtx<'_>,
+        inbox: &[Envelope<ScatterToken>],
+        out: &mut Outbox<ScatterToken>,
+    ) -> crate::protocol::Status {
+        self.received += inbox.len();
+        if ctx.round == 0 {
+            for _ in 0..self.x {
+                let dst = ctx.rng.gen_range(0..ctx.k);
+                if dst == ctx.me {
+                    self.received += 1; // local delivery, free
+                } else {
+                    out.send(dst, ScatterToken);
+                }
+            }
+            return crate::protocol::Status::Active;
+        }
+        crate::protocol::Status::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+    use crate::engine::SequentialEngine;
+    use crate::protocol::{Protocol, RoundCtx, Status};
+
+    #[test]
+    fn proxy_is_deterministic_and_uniform() {
+        let k = 8;
+        let mut counts = vec![0usize; k];
+        for key in 0..8000u64 {
+            let p = proxy_of(42, key, k);
+            assert_eq!(p, proxy_of(42, key, k));
+            counts[p] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64) > 700.0 && (c as f64) < 1300.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn lemma13_bound_shape() {
+        assert_eq!(lemma13_bound(1.0, 10), 0.0);
+        assert!(lemma13_bound(1024.0, 16) > lemma13_bound(1024.0, 32));
+        assert!((lemma13_bound(1024.0, 16) - 1024.0 * 10.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scatter_conserves_messages() {
+        let k = 6;
+        let x = 50;
+        let cfg = NetConfig::with_bandwidth(k, 64, 11);
+        let machines: Vec<UniformScatter> = (0..k).map(|_| UniformScatter::new(x)).collect();
+        let report = SequentialEngine::run(cfg, machines).unwrap();
+        let total: usize = report.machines.iter().map(|m| m.received).sum();
+        assert_eq!(total, k * x);
+    }
+
+    #[test]
+    fn scatter_rounds_scale_with_x_over_k() {
+        // Fixing k and doubling x should roughly double the rounds.
+        let k = 8;
+        let run = |x: usize| {
+            let cfg = NetConfig::with_bandwidth(k, 16, 5); // 1 token/link/round
+            let machines: Vec<UniformScatter> = (0..k).map(|_| UniformScatter::new(x)).collect();
+            SequentialEngine::run(cfg, machines).unwrap().metrics.rounds
+        };
+        let r1 = run(200);
+        let r2 = run(400);
+        assert!(r2 as f64 > 1.5 * r1 as f64, "r1={r1} r2={r2}");
+        assert!((r2 as f64) < 3.0 * r1 as f64, "r1={r1} r2={r2}");
+    }
+
+    /// Two-hop routing: all machines target machine 0, but the relay hop
+    /// spreads the load; arrivals carry the true origin.
+    struct Funnel {
+        x: usize,
+        arrived: Vec<(MachineIdx, u32)>,
+    }
+
+    impl Protocol for Funnel {
+        type Msg = Routed<u32>;
+        fn round(
+            &mut self,
+            ctx: &mut RoundCtx<'_>,
+            inbox: &[Envelope<Routed<u32>>],
+            out: &mut Outbox<Routed<u32>>,
+        ) -> Status {
+            let mut got = relay_round(ctx.me, inbox, out);
+            self.arrived.append(&mut got);
+            if ctx.round == 0 && ctx.me != 0 {
+                for i in 0..self.x {
+                    send_via_random_relay(out, ctx.rng, ctx.k, ctx.me, 0, i as u32);
+                }
+                return Status::Active;
+            }
+            if inbox.is_empty() && ctx.round > 0 {
+                Status::Done
+            } else {
+                Status::Active
+            }
+        }
+    }
+
+    #[test]
+    fn two_hop_routing_delivers_everything_with_origins() {
+        let k = 5;
+        let x = 20;
+        let cfg = NetConfig::with_bandwidth(k, 1024, 3);
+        let machines: Vec<Funnel> =
+            (0..k).map(|_| Funnel { x, arrived: Vec::new() }).collect();
+        let report = SequentialEngine::run(cfg, machines).unwrap();
+        let arrived = &report.machines[0].arrived;
+        assert_eq!(arrived.len(), (k - 1) * x);
+        for src in 1..k {
+            assert_eq!(arrived.iter().filter(|(o, _)| *o == src).count(), x);
+        }
+        // Nothing leaks to other machines.
+        for m in &report.machines[1..] {
+            assert!(m.arrived.is_empty());
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Incremental construction of graphs.
+
+use crate::csr::CsrGraph;
+use crate::digraph::DiGraph;
+use crate::ids::Vertex;
+use crate::weighted::WeightedGraph;
+
+/// An incremental edge-list builder for simple graphs.
+///
+/// Generators accumulate edges here and finalize into CSR form once; the
+/// builder tolerates duplicates and self-loops (CSR construction cleans
+/// them), so generator code stays simple.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(Vertex, Vertex)>,
+    weights: Vec<f64>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new(), weights: Vec::new() }
+    }
+
+    /// Creates a builder with edge capacity preallocated.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m), weights: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds an undirected edge (or a directed arc if building a digraph).
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds a weighted undirected edge.
+    pub fn add_weighted_edge(&mut self, u: Vertex, v: Vertex, w: f64) -> &mut Self {
+        self.edges.push((u, v));
+        self.weights.push(w);
+        self
+    }
+
+    /// Finalizes into an undirected CSR graph.
+    pub fn build_undirected(&self) -> CsrGraph {
+        CsrGraph::from_edges(self.n, &self.edges)
+    }
+
+    /// Finalizes into a digraph, treating each added edge as an arc.
+    pub fn build_directed(&self) -> DiGraph {
+        DiGraph::from_arcs(self.n, &self.edges)
+    }
+
+    /// Finalizes into a weighted undirected graph.
+    ///
+    /// # Panics
+    /// Panics if any edge was added without a weight.
+    pub fn build_weighted(&self) -> WeightedGraph {
+        assert_eq!(
+            self.edges.len(),
+            self.weights.len(),
+            "all edges must carry weights for a weighted build"
+        );
+        WeightedGraph::from_weighted_edges(self.n, &self.edges, &self.weights)
+    }
+
+    /// The raw edge list accumulated so far.
+    pub fn edges(&self) -> &[(Vertex, Vertex)] {
+        &self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_undirected() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build_undirected();
+        assert_eq!(g.m(), 2);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn builds_directed() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 0);
+        let g = b.build_directed();
+        assert_eq!(g.m(), 2);
+        assert!(g.has_arc(0, 1) && g.has_arc(1, 0));
+    }
+
+    #[test]
+    fn builds_weighted() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 2.5).add_weighted_edge(1, 2, 0.5);
+        let g = b.build_weighted();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.weight(0, 1), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn weighted_build_requires_weights() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        let _ = b.build_weighted();
+    }
+}

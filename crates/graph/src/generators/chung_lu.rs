@@ -1,0 +1,118 @@
+//! Chung–Lu random graphs with a prescribed expected degree sequence.
+//!
+//! Power-law graphs are the motivating workload for the paper's systems
+//! (web graphs, social networks, Section 1); they stress the light/heavy
+//! vertex split of the PageRank algorithm and the proxy assignment rule of
+//! the triangle algorithm via their skewed degree distributions.
+
+use crate::csr::CsrGraph;
+use crate::ids::Vertex;
+use rand::Rng;
+
+/// Expected-degree weights for a power law with exponent `gamma > 1`:
+/// `w_i ∝ (i + 1)^(-1/(gamma-1))`, scaled so the average weight is
+/// `avg_degree`.
+///
+/// # Panics
+/// Panics unless `gamma > 1` and `avg_degree > 0`.
+pub fn power_law_weights(n: usize, gamma: f64, avg_degree: f64) -> Vec<f64> {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    assert!(avg_degree > 0.0, "average degree must be positive");
+    let alpha = 1.0 / (gamma - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let sum: f64 = w.iter().sum();
+    if sum > 0.0 {
+        let scale = avg_degree * n as f64 / sum;
+        for x in &mut w {
+            *x *= scale;
+        }
+    }
+    w
+}
+
+/// Samples a Chung–Lu graph: edge `{i,j}` present independently with
+/// probability `min(1, w_i w_j / Σw)`.
+///
+/// `O(n²)` pair scan — intended for the simulator's laptop-scale inputs
+/// (n up to a few thousand), where clarity beats the asymptotically faster
+/// bucketed samplers.
+///
+/// # Panics
+/// Panics if any weight is negative or non-finite.
+pub fn chung_lu<R: Rng>(weights: &[f64], rng: &mut R) -> CsrGraph {
+    let n = weights.len();
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+    }
+    let total: f64 = weights.iter().sum();
+    let mut edges: Vec<(Vertex, Vertex)> = Vec::new();
+    if total > 0.0 {
+        for i in 0..n {
+            if weights[i] == 0.0 {
+                continue;
+            }
+            for j in (i + 1)..n {
+                let p = (weights[i] * weights[j] / total).min(1.0);
+                if p > 0.0 && rng.gen_bool(p) {
+                    edges.push((i as Vertex, j as Vertex));
+                }
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn weights_scale_to_average() {
+        let w = power_law_weights(100, 2.5, 8.0);
+        let avg = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((avg - 8.0).abs() < 1e-9);
+        // Monotone decreasing.
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn expected_total_degree_close() {
+        let n = 300;
+        let w = power_law_weights(n, 2.5, 6.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let g = chung_lu(&w, &mut rng);
+        let expected_m = 6.0 * n as f64 / 2.0;
+        // Generous tolerance: the min(1,·) clamp biases slightly downward.
+        assert!(
+            (g.m() as f64) > 0.4 * expected_m && (g.m() as f64) < 1.8 * expected_m,
+            "m={} expected≈{expected_m}",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn skewed_degrees() {
+        let w = power_law_weights(500, 2.1, 4.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let g = chung_lu(&w, &mut rng);
+        let stats = crate::properties::degree_stats(&g);
+        // Head vertex should far exceed the mean.
+        assert!(stats.max as f64 > 3.0 * stats.mean);
+    }
+
+    #[test]
+    fn zero_weights_no_edges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = chung_lu(&[0.0; 10], &mut rng);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weight() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = chung_lu(&[1.0, -2.0], &mut rng);
+    }
+}

@@ -1,0 +1,151 @@
+//! Deterministic graph families.
+
+use crate::csr::CsrGraph;
+use crate::ids::Vertex;
+use crate::weighted::WeightedGraph;
+use rand::Rng;
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u as Vertex, v as Vertex));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A star: vertex `0` is the hub joined to `1..n`.
+///
+/// Section 3.1 uses star-like topologies as the congestion worst case that
+/// motivates sending token *counts* instead of individual walks.
+pub fn star(n: usize) -> CsrGraph {
+    let edges: Vec<(Vertex, Vertex)> = (1..n as Vertex).map(|v| (0, v)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A simple path `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> CsrGraph {
+    let edges: Vec<(Vertex, Vertex)> = (1..n as Vertex).map(|v| (v - 1, v)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A cycle on `n ≥ 3` vertices.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut edges: Vec<(Vertex, Vertex)> = (1..n as Vertex).map(|v| (v - 1, v)).collect();
+    edges.push((n as Vertex - 1, 0));
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// An `r × c` grid; vertex `(i,j)` is `i*c + j`.
+pub fn grid(r: usize, c: usize) -> CsrGraph {
+    let n = r * c;
+    let mut edges = Vec::with_capacity(2 * n);
+    for i in 0..r {
+        for j in 0..c {
+            let v = (i * c + j) as Vertex;
+            if j + 1 < c {
+                edges.push((v, v + 1));
+            }
+            if i + 1 < r {
+                edges.push((v, v + c as Vertex));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// The complete bipartite graph `K_{a,b}`; the left side is `0..a`.
+pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
+    let n = a + b;
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a {
+        for v in a..n {
+            edges.push((u as Vertex, v as Vertex));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// `K_n` with i.i.d. `Uniform(0,1)` edge weights — the MST lower-bound
+/// family of Section 1.3 (footnote 6: "The lower bound graph can be a
+/// complete graph with random edge weights").
+pub fn complete_weighted_random<R: Rng>(n: usize, rng: &mut R) -> WeightedGraph {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    let mut weights = Vec::with_capacity(edges.capacity());
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u as Vertex, v as Vertex));
+            weights.push(rng.gen_range(0.0..1.0));
+        }
+    }
+    WeightedGraph::from_weighted_edges(n, &edges, &weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert!(properties::is_connected(&g));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        assert_eq!(g.degree(5), 1);
+        assert_eq!(g.m(), 9);
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert!(cycle(5).vertices().all(|v| cycle(5).degree(v) == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_rejected() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 4) && !g.has_edge(3, 4));
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.m(), 12);
+        assert!(!g.has_edge(0, 1)); // same side
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn weighted_complete() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = complete_weighted_random(8, &mut rng);
+        assert_eq!(g.m(), 28);
+        for (_, w) in g.weighted_edges() {
+            assert!((0.0..1.0).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Erdős–Rényi `G(n, m)`: a uniformly random simple graph with exactly
+//! `m` edges.
+
+use crate::csr::CsrGraph;
+use crate::ids::Vertex;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples a uniformly random simple graph with `n` vertices and exactly
+/// `m` edges.
+///
+/// Uses rejection sampling while the graph is sparse and Floyd-style
+/// sampling over flat pair indices, so it stays efficient even when `m`
+/// approaches `C(n,2)`.
+///
+/// # Panics
+/// Panics if `m > C(n,2)`.
+pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    let total: u64 = (n as u64) * (n as u64).saturating_sub(1) / 2;
+    assert!(
+        (m as u64) <= total,
+        "m={m} exceeds C({n},2)={total}"
+    );
+    // Floyd's algorithm: for j in total-m..total, pick t in [0, j]; insert t
+    // unless already chosen, else insert j. Yields a uniform m-subset of
+    // pair indices with exactly m insertions.
+    let mut chosen: HashSet<u64> = HashSet::with_capacity(m * 2);
+    for j in (total - m as u64)..total {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let edges: Vec<(Vertex, Vertex)> = chosen.into_iter().map(|idx| unflatten(idx, n)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Same pair-index layout as in [`super::gnp`].
+fn unflatten(mut idx: u64, n: usize) -> (Vertex, Vertex) {
+    let mut u = 0u64;
+    let mut row = (n as u64) - 1;
+    while idx >= row {
+        idx -= row;
+        u += 1;
+        row -= 1;
+    }
+    (u as Vertex, (u + 1 + idx) as Vertex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exact_edge_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for &(n, m) in &[(10, 0), (10, 45), (30, 100), (5, 10)] {
+            let g = gnm(n, m, &mut rng);
+            assert_eq!(g.n(), n);
+            assert_eq!(g.m(), m, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_impossible_m() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = gnm(40, 200, &mut ChaCha8Rng::seed_from_u64(11));
+        let g2 = gnm(40, 200, &mut ChaCha8Rng::seed_from_u64(11));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn near_complete_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = gnm(20, 189, &mut rng); // C(20,2) - 1
+        assert_eq!(g.m(), 189);
+    }
+}

@@ -1,0 +1,118 @@
+//! Erdős–Rényi `G(n, p)` via geometric edge skipping.
+//!
+//! Runs in `O(n + m)` expected time rather than `O(n²)` Bernoulli trials
+//! (the skip-sampling technique of Batagelj & Brandes), which matters for
+//! the sparse sweeps in the experiment harness.
+
+use crate::csr::CsrGraph;
+use crate::ids::Vertex;
+use rand::Rng;
+
+/// Samples `G(n, p)`: each of the `C(n,2)` edges present independently
+/// with probability `p`.
+///
+/// # Panics
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+    if n == 0 || p == 0.0 {
+        return CsrGraph::from_edges(n, &[]);
+    }
+    if p >= 1.0 {
+        return super::classic::complete(n);
+    }
+
+    // Enumerate pairs (u,v), u<v, as a flat index and skip geometrically.
+    let total: u64 = (n as u64) * (n as u64 - 1) / 2;
+    let expected = (total as f64 * p) as usize;
+    let mut edges: Vec<(Vertex, Vertex)> = Vec::with_capacity(expected + 16);
+    let log1p = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        // Geometric(p) skip: floor(ln U / ln(1-p)).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (u.ln() / log1p).floor() as u64;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= total {
+            break;
+        }
+        edges.push(unflatten(idx, n));
+        idx += 1;
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Maps a flat pair index in `[0, C(n,2))` to the pair `(u, v)`, `u < v`,
+/// in row-major order: row `u` holds pairs `(u, u+1) .. (u, n-1)`.
+fn unflatten(mut idx: u64, n: usize) -> (Vertex, Vertex) {
+    let mut u = 0u64;
+    let mut row = (n as u64) - 1; // size of row u
+    while idx >= row {
+        idx -= row;
+        u += 1;
+        row -= 1;
+    }
+    (u as Vertex, (u + 1 + idx) as Vertex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn unflatten_enumerates_all_pairs() {
+        let n = 7;
+        let total = n * (n - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..total as u64 {
+            let (u, v) = unflatten(idx, n);
+            assert!(u < v && (v as usize) < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), total);
+    }
+
+    #[test]
+    fn extreme_p() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).m(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).m(), 45);
+        assert_eq!(gnp(0, 0.5, &mut rng).n(), 0);
+    }
+
+    #[test]
+    fn edge_count_concentrates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let n = 400;
+        let p = 0.1;
+        let g = gnp(n, p, &mut rng);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        // 5 standard deviations of slack.
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (g.m() as f64 - expected).abs() < 5.0 * sd,
+            "m={} expected≈{expected}",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = gnp(50, 0.3, &mut ChaCha8Rng::seed_from_u64(9));
+        let g2 = gnp(50, 0.3, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn dense_half_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = gnp(100, 0.5, &mut rng);
+        let expected = 2475.0; // C(100,2)/2
+        assert!((g.m() as f64 - expected).abs() < 250.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Graph generators used by the paper's lower and upper bounds.
+//!
+//! * [`gnp()`](gnp()) / [`gnm()`](gnm()) — Erdős–Rényi. Theorem 3's triangle lower bound
+//!   samples from `G(n, 1/2)`.
+//! * [`chung_lu()`](chung_lu()) — power-law expected-degree graphs; realistic skewed
+//!   workloads for the PageRank and triangle algorithms.
+//! * [`classic`] — stars (the PageRank congestion worst case discussed in
+//!   Section 3.1), paths, cycles, cliques, complete bipartite graphs, and
+//!   complete graphs with random weights (the MST lower-bound family of
+//!   Section 1.3, footnote 6).
+//! * [`lower_bound_h`] — the directed graph `H` of Figure 1 used by the
+//!   PageRank lower bound (Theorem 2).
+
+pub mod chung_lu;
+pub mod classic;
+pub mod gnm;
+pub mod gnp;
+pub mod lower_bound_h;
+
+pub use chung_lu::{chung_lu, power_law_weights};
+pub use classic::{
+    complete, complete_bipartite, complete_weighted_random, cycle, grid, path, star,
+};
+pub use gnm::gnm;
+pub use gnp::gnp;
+pub use lower_bound_h::LowerBoundGraph;

@@ -1,0 +1,40 @@
+//! # km-graph
+//!
+//! Graph substrate for the k-machine model reproduction of
+//! *On the Distributed Complexity of Large-Scale Graph Computations*
+//! (Pandurangan, Robinson, Scquizzato; SPAA 2018).
+//!
+//! This crate provides:
+//!
+//! * compact CSR representations for undirected ([`CsrGraph`]), directed
+//!   ([`DiGraph`]) and weighted ([`WeightedGraph`]) graphs, using `u32`
+//!   vertex ids throughout;
+//! * the graph generators used by the paper's lower and upper bounds:
+//!   Erdős–Rényi [`generators::gnp()`](generators::gnp()) / [`generators::gnm()`](generators::gnm()) (Theorem 3 uses
+//!   `G(n,1/2)`), Chung–Lu power-law graphs, classic families (stars are the
+//!   paper's congestion worst case for PageRank), and the Figure-1
+//!   lower-bound graph [`generators::lower_bound_h::LowerBoundGraph`];
+//! * the input partition models of Section 1.1: the random vertex partition
+//!   ([`partition::rvp`]) that all results assume, the random edge partition
+//!   ([`partition::rep`]) of footnote 3, and balance diagnostics
+//!   ([`partition::balance`]).
+//!
+//! All randomized constructions take explicit seeds and are deterministic
+//! given the seed, so distributed executions built on top are replayable.
+
+pub mod builder;
+pub mod csr;
+pub mod digraph;
+pub mod generators;
+pub mod ids;
+pub mod partition;
+pub mod properties;
+pub mod subgraph;
+pub mod weighted;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use digraph::DiGraph;
+pub use ids::{Edge, MachineIdx, Triangle, Vertex};
+pub use partition::{Partition, PartitionModel};
+pub use weighted::WeightedGraph;

@@ -1,0 +1,104 @@
+//! Balance diagnostics for partitions.
+//!
+//! Section 1.1: under RVP "each machine is the home machine of `Θ~(n/k)`
+//! vertices with high probability". These statistics make that claim (and
+//! the corresponding edge balance used in Lemma 4.1 of Klauck et al.)
+//! measurable; the `RVP` experiment in EXPERIMENTS.md sweeps them.
+
+use crate::csr::CsrGraph;
+use crate::partition::Partition;
+
+/// Load statistics across machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadStats {
+    /// Largest per-machine load.
+    pub max: usize,
+    /// Smallest per-machine load.
+    pub min: usize,
+    /// Mean load.
+    pub mean: f64,
+    /// `max / mean` — 1.0 is perfectly balanced.
+    pub imbalance: f64,
+}
+
+impl LoadStats {
+    /// Computes stats from raw per-machine loads.
+    pub fn from_loads(loads: &[usize]) -> Self {
+        assert!(!loads.is_empty(), "no machines");
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+        let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+        LoadStats { max, min, mean, imbalance }
+    }
+}
+
+/// Vertex-load statistics of a partition.
+pub fn vertex_balance(part: &Partition) -> LoadStats {
+    LoadStats::from_loads(&part.loads())
+}
+
+/// Edge-load statistics: machine `i`'s load is the total degree of its
+/// hosted vertices (the size of its RVP input, `O~(m/k + Δ)` w.h.p. per
+/// Lemma 4.1 of Klauck et al., quoted in the proof of Theorem 5).
+pub fn edge_balance(g: &CsrGraph, part: &Partition) -> LoadStats {
+    assert_eq!(g.n(), part.n(), "partition size mismatch");
+    let mut loads = vec![0usize; part.k()];
+    for v in g.vertices() {
+        loads[part.home(v)] += g.degree(v);
+    }
+    LoadStats::from_loads(&loads)
+}
+
+/// Verifies the `Θ~(n/k)` RVP balance claim: max load within
+/// `factor · (n/k + slack)` where slack covers small-n noise.
+pub fn is_vertex_balanced(part: &Partition, factor: f64) -> bool {
+    let ideal = part.n() as f64 / part.k() as f64;
+    let slack = (part.n() as f64).ln().max(1.0) * ideal.sqrt().max(1.0);
+    (vertex_balance(part).max as f64) <= factor * ideal + factor * slack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic::star, gnp};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn stats_basics() {
+        let s = LoadStats::from_loads(&[4, 6, 5]);
+        assert_eq!(s.max, 6);
+        assert_eq!(s.min, 4);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.imbalance - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rvp_vertex_balance_holds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for k in [2, 8, 32] {
+            let p = Partition::random_vertex(5000, k, &mut rng);
+            assert!(is_vertex_balanced(&p, 2.0), "k={k}");
+        }
+    }
+
+    #[test]
+    fn star_edge_load_concentrates_at_hub_machine() {
+        let g = star(1000);
+        let p = Partition::by_hash(1000, 10, 3);
+        let s = edge_balance(&g, &p);
+        // Hub machine holds ~n-1 endpoints, others ~n/k.
+        assert!(s.max >= 999);
+        assert!(s.imbalance > 2.0);
+    }
+
+    #[test]
+    fn gnp_edge_load_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = gnp(800, 0.05, &mut rng);
+        let p = Partition::random_vertex(800, 8, &mut rng);
+        let s = edge_balance(&g, &p);
+        assert!(s.imbalance < 1.5, "imbalance={}", s.imbalance);
+    }
+}

@@ -1,0 +1,116 @@
+//! Random-vertex-partition helpers: distributing a concrete graph.
+//!
+//! Under RVP the home machine of `v` learns `v`'s full incident edge list
+//! (for digraphs: the out-edges; Section 1.1). These helpers materialize
+//! exactly that local knowledge, which is what the simulator hands to each
+//! machine as its input `p_i`.
+
+use crate::csr::CsrGraph;
+use crate::digraph::DiGraph;
+use crate::ids::{Edge, MachineIdx, Vertex};
+use crate::partition::Partition;
+
+/// The local input of one machine under RVP: its vertices and, for each,
+/// the incident (out-)edges.
+#[derive(Debug, Clone, Default)]
+pub struct LocalGraph {
+    /// Vertices homed at this machine, ascending.
+    pub vertices: Vec<Vertex>,
+    /// `adjacency[i]` = neighbors (or out-neighbors) of `vertices[i]`.
+    pub adjacency: Vec<Vec<Vertex>>,
+}
+
+impl LocalGraph {
+    /// Total number of incident edge endpoints stored here.
+    pub fn edge_endpoints(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+
+    /// Iterator over `(v, neighbors)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Vertex, &[Vertex])> + '_ {
+        self.vertices
+            .iter()
+            .zip(&self.adjacency)
+            .map(|(&v, ns)| (v, ns.as_slice()))
+    }
+}
+
+/// Splits an undirected graph per the partition: machine `i` receives its
+/// vertices with their full adjacency lists.
+pub fn distribute_undirected(g: &CsrGraph, part: &Partition) -> Vec<LocalGraph> {
+    assert_eq!(g.n(), part.n(), "partition size mismatch");
+    let mut locals = vec![LocalGraph::default(); part.k()];
+    for (i, local) in locals.iter_mut().enumerate() {
+        for &v in part.members(i) {
+            local.vertices.push(v);
+            local.adjacency.push(g.neighbors(v).to_vec());
+        }
+    }
+    locals
+}
+
+/// Splits a digraph per the partition: machine `i` receives its vertices
+/// with their out-adjacency lists.
+pub fn distribute_directed(g: &DiGraph, part: &Partition) -> Vec<LocalGraph> {
+    assert_eq!(g.n(), part.n(), "partition size mismatch");
+    let mut locals = vec![LocalGraph::default(); part.k()];
+    for (i, local) in locals.iter_mut().enumerate() {
+        for &v in part.members(i) {
+            local.vertices.push(v);
+            local.adjacency.push(g.out_neighbors(v).to_vec());
+        }
+    }
+    locals
+}
+
+/// The set of undirected edges *known* to machine `i` under RVP (an edge is
+/// known if either endpoint is homed there). Used by the lower-bound
+/// validators to quantify "initial knowledge".
+pub fn known_edges(g: &CsrGraph, part: &Partition, machine: MachineIdx) -> Vec<Edge> {
+    let mut out = Vec::new();
+    for e in g.edges() {
+        if part.home(e.u) == machine || part.home(e.v) == machine {
+            out.push(e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::star;
+
+    #[test]
+    fn locals_cover_graph_exactly_once() {
+        let g = star(8);
+        let part = Partition::by_hash(8, 3, 7);
+        let locals = distribute_undirected(&g, &part);
+        let total_vertices: usize = locals.iter().map(|l| l.vertices.len()).sum();
+        assert_eq!(total_vertices, 8);
+        let total_endpoints: usize = locals.iter().map(|l| l.edge_endpoints()).sum();
+        assert_eq!(total_endpoints, 2 * g.m());
+    }
+
+    #[test]
+    fn directed_locals_hold_out_edges() {
+        let g = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (3, 0)]);
+        let part = Partition::from_assignment(2, vec![0, 1, 1, 0]);
+        let locals = distribute_directed(&g, &part);
+        let m0 = &locals[0];
+        assert_eq!(m0.vertices, vec![0, 3]);
+        assert_eq!(m0.adjacency[0], vec![1, 2]);
+        assert_eq!(m0.adjacency[1], vec![0]);
+        assert_eq!(locals[1].edge_endpoints(), 0);
+    }
+
+    #[test]
+    fn known_edges_union_is_edge_set() {
+        let g = star(10);
+        let part = Partition::by_hash(10, 4, 1);
+        let mut union: Vec<Edge> = (0..4).flat_map(|i| known_edges(&g, &part, i)).collect();
+        union.sort_unstable();
+        union.dedup();
+        assert_eq!(union.len(), g.m());
+    }
+}

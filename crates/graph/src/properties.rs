@@ -1,0 +1,134 @@
+//! Structural queries: connectivity, components, degree statistics.
+
+use crate::csr::CsrGraph;
+use crate::ids::Vertex;
+
+/// Breadth-first search from `src`; returns the visit order.
+pub fn bfs(g: &CsrGraph, src: Vertex) -> Vec<Vertex> {
+    let mut seen = vec![false; g.n()];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    seen[src as usize] = true;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    if g.n() == 0 {
+        return true;
+    }
+    bfs(g, 0).len() == g.n()
+}
+
+/// Connected component label (smallest representative id) per vertex.
+pub fn components(g: &CsrGraph) -> Vec<Vertex> {
+    let mut label = vec![Vertex::MAX; g.n()];
+    for start in 0..g.n() as Vertex {
+        if label[start as usize] != Vertex::MAX {
+            continue;
+        }
+        for v in bfs(g, start) {
+            label[v as usize] = start;
+        }
+    }
+    label
+}
+
+/// Number of connected components.
+pub fn component_count(g: &CsrGraph) -> usize {
+    let labels = components(g);
+    let mut uniq: Vec<Vertex> = labels;
+    uniq.sort_unstable();
+    uniq.dedup();
+    uniq.len()
+}
+
+/// Summary statistics of the degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree Δ.
+    pub max: usize,
+    /// Mean degree 2m/n.
+    pub mean: f64,
+    /// Number of isolated vertices.
+    pub isolated: usize,
+}
+
+/// Computes [`DegreeStats`] for `g`.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.n();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0;
+    let mut isolated = 0;
+    for v in 0..n as Vertex {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    DegreeStats { min, max, mean: g.degree_sum() as f64 / n as f64, isolated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_components() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)])
+    }
+
+    #[test]
+    fn bfs_order_covers_component() {
+        let g = two_components();
+        let order = bfs(&g, 0);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(!is_connected(&two_components()));
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(is_connected(&g));
+        assert!(is_connected(&CsrGraph::from_edges(0, &[])));
+        assert!(!is_connected(&CsrGraph::from_edges(2, &[])));
+    }
+
+    #[test]
+    fn component_labels() {
+        let g = two_components();
+        let labels = components(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3]);
+        assert_eq!(component_count(&g), 2);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert_eq!(s.isolated, 0);
+
+        let empty = degree_stats(&CsrGraph::from_edges(0, &[]));
+        assert_eq!(empty.max, 0);
+    }
+}

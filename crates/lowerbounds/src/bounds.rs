@@ -1,0 +1,130 @@
+//! The paper's predicted complexity bounds as constant-free shape
+//! functions.
+//!
+//! Experiments plot these curves against measured round counts; the claim
+//! being reproduced is the *shape* (exponents in `n` and `k`, who wins,
+//! crossovers), not absolute constants — `Ω~`/`O~` hide polylog factors.
+
+/// Theorem 2: PageRank needs `Ω~(n/(B·k²))` rounds.
+pub fn pagerank_rounds_lb(n: usize, k: usize, bandwidth_bits: u64) -> f64 {
+    n as f64 / (bandwidth_bits as f64 * (k * k) as f64)
+}
+
+/// Theorem 4: Algorithm 1 runs in `O~(n/k²)` rounds.
+pub fn pagerank_rounds_ub(n: usize, k: usize) -> f64 {
+    n as f64 / (k * k) as f64
+}
+
+/// The Klauck et al. baseline: `O~(n/k)` rounds.
+pub fn pagerank_baseline_rounds(n: usize, k: usize) -> f64 {
+    n as f64 / k as f64
+}
+
+/// Theorem 3: triangle enumeration needs `Ω~(m/(B·k^{5/3}))` rounds on
+/// graphs with `m = Θ(n²)` edges.
+pub fn triangle_rounds_lb(m: usize, k: usize, bandwidth_bits: u64) -> f64 {
+    m as f64 / (bandwidth_bits as f64 * (k as f64).powf(5.0 / 3.0))
+}
+
+/// Theorem 5: the algorithm runs in `O~(m/k^{5/3} + n/k^{4/3})` rounds.
+pub fn triangle_rounds_ub(n: usize, m: usize, k: usize) -> f64 {
+    let kf = k as f64;
+    m as f64 / kf.powf(5.0 / 3.0) + n as f64 / kf.powf(4.0 / 3.0)
+}
+
+/// The general IC-derived bound `Ω~((t/k)^{2/3}/k)` rounds for graphs with
+/// `t` triangles (the form Theorem 3's proof actually derives).
+pub fn triangle_rounds_lb_from_t(t: f64, k: usize, bandwidth_bits: u64) -> f64 {
+    (t / k as f64).powf(2.0 / 3.0) / (k as f64 * bandwidth_bits as f64)
+}
+
+/// Corollary 1: congested-clique triangle enumeration is `Θ~(n^{1/3}/B)`.
+pub fn clique_triangle_rounds(n: usize, bandwidth_bits: u64) -> f64 {
+    (n as f64).powf(1.0 / 3.0) / bandwidth_bits as f64
+}
+
+/// Corollary 2: round-optimal k-machine triangle enumeration exchanges
+/// `Ω~(n²·k^{1/3})` messages.
+pub fn triangle_messages_lb(n: usize, k: usize) -> f64 {
+    (n * n) as f64 * (k as f64).powf(1.0 / 3.0)
+}
+
+/// Corollary 2 (congested clique): `Ω~(n^{7/3})` messages for
+/// `O~(n^{1/3})`-round algorithms.
+pub fn clique_triangle_messages_lb(n: usize) -> f64 {
+    (n as f64).powf(7.0 / 3.0)
+}
+
+/// Section 1.3: distributed sorting is `Θ~(n/k²)` rounds (GLBT lower
+/// bound; sample-sort upper bound).
+pub fn sorting_rounds(n: usize, k: usize) -> f64 {
+    n as f64 / (k * k) as f64
+}
+
+/// Section 1.3 / \[51\]: connectivity and MST are `Θ~(n/k²)` rounds.
+pub fn mst_rounds(n: usize, k: usize) -> f64 {
+    n as f64 / (k * k) as f64
+}
+
+/// Footnote 3: REP→RVP conversion costs `O~(m/k² + n/k)` rounds.
+pub fn rep_conversion_rounds(n: usize, m: usize, k: usize) -> f64 {
+    m as f64 / (k * k) as f64 + n as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pagerank_gap_is_factor_k() {
+        let n = 1 << 20;
+        for k in [4usize, 16, 64] {
+            let ub = pagerank_rounds_ub(n, k);
+            let base = pagerank_baseline_rounds(n, k);
+            assert!((base / ub - k as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn triangle_ub_terms_cross_over() {
+        // Dense: m-term dominates; sparse: n-term dominates.
+        let k = 64;
+        let dense = triangle_rounds_ub(1000, 500_000, k);
+        let m_term = 500_000.0 / (k as f64).powf(5.0 / 3.0);
+        assert!(dense > m_term && dense < 1.5 * m_term);
+        let sparse = triangle_rounds_ub(1_000_000, 2_000_000, k);
+        let n_term = 1_000_000.0 / (k as f64).powf(4.0 / 3.0);
+        assert!(sparse > n_term);
+    }
+
+    #[test]
+    fn lower_bounds_below_upper_bounds() {
+        let (n, k, b) = (1 << 16, 32, 256);
+        let m = n * n / 4;
+        assert!(pagerank_rounds_lb(n, k, b) <= pagerank_rounds_ub(n, k));
+        assert!(triangle_rounds_lb(m, k, b) <= triangle_rounds_ub(n, m, k));
+    }
+
+    #[test]
+    fn t_form_matches_dense_form() {
+        // t = Θ(n³) gives IC form Θ(n²/k^{2/3}), matching m/k^{5/3} up to B.
+        let n = 1024usize;
+        let k = 64;
+        let t = (n as f64).powi(3) / 6.0;
+        let from_t = triangle_rounds_lb_from_t(t, k, 1);
+        let dense = triangle_rounds_lb(n * n, k, 1);
+        let ratio = from_t / dense;
+        assert!(ratio > 0.05 && ratio < 20.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn clique_bound_is_cuberoot() {
+        assert!((clique_triangle_rounds(1_000_000, 1) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn message_bound_grows_with_k() {
+        assert!(triangle_messages_lb(1000, 64) > triangle_messages_lb(1000, 8));
+        assert!((clique_triangle_messages_lb(128) - (128f64).powf(7.0 / 3.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,111 @@
+//! Information-theoretic primitives (Section 2.2's toolbox).
+
+/// Surprisal (self-information) of an event with probability `p`:
+/// `log₂(1/p)` — the paper's measure of "amount of surprise" (Section 2.1).
+///
+/// # Panics
+/// Panics unless `0 < p ≤ 1`.
+pub fn surprisal(p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "probability out of (0,1]: {p}");
+    -p.log2()
+}
+
+/// Binary entropy `H(p)` in bits.
+pub fn binary_entropy(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of [0,1]: {p}");
+    if p == 0.0 || p == 1.0 {
+        return 0.0;
+    }
+    -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+}
+
+/// Shannon entropy (bits) of an empirical distribution given by counts.
+pub fn entropy_from_counts(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / t;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Mutual information `I[X;Y] = H(X) + H(Y) − H(X,Y)` (bits) from a joint
+/// count matrix (`joint[x][y]`).
+pub fn mutual_information(joint: &[Vec<u64>]) -> f64 {
+    let rows = joint.len();
+    let cols = joint.first().map_or(0, Vec::len);
+    let mut row_counts = vec![0u64; rows];
+    let mut col_counts = vec![0u64; cols];
+    let mut flat = Vec::with_capacity(rows * cols);
+    for (x, row) in joint.iter().enumerate() {
+        assert_eq!(row.len(), cols, "ragged joint matrix");
+        for (y, &c) in row.iter().enumerate() {
+            row_counts[x] += c;
+            col_counts[y] += c;
+            flat.push(c);
+        }
+    }
+    entropy_from_counts(&row_counts) + entropy_from_counts(&col_counts)
+        - entropy_from_counts(&flat)
+}
+
+/// Entropy of a uniform distribution over `m` outcomes: `log₂ m`.
+pub fn uniform_entropy(m: u64) -> f64 {
+    assert!(m > 0, "need at least one outcome");
+    (m as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surprisal_of_coin_flip() {
+        assert!((surprisal(0.5) - 1.0).abs() < 1e-12);
+        assert!((surprisal(0.25) - 2.0).abs() < 1e-12);
+        assert_eq!(surprisal(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn surprisal_rejects_zero() {
+        let _ = surprisal(0.0);
+    }
+
+    #[test]
+    fn binary_entropy_extremes_and_peak() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!(binary_entropy(0.1) < binary_entropy(0.3));
+    }
+
+    #[test]
+    fn empirical_entropy_uniform_and_point() {
+        assert!((entropy_from_counts(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+        assert_eq!(entropy_from_counts(&[7, 0, 0]), 0.0);
+        assert_eq!(entropy_from_counts(&[]), 0.0);
+    }
+
+    #[test]
+    fn mi_of_independent_and_identical() {
+        // Independent fair bits: I = 0.
+        let indep = vec![vec![25, 25], vec![25, 25]];
+        assert!(mutual_information(&indep).abs() < 1e-12);
+        // Perfectly correlated bits: I = 1.
+        let ident = vec![vec![50, 0], vec![0, 50]];
+        assert!((mutual_information(&ident) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_entropy_is_log() {
+        assert!((uniform_entropy(1024) - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! The General Lower Bound Theorem (Theorem 1) as an executable
+//! calculator.
+//!
+//! The theorem: if for a `(1 − ε − n^{−Ω(1)})`-fraction of (partition,
+//! randomness) pairs some machine satisfies
+//!
+//! * Premise 1: `Pr[Z = z | p_i, r] ≤ 2^{−(H[Z] − o(IC))}` (little initial
+//!   knowledge of `Z`), and
+//! * Premise 2: `Pr[Z = z | A_i(p,r), p_i, r] ≥ 2^{−(H[Z] − IC)}` (the
+//!   output pins `Z` down to `IC` fewer bits of surprisal),
+//!
+//! then `T = Ω(IC / Bk)`. The engine of the proof is **Lemma 3**: over `T`
+//! rounds a machine's `k−1` links can deliver at most `(B+1)(k−1)T` bits
+//! of transcript entropy, so any machine that must *learn* `IC` bits
+//! forces `T ≥ IC / ((B+1)(k−1))`.
+
+use km_core::Metrics;
+
+/// A concrete instantiation of Theorem 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlbtBound {
+    /// The information cost `IC` in bits.
+    pub ic: f64,
+    /// Per-link bandwidth `B` in bits/round.
+    pub bandwidth_bits: u64,
+    /// Number of machines `k`.
+    pub k: usize,
+}
+
+impl GlbtBound {
+    /// Builds an instance; `ic` must be positive.
+    pub fn new(ic: f64, bandwidth_bits: u64, k: usize) -> Self {
+        assert!(ic > 0.0, "information cost must be positive");
+        assert!(k >= 2, "the theorem needs at least 2 machines");
+        GlbtBound { ic, bandwidth_bits, k }
+    }
+
+    /// The round lower bound `T ≥ IC / ((B+1)(k−1))` — Equation (3) with
+    /// Lemma 3's exact constant.
+    pub fn round_lower_bound(&self) -> f64 {
+        self.ic / ((self.bandwidth_bits as f64 + 1.0) * (self.k as f64 - 1.0))
+    }
+
+    /// Lemma 3's transcript capacity: the maximum entropy (bits) a
+    /// machine's transcript can carry in `t` rounds.
+    pub fn transcript_capacity(&self, t: u64) -> f64 {
+        (self.bandwidth_bits as f64 + 1.0) * (self.k as f64 - 1.0) * t as f64
+    }
+
+    /// Checks the theorem's conclusion against a measured run: the run's
+    /// round count must be at least the lower bound (sanity: no correct
+    /// algorithm we execute may beat the theorem).
+    pub fn is_respected_by(&self, metrics: &Metrics) -> bool {
+        (metrics.rounds as f64) >= self.round_lower_bound().floor()
+    }
+
+    /// Checks the *premise machinery* against a run: if some machine must
+    /// end up knowing `IC` bits about `Z`, then some machine's received
+    /// bits must be at least `IC` (its transcript is its only source of
+    /// information beyond its input).
+    pub fn transcript_explains_ic(&self, metrics: &Metrics) -> bool {
+        metrics.max_recv_bits() as f64 >= self.ic
+    }
+}
+
+/// Premise-2-style surprisal change: how many bits of surprisal about `Z`
+/// the output removed, given prior and posterior probabilities of the
+/// realized `z`.
+///
+/// # Panics
+/// Panics unless `0 < prior ≤ posterior ≤ 1`.
+pub fn surprisal_reduction(prior: f64, posterior: f64) -> f64 {
+    assert!(prior > 0.0 && posterior >= prior && posterior <= 1.0, "need 0 < prior ≤ posterior ≤ 1");
+    crate::entropy::surprisal(prior) - crate::entropy::surprisal(posterior)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_bound_shape() {
+        let b = GlbtBound::new(1_000_000.0, 99, 11);
+        // IC/((B+1)(k−1)) = 10^6/(100·10) = 1000.
+        assert!((b.round_lower_bound() - 1000.0).abs() < 1e-9);
+        assert!((b.transcript_capacity(1000) - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_scales_inversely_with_k_and_b() {
+        let base = GlbtBound::new(1e6, 64, 8).round_lower_bound();
+        assert!(GlbtBound::new(1e6, 128, 8).round_lower_bound() < base);
+        assert!(GlbtBound::new(1e6, 64, 16).round_lower_bound() < base);
+        assert!(GlbtBound::new(2e6, 64, 8).round_lower_bound() > base);
+    }
+
+    #[test]
+    fn respected_by_measured_runs() {
+        let b = GlbtBound::new(640.0, 63, 3);
+        let mut m = Metrics::new(3);
+        m.rounds = 5; // 640/(64·2) = 5
+        assert!(b.is_respected_by(&m));
+        m.rounds = 4;
+        assert!(!b.is_respected_by(&m));
+    }
+
+    #[test]
+    fn transcript_check() {
+        let b = GlbtBound::new(100.0, 64, 4);
+        let mut m = Metrics::new(4);
+        m.recv_bits = vec![10, 150, 20, 0];
+        assert!(b.transcript_explains_ic(&m));
+        m.recv_bits = vec![10, 90, 20, 0];
+        assert!(!b.transcript_explains_ic(&m));
+    }
+
+    #[test]
+    fn surprisal_reduction_in_bits() {
+        // Prior 2^-10, posterior 2^-4: 6 bits learned.
+        let r = surprisal_reduction(2f64.powi(-10), 2f64.powi(-4));
+        assert!((r - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn needs_two_machines() {
+        let _ = GlbtBound::new(1.0, 8, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Joining predicted information costs with measured transcripts.
+//!
+//! The GLBT experiment row: for an instrumented run, compare (a) the
+//! predicted `IC`, (b) the busiest machine's measured received bits
+//! (its transcript `Π_i`, the quantity Premise 2 forces to be ≥ IC), and
+//! (c) the Lemma 3 capacity `(B+1)(k−1)T` of the observed run — the chain
+//! `IC ≤ max|Π_i| ≤ (B+1)(k−1)T` is exactly how Theorem 1 forces `T` up.
+
+use crate::glbt::GlbtBound;
+use km_core::Metrics;
+use serde::Serialize;
+
+/// One GLBT validation row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct InfoCostReport {
+    /// Predicted information cost (bits).
+    pub ic_predicted: f64,
+    /// Measured `max_i |Π_i|` (bits received by the busiest machine).
+    pub max_transcript_bits: u64,
+    /// Lemma 3 capacity of the observed run: `(B+1)(k−1)·rounds`.
+    pub lemma3_capacity: f64,
+    /// Observed rounds.
+    pub rounds: u64,
+    /// The theorem's round lower bound `IC/((B+1)(k−1))`.
+    pub round_lower_bound: f64,
+}
+
+impl InfoCostReport {
+    /// Builds the report from a run's metrics and a GLBT instance.
+    pub fn from_run(metrics: &Metrics, bound: &GlbtBound) -> Self {
+        InfoCostReport {
+            ic_predicted: bound.ic,
+            max_transcript_bits: metrics.max_recv_bits(),
+            lemma3_capacity: bound.transcript_capacity(metrics.rounds),
+            rounds: metrics.rounds,
+            round_lower_bound: bound.round_lower_bound(),
+        }
+    }
+
+    /// The Theorem 1 chain `IC ≤ (B+1)(k−1)·T` must hold on any correct
+    /// run (the transcript inequality `max|Π_i| ≤ capacity` is structural).
+    pub fn chain_holds(&self) -> bool {
+        self.max_transcript_bits as f64 <= self.lemma3_capacity + 1e-9
+            && self.rounds as f64 >= self.round_lower_bound.floor()
+    }
+
+    /// How many of the predicted IC bits the busiest transcript actually
+    /// carried (≥ 1.0 means the algorithm indeed moved IC bits; ≪ 1.0
+    /// would indicate the prediction overshoots for this instance).
+    pub fn transcript_to_ic_ratio(&self) -> f64 {
+        self.max_transcript_bits as f64 / self.ic_predicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(rounds: u64, recv: Vec<u64>) -> Metrics {
+        let mut m = Metrics::new(recv.len());
+        m.rounds = rounds;
+        m.recv_bits = recv;
+        m
+    }
+
+    #[test]
+    fn chain_detects_consistency() {
+        let bound = GlbtBound::new(1000.0, 99, 11);
+        // 1000/(100·10) = 1 round minimum.
+        let ok = metrics(5, vec![0, 2000, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let report = InfoCostReport::from_run(&ok, &bound);
+        assert!(report.chain_holds());
+        assert!((report.transcript_to_ic_ratio() - 2.0).abs() < 1e-12);
+        // Transcript exceeding Lemma 3 capacity is impossible → flagged.
+        let bad = metrics(1, vec![0, 2000, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let report = InfoCostReport::from_run(&bad, &bound);
+        assert!(!report.chain_holds());
+    }
+
+    #[test]
+    fn report_carries_run_shape() {
+        let bound = GlbtBound::new(640.0, 63, 3);
+        let m = metrics(7, vec![100, 50, 640]);
+        let r = InfoCostReport::from_run(&m, &bound);
+        assert_eq!(r.rounds, 7);
+        assert_eq!(r.max_transcript_bits, 640);
+        assert!((r.lemma3_capacity - 64.0 * 2.0 * 7.0).abs() < 1e-9);
+        assert!((r.round_lower_bound - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! # km-lower
+//!
+//! The **General Lower Bound Theorem** (Theorem 1) machinery and its
+//! instantiations.
+//!
+//! Theorem 1 relates round complexity to *information cost*: if on a
+//! `(1−ε−n^{−Ω(1)})`-fraction of inputs some machine's output lowers the
+//! surprisal of a random variable `Z` by `IC` bits relative to its initial
+//! knowledge (Premises 1 and 2), then `T = Ω(IC/Bk)`. The proof's bridge
+//! is Lemma 3: a machine's transcript over `T` rounds takes at most
+//! `2^{(B+1)(k−1)T}` values, so its entropy — hence the information it can
+//! deliver — is at most `(B+1)(k−1)T` bits.
+//!
+//! Modules:
+//!
+//! * [`entropy`] — Shannon entropy, surprisal, mutual information (the
+//!   quantities the proof manipulates), computed from empirical counts;
+//! * [`glbt`] — the theorem itself as a calculator: IC → round lower
+//!   bound, plus the Lemma 3 transcript-capacity bound and premise checks
+//!   against measured [`km_core::Metrics`];
+//! * [`bounds`] — the paper's concrete predicted bounds (Theorems 2, 3,
+//!   Corollaries 1, 2, and the sorting/MST applications of Section 1.3)
+//!   as constant-free shape functions for the experiment tables;
+//! * [`pagerank_lb`] — the Theorem 2 instantiation on the Figure-1 graph;
+//! * [`triangle_lb`] — the Theorem 3 instantiation on `G(n, 1/2)`,
+//!   including Rivin's `Ω(ℓ^{2/3})` edges-for-ℓ-triangles bound;
+//! * [`rodl_rucinski`] — the Proposition 2 concentration bound, validated
+//!   empirically;
+//! * [`infocost`] — joins measured transcripts with predicted IC into the
+//!   reports the GLBT experiment prints.
+
+pub mod bounds;
+pub mod entropy;
+pub mod glbt;
+pub mod infocost;
+pub mod pagerank_lb;
+pub mod rodl_rucinski;
+pub mod triangle_lb;
+
+pub use glbt::GlbtBound;
+pub use infocost::InfoCostReport;

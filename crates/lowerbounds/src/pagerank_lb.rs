@@ -1,0 +1,142 @@
+//! Theorem 2: the `Ω~(n/(B·k²))` PageRank lower bound, instantiated.
+//!
+//! `Z` is the set of pairs `{(b_i, v_i)}`: the secret orientation bits
+//! matched with the (random-ID-obfuscated) output vertices. The proof
+//! shows
+//!
+//! * Lemma 5: RVP initially reveals only `O(n·log n / k²)` weakly
+//!   connected `x–u–t–v` paths to any machine, so (Lemma 7) every machine
+//!   starts `≈ m/4` bits short of `Z`;
+//! * Lemma 8: a machine outputting `m/4k` PageRank values of `V`-vertices
+//!   can reconstruct that many `(b_i, v_i)` pairs, closing `IC = m/4k`
+//!   bits of surprisal.
+//!
+//! Theorem 1 then yields `T = Ω(m/4k / Bk) = Ω~(n/Bk²)`.
+
+use crate::glbt::GlbtBound;
+use km_graph::generators::lower_bound_h::LowerBoundGraph;
+use km_graph::{MachineIdx, Partition};
+
+/// `H[Z]`-scale quantities of the Theorem 2 construction on `H(n)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PagerankLb {
+    /// Number of vertices `n = 4q + 1`.
+    pub n: usize,
+    /// Number of machines.
+    pub k: usize,
+    /// `q = m/4`: the number of secret bits (entropy of the orientation
+    /// part of `Z`).
+    pub secret_bits: usize,
+    /// The information cost `IC = m/4k` of Lemma 8.
+    pub ic: f64,
+}
+
+impl PagerankLb {
+    /// Instantiates the bound for an `H` graph on (approximately) `n`
+    /// vertices and `k` machines.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k >= 2, "need k ≥ 2");
+        let q = (n - 1) / 4;
+        let n = 4 * q + 1;
+        PagerankLb { n, k, secret_bits: q, ic: q as f64 / k as f64 }
+    }
+
+    /// The Theorem 1 instance (IC = m/4k).
+    pub fn glbt(&self, bandwidth_bits: u64) -> GlbtBound {
+        GlbtBound::new(self.ic, bandwidth_bits, self.k)
+    }
+
+    /// The round lower bound `Ω(n/(B·k²))` (exact Lemma 3 constant).
+    pub fn round_lower_bound(&self, bandwidth_bits: u64) -> f64 {
+        self.glbt(bandwidth_bits).round_lower_bound()
+    }
+}
+
+/// Lemma 5 (empirical side): the number of weakly connected
+/// `x_i–u_i–t_i–v_i` paths machine `i` can discover from its RVP share —
+/// it learns path `i` iff it holds `{x_i, t_i}` or `{u_i, v_i}` (those two
+/// co-locations reveal the orientation and the matching output vertex).
+pub fn paths_known_initially(h: &LowerBoundGraph, part: &Partition, machine: MachineIdx) -> usize {
+    (0..h.quarter)
+        .filter(|&i| {
+            let (x, u, t, v) = (
+                h.x_vertex(i),
+                h.u_vertex(i),
+                h.t_vertex(i),
+                h.v_vertex(i),
+            );
+            let at = |w| part.home(w) == machine;
+            (at(x) && at(t)) || (at(u) && at(v))
+        })
+        .count()
+}
+
+/// The Lemma 5 claim: w.h.p. every machine knows only
+/// `O(n·log n / k²)` paths initially. Returns the max over machines,
+/// to be compared against `bound_factor · (q·log n / k²  + 1)`.
+pub fn max_paths_known(h: &LowerBoundGraph, part: &Partition) -> usize {
+    (0..part.k())
+        .map(|i| paths_known_initially(h, part, i))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ic_scales_as_n_over_k() {
+        let lb = PagerankLb::new(4001, 10);
+        assert_eq!(lb.secret_bits, 1000);
+        assert!((lb.ic - 100.0).abs() < 1e-12);
+        // Round LB = IC/((B+1)(k−1)) = 100/(65·9).
+        let t = lb.round_lower_bound(64);
+        assert!((t - 100.0 / (65.0 * 9.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_bound_quadratic_in_k() {
+        let n = 16_001;
+        let b = 64;
+        let t4 = PagerankLb::new(n, 4).round_lower_bound(b);
+        let t8 = PagerankLb::new(n, 8).round_lower_bound(b);
+        // (B+1)(k−1)·k scaling: roughly 4x between k and 2k.
+        let ratio = t4 / t8;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn lemma5_paths_concentrate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let h = LowerBoundGraph::random(8001, &mut rng);
+        let n = h.n();
+        for k in [4usize, 8, 16] {
+            let part = Partition::random_vertex(n, k, &mut rng);
+            let max = max_paths_known(&h, &part) as f64;
+            // Expected per machine: 2q/k² (two co-location patterns).
+            let expected = 2.0 * h.quarter as f64 / (k * k) as f64;
+            let logn = (n as f64).ln();
+            assert!(
+                max <= 4.0 * expected + 4.0 * logn,
+                "k={k}: max {max}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_detection_matches_colocations() {
+        let h = LowerBoundGraph::new(vec![true, false]);
+        // n = 9: x0 x1 | u0 u1 | t0 t1 | v0 v1 | w.
+        // Machine 0 gets {x0, t0} -> knows path 0.
+        let mut assign = vec![1; 9];
+        assign[h.x_vertex(0) as usize] = 0;
+        assign[h.t_vertex(0) as usize] = 0;
+        let part = Partition::from_assignment(2, assign);
+        assert_eq!(paths_known_initially(&h, &part, 0), 1);
+        // Machine 1 holds everything else: path 1 fully, plus {u0, v0}.
+        assert_eq!(paths_known_initially(&h, &part, 1), 2);
+    }
+}

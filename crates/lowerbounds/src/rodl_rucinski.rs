@@ -1,0 +1,127 @@
+//! Proposition 2 (Rödl–Ruciński): induced-edge concentration.
+//!
+//! For a graph with `m < ηn²` edges and a uniformly random `t`-subset `R`
+//! with `t ≥ 1/3η`: `Pr[e(G[R]) > 3ηt²] < t·e^{−ct}`. The proof of
+//! Theorem 5 uses it (with `η = 2m/n²` in the dense case and `η = 1/3t`
+//! in the sparse case) to bound the edges any triplet machine receives —
+//! a Chernoff bound does *not* apply because induced edges are not
+//! independent (footnote 13).
+
+use km_graph::subgraph::{induced_edge_count, random_vertex_subset};
+use km_graph::CsrGraph;
+use rand::Rng;
+
+/// The `η` used by the Theorem 5 analysis for subset size `t`:
+/// `max(2m/n², 1/3t)` (dense case / sparse case).
+pub fn eta_for(g: &CsrGraph, t: usize) -> f64 {
+    assert!(t > 0, "need a nonempty subset");
+    let n = g.n() as f64;
+    let dense = 2.0 * g.m() as f64 / (n * n);
+    let sparse = 1.0 / (3.0 * t as f64);
+    dense.max(sparse)
+}
+
+/// The Proposition 2 threshold `3ηt²`.
+pub fn induced_edge_bound(g: &CsrGraph, t: usize) -> f64 {
+    3.0 * eta_for(g, t) * (t * t) as f64
+}
+
+/// Samples `trials` random `t`-subsets and returns the fraction whose
+/// induced edge count exceeds `3ηt²` (should be ≈ 0 per Proposition 2).
+pub fn violation_rate<R: Rng>(g: &CsrGraph, t: usize, trials: usize, rng: &mut R) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let bound = induced_edge_bound(g, t);
+    let mut violations = 0usize;
+    for _ in 0..trials {
+        let subset = random_vertex_subset(g, t, rng);
+        if (induced_edge_count(g, &subset) as f64) > bound {
+            violations += 1;
+        }
+    }
+    violations as f64 / trials as f64
+}
+
+/// The mean induced edge count over `trials` random `t`-subsets
+/// (for the P2 experiment table; expectation is `m·t(t−1)/(n(n−1))`).
+pub fn mean_induced_edges<R: Rng>(g: &CsrGraph, t: usize, trials: usize, rng: &mut R) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let total: usize = (0..trials)
+        .map(|_| {
+            let subset = random_vertex_subset(g, t, rng);
+            induced_edge_count(g, &subset)
+        })
+        .sum();
+    total as f64 / trials as f64
+}
+
+/// Exact expectation of `e(G[R])` for a uniform `t`-subset:
+/// `m · t(t−1) / (n(n−1))`.
+pub fn expected_induced_edges(g: &CsrGraph, t: usize) -> f64 {
+    let n = g.n() as f64;
+    if g.n() < 2 {
+        return 0.0;
+    }
+    g.m() as f64 * (t as f64) * (t as f64 - 1.0) / (n * (n - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use km_graph::generators::{classic, gnp};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn eta_switches_between_regimes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let dense = gnp(100, 0.5, &mut rng);
+        // Dense: 2m/n² ≈ 0.5 dominates 1/3t for t = 20.
+        assert!((eta_for(&dense, 20) - 2.0 * dense.m() as f64 / 10_000.0).abs() < 1e-12);
+        let sparse = classic::path(100);
+        // Sparse (m=99, 2m/n² ≈ 0.020): 1/3t dominates for t = 10.
+        assert!((eta_for(&sparse, 10) - 1.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_violations_on_gnp() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = gnp(300, 0.4, &mut rng);
+        for t in [20usize, 60, 120] {
+            let rate = violation_rate(&g, t, 200, &mut rng);
+            assert_eq!(rate, 0.0, "t={t}");
+        }
+    }
+
+    #[test]
+    fn mean_matches_expectation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = gnp(200, 0.3, &mut rng);
+        let t = 50;
+        let mean = mean_induced_edges(&g, t, 400, &mut rng);
+        let expect = expected_induced_edges(&g, t);
+        assert!(
+            (mean - expect).abs() < 0.1 * expect,
+            "mean {mean} vs expectation {expect}"
+        );
+    }
+
+    #[test]
+    fn bound_exceeds_expectation_by_constant_factor() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g = gnp(200, 0.5, &mut rng);
+        let t = 40;
+        // 3ηt² = 6·m/n²·t² ≈ 6·E[e(G[R])] — a comfortable margin.
+        assert!(induced_edge_bound(&g, t) > 3.0 * expected_induced_edges(&g, t));
+    }
+
+    #[test]
+    fn complete_graph_edge_case() {
+        // K_n: every t-subset induces exactly C(t,2); bound must hold.
+        let g = classic::complete(50);
+        let t = 20;
+        let induced = (t * (t - 1) / 2) as f64;
+        assert!(induced <= induced_edge_bound(&g, t));
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(violation_rate(&g, t, 50, &mut rng), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Theorem 3: the `Ω~(m/(B·k^{5/3}))` triangle-enumeration lower bound.
+//!
+//! `Z` is the characteristic vector of the edges of `G ~ G(n, 1/2)`
+//! (`H[Z] = C(n,2)` bits). The proof:
+//!
+//! * Lemma 10: each machine's RVP share reveals only `O(n²·log n/k)`
+//!   edges, so its prior on `Z` stays within `2^{−(C(n,2) − O(n²log n/k))}`;
+//! * Lemma 11: the machine outputting `t/k` of the `t = Θ(n³)` triangles
+//!   pins down `Ω((t/k)^{2/3})` *previously unknown* edges — Rivin's bound
+//!   that `ℓ` triangles need `Ω(ℓ^{2/3})` distinct edges;
+//! * Theorem 1 with `IC = Θ(n²/k^{2/3})` gives `T = Ω~(n²/(B·k^{5/3}))`.
+
+use crate::glbt::GlbtBound;
+use km_graph::ids::Triangle;
+
+/// Rivin's bound: `ℓ` distinct triangles require at least
+/// `Ω(ℓ^{2/3})` distinct edges (Equation (10) of \[60\]); here with the
+/// Kruskal–Katona constant: a set of `e` edges spans at most
+/// `(√2/6)·e^{3/2} ≤ e^{3/2}` triangles, so `ℓ` triangles need
+/// `≥ ℓ^{2/3}` edges (up to the constant we drop).
+pub fn edges_needed_for_triangles(triangles: f64) -> f64 {
+    if triangles <= 0.0 {
+        return 0.0;
+    }
+    triangles.powf(2.0 / 3.0)
+}
+
+/// Counts the exact number of distinct edges used by a triangle list
+/// (the empirical side of Rivin's bound).
+pub fn distinct_edges(triangles: &[Triangle]) -> usize {
+    let mut edges: Vec<(u32, u32)> = triangles
+        .iter()
+        .flat_map(|t| t.edges().into_iter().map(|e| (e.u, e.v)))
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    edges.len()
+}
+
+/// The Theorem 3 instantiation for `G(n, 1/2)` on `k` machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangleLb {
+    /// Vertices.
+    pub n: usize,
+    /// Machines.
+    pub k: usize,
+    /// Expected triangle count `t = C(n,3)/8`.
+    pub t: f64,
+    /// `IC = Ω((t/k)^{2/3})` — the surprisal closed by the busiest
+    /// machine's output (Lemma 11).
+    pub ic: f64,
+}
+
+impl TriangleLb {
+    /// Builds the instance.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k >= 2, "need k ≥ 2");
+        let nf = n as f64;
+        let t = nf * (nf - 1.0) * (nf - 2.0) / 6.0 / 8.0;
+        let ic = (t / k as f64).powf(2.0 / 3.0);
+        TriangleLb { n, k, t, ic }
+    }
+
+    /// The Theorem 1 instance.
+    pub fn glbt(&self, bandwidth_bits: u64) -> GlbtBound {
+        GlbtBound::new(self.ic, bandwidth_bits, self.k)
+    }
+
+    /// The round lower bound `Ω~(n²/(B·k^{5/3}))`.
+    pub fn round_lower_bound(&self, bandwidth_bits: u64) -> f64 {
+        self.glbt(bandwidth_bits).round_lower_bound()
+    }
+
+    /// Corollary 2's message bound for round-optimal algorithms:
+    /// every machine must receive `Ω~(IC)` bits ⇒ `Ω~(k·IC)` messages of
+    /// `O(log n)` bits, i.e. `Ω~(n²·k^{1/3})`.
+    pub fn message_lower_bound(&self) -> f64 {
+        self.k as f64 * self.ic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use km_graph::generators::gnp;
+    use km_triangle::seq::enumerate_triangles;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rivin_bound_holds_empirically() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for (n, p) in [(30usize, 0.5), (40, 0.3), (25, 0.8)] {
+            let g = gnp(n, p, &mut rng);
+            let ts = enumerate_triangles(&g);
+            if ts.is_empty() {
+                continue;
+            }
+            let needed = edges_needed_for_triangles(ts.len() as f64);
+            let used = distinct_edges(&ts) as f64;
+            assert!(
+                used >= needed,
+                "n={n} p={p}: {used} edges for {} triangles (bound {needed})",
+                ts.len()
+            );
+        }
+        assert_eq!(edges_needed_for_triangles(0.0), 0.0);
+    }
+
+    #[test]
+    fn distinct_edge_counting() {
+        let ts = vec![Triangle::new(0, 1, 2), Triangle::new(1, 2, 3)];
+        assert_eq!(distinct_edges(&ts), 5); // edge {1,2} shared
+    }
+
+    #[test]
+    fn ic_scales_as_n_squared_over_k23() {
+        let lb = TriangleLb::new(512, 8);
+        let expected = (lb.t / 8.0).powf(2.0 / 3.0);
+        assert!((lb.ic - expected).abs() < 1e-6);
+        // IC ≈ (n³/48k)^{2/3} = Θ(n²/k^{2/3}).
+        let n2_scale = (512f64 * 512.0) / 8f64.powf(2.0 / 3.0);
+        let ratio = lb.ic / n2_scale;
+        assert!(ratio > 0.05 && ratio < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn round_bound_k_to_the_five_thirds() {
+        let b = 64;
+        let t8 = TriangleLb::new(1024, 8).round_lower_bound(b);
+        let t64 = TriangleLb::new(1024, 64).round_lower_bound(b);
+        // Ratio should be ≈ 8^{5/3} = 32.
+        let ratio = t8 / t64;
+        assert!(ratio > 20.0 && ratio < 50.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn message_bound_shape() {
+        let lb = TriangleLb::new(256, 27);
+        let expected = 27.0 * lb.ic;
+        assert!((lb.message_lower_bound() - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,501 @@
+//! # km-mst — connectivity and minimum spanning forests in the k-machine
+//! model.
+//!
+//! Section 1.3 uses MST as a showcase of the General Lower Bound Theorem:
+//! on complete graphs with random edge weights the GLBT gives `Ω~(n/k²)`
+//! rounds directly (footnote 6), tight by the algorithm of Pandurangan,
+//! Robinson & Scquizzato [SPAA 2016]. This crate provides
+//!
+//! * [`kruskal`] — the sequential oracle;
+//! * [`BoruvkaMst`] — a distributed Borůvka protocol using the paper's
+//!   **randomized proxy computation**: per-component minimum candidate
+//!   edges are aggregated at a hash-chosen proxy machine (`O~(n/k²)`
+//!   rounds per phase by Lemma 13), and the chosen edges are broadcast so
+//!   every machine applies the identical contraction locally.
+//!
+//! Scope note (recorded in DESIGN.md): the choice broadcast makes this
+//! implementation `O~(n/k)` over its `O(log n)` phases, matching the
+//! *simple* upper bound; the optimal `O~(n/k²)` of \[51\] additionally
+//! needs AGM graph sketches, which are out of scope for this
+//! reproduction. The GLBT lower-bound side (`km_lower::bounds::mst_rounds`)
+//! is what the paper contributes.
+
+pub mod sketch;
+
+use km_core::{
+    id_bits, Envelope, NetConfig, Outbox, Protocol, RoundCtx, SequentialEngine, Status, WireSize,
+};
+use km_core::rng::keyed_hash;
+use km_graph::{Edge, Partition, Vertex, WeightedGraph};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Sequential Kruskal oracle; returns the minimum spanning forest edges
+/// (canonical order) and the total weight.
+pub fn kruskal(g: &WeightedGraph) -> (Vec<Edge>, f64) {
+    let mut edges: Vec<(Edge, f64)> = g.weighted_edges().collect();
+    // Deterministic total order: weight, then endpoints.
+    edges.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("finite weights")
+            .then(a.0.cmp(&b.0))
+    });
+    let mut parent: Vec<u32> = (0..g.n() as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut out = Vec::new();
+    let mut total = 0.0;
+    for (e, w) in edges {
+        let (ru, rv) = (find(&mut parent, e.u), find(&mut parent, e.v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+            out.push(e);
+            total += w;
+        }
+    }
+    out.sort_unstable();
+    (out, total)
+}
+
+/// A candidate or chosen MST edge with its weight, ordered by
+/// `(weight, edge)` for deterministic tie-breaking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cand {
+    w: f64,
+    e: Edge,
+}
+
+impl Cand {
+    fn better_than(&self, other: &Cand) -> bool {
+        match self.w.partial_cmp(&other.w).expect("finite weights") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.e < other.e,
+        }
+    }
+}
+
+/// Message of the Borůvka protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MstPayload {
+    /// A per-component candidate `(component, edge, weight)` on its way
+    /// to the component's proxy.
+    Candidate {
+        /// Component label.
+        comp: Vertex,
+        /// The candidate edge.
+        e: Edge,
+        /// Its weight.
+        w: f64,
+    },
+    /// A chosen minimum edge, broadcast by a proxy.
+    Chosen {
+        /// The chosen edge.
+        e: Edge,
+        /// Its weight.
+        w: f64,
+    },
+    /// Barrier marker carrying the number of candidates the sender
+    /// produced this phase (global zero ⇒ the forest is complete).
+    Flush {
+        /// Candidates produced by the sender in this phase.
+        produced: u64,
+    },
+}
+
+/// A parity-tagged Borůvka message (two barriers per phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MstMsg {
+    /// Barrier counter parity.
+    pub parity: bool,
+    /// The payload.
+    pub payload: MstPayload,
+    bits: u32,
+}
+
+impl WireSize for MstMsg {
+    fn bits(&self) -> u64 {
+        self.bits as u64
+    }
+}
+
+impl MstMsg {
+    fn candidate(n: usize, parity: bool, comp: Vertex, e: Edge, w: f64) -> Self {
+        let bits = (2 + 3 * id_bits(n) + 64) as u32;
+        MstMsg { parity, payload: MstPayload::Candidate { comp, e, w }, bits }
+    }
+    fn chosen(n: usize, parity: bool, e: Edge, w: f64) -> Self {
+        let bits = (2 + 2 * id_bits(n) + 64) as u32;
+        MstMsg { parity, payload: MstPayload::Chosen { e, w }, bits }
+    }
+    fn flush(parity: bool, produced: u64) -> Self {
+        MstMsg { parity, payload: MstPayload::Flush { produced }, bits: 2 + 32 }
+    }
+}
+
+/// Which half of a Borůvka phase the machine is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Half {
+    /// Candidates sent, waiting for the candidate barrier.
+    Gather,
+    /// Choices broadcast, waiting for the choice barrier.
+    Scatter,
+}
+
+/// One machine of the distributed Borůvka protocol.
+#[derive(Debug)]
+pub struct BoruvkaMst {
+    n: usize,
+    vertices: Vec<Vertex>,
+    adjacency: Vec<Vec<(Vertex, f64)>>,
+    /// Component label of every vertex (identical on all machines: it is
+    /// a deterministic function of the broadcast choice sets).
+    labels: Vec<Vertex>,
+    /// Proxy duty: best candidate per component I'm responsible for.
+    proxy_best: BTreeMap<Vertex, Cand>,
+    /// Chosen edges received this phase (applied at the scatter barrier).
+    phase_chosen: Vec<(Edge, f64)>,
+    half: Half,
+    parity: bool,
+    flushes: usize,
+    flush_produced: u64,
+    my_produced: u64,
+    pending: Vec<MstMsg>,
+    finished: bool,
+    /// The minimum spanning forest, accumulated identically on every
+    /// machine from the choice broadcasts.
+    pub forest: Vec<(Edge, f64)>,
+    /// Borůvka phases executed.
+    pub phases: u64,
+}
+
+impl BoruvkaMst {
+    /// Builds one protocol instance per machine.
+    pub fn build_all(g: &WeightedGraph, part: &Arc<Partition>) -> Vec<BoruvkaMst> {
+        assert_eq!(g.n(), part.n(), "partition size mismatch");
+        (0..part.k())
+            .map(|i| {
+                let vertices: Vec<Vertex> = part.members(i).to_vec();
+                let adjacency = vertices
+                    .iter()
+                    .map(|&v| {
+                        g.neighbors(v)
+                            .iter()
+                            .copied()
+                            .zip(g.neighbor_weights(v).iter().copied())
+                            .collect()
+                    })
+                    .collect();
+                BoruvkaMst {
+                    n: g.n(),
+                    vertices,
+                    adjacency,
+                    labels: (0..g.n() as Vertex).collect(),
+                    proxy_best: BTreeMap::new(),
+                    phase_chosen: Vec::new(),
+                    half: Half::Gather,
+                    parity: false,
+                    flushes: 0,
+                    flush_produced: 0,
+                    my_produced: 0,
+                    pending: Vec::new(),
+                    finished: false,
+                    forest: Vec::new(),
+                    phases: 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Gather half: compute per-component best candidates over my
+    /// vertices and route them to the components' proxy machines.
+    fn gather(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<MstMsg>) {
+        let mut best: BTreeMap<Vertex, Cand> = BTreeMap::new();
+        for (j, &v) in self.vertices.iter().enumerate() {
+            let lv = self.labels[v as usize];
+            for &(u, w) in &self.adjacency[j] {
+                if self.labels[u as usize] == lv {
+                    continue;
+                }
+                let cand = Cand { w, e: Edge::new(v, u) };
+                match best.get(&lv) {
+                    Some(b) if b.better_than(&cand) => {}
+                    _ => {
+                        best.insert(lv, cand);
+                    }
+                }
+            }
+        }
+        self.my_produced = best.len() as u64;
+        for (comp, cand) in best {
+            let proxy =
+                (keyed_hash(ctx.shared_seed ^ 0x4D57_0001, comp as u64) % ctx.k as u64) as usize;
+            if proxy == ctx.me {
+                self.absorb_candidate(comp, cand);
+            } else {
+                out.send(proxy, MstMsg::candidate(self.n, self.parity, comp, cand.e, cand.w));
+            }
+        }
+        out.broadcast(ctx.me, MstMsg::flush(self.parity, self.my_produced));
+        self.half = Half::Gather;
+        self.phases += 1;
+    }
+
+    fn absorb_candidate(&mut self, comp: Vertex, cand: Cand) {
+        match self.proxy_best.get(&comp) {
+            Some(b) if b.better_than(&cand) => {}
+            _ => {
+                self.proxy_best.insert(comp, cand);
+            }
+        }
+    }
+
+    /// Scatter half: broadcast the per-component winners.
+    fn scatter(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<MstMsg>) {
+        let winners = std::mem::take(&mut self.proxy_best);
+        for (_, cand) in winners {
+            self.phase_chosen.push((cand.e, cand.w));
+            out.broadcast(ctx.me, MstMsg::chosen(self.n, self.parity, cand.e, cand.w));
+        }
+        out.broadcast(ctx.me, MstMsg::flush(self.parity, 0));
+        self.half = Half::Scatter;
+    }
+
+    /// Applies the phase's chosen edges: contract components (identical
+    /// deterministic computation on every machine).
+    fn contract(&mut self) {
+        let mut chosen = std::mem::take(&mut self.phase_chosen);
+        chosen.sort_by_key(|a| a.0);
+        chosen.dedup_by(|a, b| a.0 == b.0);
+        // Union-find over current labels.
+        let mut parent: BTreeMap<Vertex, Vertex> = BTreeMap::new();
+        let find = |parent: &mut BTreeMap<Vertex, Vertex>, mut x: Vertex| {
+            while let Some(&p) = parent.get(&x) {
+                if p == x {
+                    break;
+                }
+                x = p;
+            }
+            x
+        };
+        let mut accepted = Vec::new();
+        for &(e, w) in &chosen {
+            let cu = self.labels[e.u as usize];
+            let cv = self.labels[e.v as usize];
+            let ru = find(&mut parent, cu);
+            let rv = find(&mut parent, cv);
+            if ru != rv {
+                // Hook larger label under smaller for determinism.
+                let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                parent.insert(hi, lo);
+                parent.entry(lo).or_insert(lo);
+                accepted.push((e, w));
+            }
+        }
+        for v in 0..self.n {
+            let l = self.labels[v];
+            self.labels[v] = find(&mut parent, l);
+        }
+        self.forest.extend(accepted);
+    }
+
+    fn maybe_advance(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<MstMsg>) {
+        while !self.finished && self.flushes == ctx.k - 1 {
+            let produced = self.flush_produced + self.my_produced;
+            self.flushes = 0;
+            self.flush_produced = 0;
+            self.my_produced = 0;
+            self.parity = !self.parity;
+            let pending = std::mem::take(&mut self.pending);
+            for msg in &pending {
+                debug_assert_eq!(msg.parity, self.parity, "barrier drift exceeded 1");
+                self.apply(msg);
+            }
+            match self.half {
+                Half::Gather => {
+                    // Candidate barrier complete. If nobody produced a
+                    // candidate, the forest is final.
+                    if produced == 0 {
+                        self.finished = true;
+                        return;
+                    }
+                    self.scatter(ctx, out);
+                }
+                Half::Scatter => {
+                    // Choice barrier complete: contract and start the next
+                    // phase.
+                    self.contract();
+                    self.gather(ctx, out);
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, msg: &MstMsg) {
+        match msg.payload {
+            MstPayload::Candidate { comp, e, w } => self.absorb_candidate(comp, Cand { w, e }),
+            MstPayload::Chosen { e, w } => self.phase_chosen.push((e, w)),
+            MstPayload::Flush { produced } => {
+                self.flushes += 1;
+                self.flush_produced += produced;
+            }
+        }
+    }
+
+    /// Total forest weight.
+    pub fn forest_weight(&self) -> f64 {
+        self.forest.iter().map(|&(_, w)| w).sum()
+    }
+}
+
+impl Protocol for BoruvkaMst {
+    type Msg = MstMsg;
+
+    fn round(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        inbox: &[Envelope<MstMsg>],
+        out: &mut Outbox<MstMsg>,
+    ) -> Status {
+        if ctx.round == 0 {
+            self.gather(ctx, out);
+            self.maybe_advance(ctx, out);
+            return if self.finished { Status::Done } else { Status::Active };
+        }
+        for env in inbox {
+            if env.msg.parity == self.parity {
+                let msg = env.msg.clone();
+                self.apply(&msg);
+            } else {
+                self.pending.push(env.msg.clone());
+            }
+        }
+        self.maybe_advance(ctx, out);
+        if self.finished {
+            Status::Done
+        } else {
+            Status::Active
+        }
+    }
+}
+
+/// Runs distributed Borůvka and returns `(forest edges, total weight,
+/// metrics)`; the forest is identical on every machine.
+pub fn run_boruvka(
+    g: &WeightedGraph,
+    part: &Arc<Partition>,
+    net: NetConfig,
+) -> Result<(Vec<Edge>, f64, km_core::Metrics), km_core::EngineError> {
+    let machines = BoruvkaMst::build_all(g, part);
+    let report = SequentialEngine::run(net, machines)?;
+    let m0 = &report.machines[0];
+    let mut edges: Vec<Edge> = m0.forest.iter().map(|&(e, _)| e).collect();
+    edges.sort_unstable();
+    let weight = m0.forest_weight();
+    // All machines agree on the forest (deterministic contraction).
+    for m in &report.machines[1..] {
+        debug_assert_eq!(m.forest.len(), m0.forest.len());
+    }
+    Ok((edges, weight, report.metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use km_graph::generators::classic::complete_weighted_random;
+    use km_graph::generators::gnp;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn net(k: usize, n: usize, seed: u64) -> NetConfig {
+        NetConfig::polylog(k, n, seed).max_rounds(5_000_000)
+    }
+
+    fn random_weighted_gnp(n: usize, p: f64, rng: &mut ChaCha8Rng) -> WeightedGraph {
+        use rand::Rng;
+        let g = gnp(n, p, rng);
+        let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
+        let weights: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        WeightedGraph::from_weighted_edges(n, &edges, &weights)
+    }
+
+    #[test]
+    fn kruskal_on_triangle_plus_pendant() {
+        let g = WeightedGraph::from_weighted_edges(
+            4,
+            &[(0, 1), (1, 2), (0, 2), (2, 3)],
+            &[1.0, 2.0, 3.0, 0.5],
+        );
+        let (edges, w) = kruskal(&g);
+        assert_eq!(edges, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)]);
+        assert!((w - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boruvka_matches_kruskal_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for (n, p, k) in [(30usize, 0.3, 4usize), (50, 0.15, 8), (40, 0.5, 5)] {
+            let g = random_weighted_gnp(n, p, &mut rng);
+            let part = Arc::new(Partition::by_hash(n, k, 3));
+            let (edges, w, _) = run_boruvka(&g, &part, net(k, n, 7)).unwrap();
+            let (want_edges, want_w) = kruskal(&g);
+            assert_eq!(edges, want_edges, "n={n} p={p} k={k}");
+            assert!((w - want_w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mst_of_complete_random_weights() {
+        // The paper's MST lower-bound family (footnote 6).
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let n = 24;
+        let g = complete_weighted_random(n, &mut rng);
+        let part = Arc::new(Partition::by_hash(n, 6, 1));
+        let (edges, w, metrics) = run_boruvka(&g, &part, net(6, n, 13)).unwrap();
+        assert_eq!(edges.len(), n - 1, "spanning tree of a connected graph");
+        let (_, want_w) = kruskal(&g);
+        assert!((w - want_w).abs() < 1e-9);
+        assert!(metrics.rounds > 0);
+    }
+
+    #[test]
+    fn disconnected_graph_yields_forest() {
+        // Two components: 0-1-2 and 3-4.
+        let g = WeightedGraph::from_weighted_edges(
+            5,
+            &[(0, 1), (1, 2), (3, 4)],
+            &[1.0, 2.0, 3.0],
+        );
+        let part = Arc::new(Partition::by_hash(5, 3, 2));
+        let (edges, w, _) = run_boruvka(&g, &part, net(3, 5, 3)).unwrap();
+        assert_eq!(edges.len(), 3);
+        assert!((w - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edgeless_graph_terminates_immediately() {
+        let g = WeightedGraph::from_weighted_edges(6, &[], &[]);
+        let part = Arc::new(Partition::by_hash(6, 3, 2));
+        let (edges, w, _) = run_boruvka(&g, &part, net(3, 6, 4)).unwrap();
+        assert!(edges.is_empty());
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn phase_count_is_logarithmic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        let n = 64;
+        let g = random_weighted_gnp(n, 0.3, &mut rng);
+        let part = Arc::new(Partition::by_hash(n, 4, 9));
+        let machines = BoruvkaMst::build_all(&g, &part);
+        let report = SequentialEngine::run(net(4, n, 21), machines).unwrap();
+        // Components at least halve per phase: ≤ log2(n) + 1 phases
+        // (+1 for the final empty phase that detects termination).
+        assert!(report.machines[0].phases <= 8, "phases {}", report.machines[0].phases);
+    }
+}

@@ -1,0 +1,382 @@
+//! AGM graph sketches (Ahn–Guha–McGregor ℓ₀-sampling) — the ingredient
+//! that upgrades Borůvka-style connectivity to the `O~(n/k²)` rounds of
+//! Pandurangan–Robinson–Scquizzato \[51\], which the paper cites as the
+//! matching upper bound for its GLBT-derived `Ω~(n/k²)` MST/connectivity
+//! lower bound.
+//!
+//! The magic property is **linearity over GF(2)**: a vertex's sketch is
+//! the XOR of encodings of its incident edges; XOR-ing the sketches of a
+//! vertex set `S` cancels every edge internal to `S` and leaves exactly
+//! the boundary `∂S` — so a component's `O(polylog n)`-bit sketch can be
+//! aggregated at a proxy machine with `Θ(polylog)` communication *without
+//! anyone knowing neighbor labels*, and an outgoing edge can be decoded
+//! from it whp. Fresh independent sketch copies per Borůvka phase keep
+//! the randomness sound (sketches are one-shot).
+//!
+//! This module provides the data structure with full tests plus
+//! [`sketch_spanning_forest`], a phase-by-phase connectivity driver that
+//! exercises exactly the per-phase logic the distributed protocol of \[51\]
+//! runs (local XOR per label → component XOR → decode → merge), so the
+//! sketch machinery is validated end to end. (The remaining distributed
+//! plumbing — the pointer-jumping label service — is inventoried in
+//! DESIGN.md as future work.)
+
+use km_core::rng::{keyed_hash, splitmix64};
+use km_graph::{CsrGraph, Edge, Vertex};
+
+/// Levels per basic sampler: edge `e` participates in level `ℓ` with
+/// probability `2^{-ℓ}` (level 0 holds every edge).
+const LEVELS: usize = 40;
+
+/// Independent basic samplers per sketch. One sampler isolates a single
+/// boundary edge at *some* level only with constant probability; `REPS`
+/// independent repetitions drive the failure rate to `O(c^{REPS})` —
+/// this is the standard AGM amplification.
+const REPS: usize = 8;
+
+/// One basic ℓ₀ sampler: per level, the XOR of the sampled edges'
+/// 64-bit keys plus an independent checksum and a parity bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BasicSketch {
+    key_xor: [u64; LEVELS],
+    check_xor: [u32; LEVELS],
+    parity: [u8; LEVELS],
+}
+
+impl BasicSketch {
+    fn empty() -> Self {
+        BasicSketch { key_xor: [0; LEVELS], check_xor: [0; LEVELS], parity: [0; LEVELS] }
+    }
+
+    fn toggle_edge(&mut self, key: u64, seed: u64) {
+        let top = edge_level(seed, key);
+        let check = edge_check(seed, key);
+        // An edge at level ℓ participates in all levels 0..=ℓ.
+        for l in 0..=top {
+            self.key_xor[l] ^= key;
+            self.check_xor[l] ^= check;
+            self.parity[l] ^= 1;
+        }
+    }
+
+    fn xor_in(&mut self, other: &Self) {
+        for l in 0..LEVELS {
+            self.key_xor[l] ^= other.key_xor[l];
+            self.check_xor[l] ^= other.check_xor[l];
+            self.parity[l] ^= other.parity[l];
+        }
+    }
+
+    /// A level holding exactly one edge is detected by odd parity plus a
+    /// matching checksum (several XOR-ed edges masquerading as one edge
+    /// survive the checksum with probability `2^{-32}` per level).
+    fn decode(&self, seed: u64) -> Option<Edge> {
+        for l in (0..LEVELS).rev() {
+            if self.parity[l] == 1 && self.key_xor[l] != 0 {
+                let key = self.key_xor[l];
+                if edge_check(seed, key) == self.check_xor[l]
+                    && edge_level(seed, key) >= l
+                    && (key >> 32) != (key & 0xFFFF_FFFF)
+                {
+                    return Some(key_to_edge(key));
+                }
+            }
+        }
+        None
+    }
+
+    fn is_empty(&self) -> bool {
+        self.key_xor.iter().all(|&x| x == 0) && self.parity.iter().all(|&c| c == 0)
+    }
+}
+
+/// An AGM ℓ₀-sampling sketch: `REPS` independent basic samplers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L0Sketch {
+    reps: Vec<BasicSketch>,
+}
+
+/// Canonical 64-bit key of an edge.
+#[inline]
+fn edge_key(e: Edge) -> u64 {
+    ((e.u as u64) << 32) | e.v as u64
+}
+
+#[inline]
+fn key_to_edge(key: u64) -> Edge {
+    Edge::new((key >> 32) as Vertex, (key & 0xFFFF_FFFF) as Vertex)
+}
+
+/// The level assignment of an edge under a given sketch seed: the number
+/// of leading one-bits of its keyed hash (geometric with ratio 1/2).
+#[inline]
+fn edge_level(seed: u64, key: u64) -> usize {
+    (keyed_hash(seed, key).leading_ones() as usize).min(LEVELS - 1)
+}
+
+#[inline]
+fn edge_check(seed: u64, key: u64) -> u32 {
+    (keyed_hash(seed ^ 0xC3EC_C3EC_C3EC_C3EC, key) >> 16) as u32
+}
+
+impl L0Sketch {
+    /// The empty sketch (identity of XOR).
+    pub fn empty() -> Self {
+        L0Sketch { reps: (0..REPS).map(|_| BasicSketch::empty()).collect() }
+    }
+
+    #[inline]
+    fn rep_seed(seed: u64, rep: usize) -> u64 {
+        splitmix64(seed ^ (rep as u64).wrapping_mul(0xD134_2543_DE82_EF95))
+    }
+
+    /// The sketch of a single vertex: XOR over its incident edges.
+    /// `seed` must be shared by all participants of one phase and *fresh*
+    /// across phases.
+    pub fn for_vertex(g: &CsrGraph, v: Vertex, seed: u64) -> Self {
+        let mut s = Self::empty();
+        for &w in g.neighbors(v) {
+            s.toggle_edge(Edge::new(v, w), seed);
+        }
+        s
+    }
+
+    /// XOR-inserts (or cancels) one edge in every repetition.
+    pub fn toggle_edge(&mut self, e: Edge, seed: u64) {
+        let key = edge_key(e);
+        for (rep, basic) in self.reps.iter_mut().enumerate() {
+            basic.toggle_edge(key, Self::rep_seed(seed, rep));
+        }
+    }
+
+    /// Merges another sketch into this one (GF(2) linearity).
+    pub fn xor_in(&mut self, other: &Self) {
+        for (a, b) in self.reps.iter_mut().zip(&other.reps) {
+            a.xor_in(b);
+        }
+    }
+
+    /// Attempts to decode one boundary edge: each repetition is an
+    /// independent constant-success-probability sampler, so the first hit
+    /// wins and overall failure is `O(c^{REPS})`.
+    pub fn decode(&self, seed: u64) -> Option<Edge> {
+        self.reps
+            .iter()
+            .enumerate()
+            .find_map(|(rep, basic)| basic.decode(Self::rep_seed(seed, rep)))
+    }
+
+    /// Whether every repetition is empty (no boundary edges).
+    pub fn is_empty(&self) -> bool {
+        self.reps.iter().all(BasicSketch::is_empty)
+    }
+
+    /// Logical wire size in bits (what the distributed protocol would
+    /// ship per partial sketch): `REPS · LEVELS · (64 + 32 + 1)` —
+    /// `O(polylog n)`, the property that makes `O~(n/k²)` connectivity
+    /// possible.
+    pub fn wire_bits() -> u64 {
+        (REPS as u64) * (LEVELS as u64) * (64 + 32 + 1)
+    }
+}
+
+/// The per-phase seed for sketch copy `phase` under a shared base seed.
+pub fn phase_seed(base: u64, phase: usize) -> u64 {
+    splitmix64(base ^ (phase as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5E1F_C0DE)
+}
+
+/// Sketch-based Borůvka spanning forest: per phase, build *fresh* vertex
+/// sketches, XOR them per component, decode one outgoing edge per
+/// component, and contract. Returns the forest edges (sorted).
+///
+/// This mirrors the distributed per-phase dataflow of \[51\] (each XOR
+/// grouping is exactly what machines/proxies would compute); failures to
+/// decode (probability `O(2^{-Ω(levels)})` per component per phase) only
+/// delay a merge to the next phase with fresh randomness.
+pub fn sketch_spanning_forest(g: &CsrGraph, base_seed: u64) -> Vec<Edge> {
+    let n = g.n();
+    let mut label: Vec<Vertex> = (0..n as Vertex).collect();
+    let mut forest: Vec<Edge> = Vec::new();
+    // ≤ log2(n) productive phases; a few spares cover decode failures.
+    let max_phases = (n.max(2) as f64).log2().ceil() as usize * 2 + 4;
+
+    for phase in 0..max_phases {
+        let seed = phase_seed(base_seed, phase);
+        // Component sketches via GF(2) aggregation of vertex sketches.
+        let mut comp_sketch: std::collections::BTreeMap<Vertex, L0Sketch> =
+            std::collections::BTreeMap::new();
+        for v in 0..n as Vertex {
+            let s = L0Sketch::for_vertex(g, v, seed);
+            comp_sketch.entry(label[v as usize]).or_insert_with(L0Sketch::empty).xor_in(&s);
+        }
+        // Decode one outgoing edge per component.
+        let mut merges: Vec<Edge> = Vec::new();
+        let mut undecoded = 0usize;
+        for sketch in comp_sketch.values() {
+            if sketch.is_empty() {
+                continue;
+            }
+            match sketch.decode(seed) {
+                Some(e) => merges.push(e),
+                None => undecoded += 1,
+            }
+        }
+        if merges.is_empty() {
+            if undecoded == 0 {
+                break; // all components closed: done
+            }
+            continue; // retry with fresh randomness
+        }
+        // Contract (same deterministic union-find as the MST protocol).
+        merges.sort_unstable();
+        merges.dedup();
+        let mut parent: std::collections::BTreeMap<Vertex, Vertex> =
+            std::collections::BTreeMap::new();
+        let find = |parent: &mut std::collections::BTreeMap<Vertex, Vertex>, mut x: Vertex| {
+            while let Some(&p) = parent.get(&x) {
+                if p == x {
+                    break;
+                }
+                x = p;
+            }
+            x
+        };
+        for &e in &merges {
+            let (cu, cv) = (label[e.u as usize], label[e.v as usize]);
+            let (ru, rv) = (find(&mut parent, cu), find(&mut parent, cv));
+            if ru != rv {
+                let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                parent.insert(hi, lo);
+                parent.entry(lo).or_insert(lo);
+                forest.push(e);
+            }
+        }
+        for l in label.iter_mut() {
+            *l = find(&mut parent, *l);
+        }
+    }
+    forest.sort_unstable();
+    forest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use km_graph::generators::{classic, gnp};
+    use km_graph::properties::component_count;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn single_edge_roundtrip() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let s = L0Sketch::for_vertex(&g, 0, 77);
+        assert_eq!(s.decode(77), Some(Edge::new(0, 1)));
+    }
+
+    #[test]
+    fn internal_edges_cancel() {
+        // Path 0-1-2: XOR of all three vertex sketches must be empty
+        // (every edge internal), XOR of {0,1} must decode edge {1,2}.
+        let g = classic::path(3);
+        let seed = 5;
+        let mut all = L0Sketch::empty();
+        for v in 0..3 {
+            all.xor_in(&L0Sketch::for_vertex(&g, v, seed));
+        }
+        assert!(all.is_empty());
+
+        let mut s01 = L0Sketch::for_vertex(&g, 0, seed);
+        s01.xor_in(&L0Sketch::for_vertex(&g, 1, seed));
+        assert_eq!(s01.decode(seed), Some(Edge::new(1, 2)));
+    }
+
+    #[test]
+    fn decode_finds_a_true_boundary_edge_whp() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = gnp(60, 0.2, &mut rng);
+        // Component S = first 30 vertices.
+        for seed in 0..20u64 {
+            let mut s = L0Sketch::empty();
+            for v in 0..30 {
+                s.xor_in(&L0Sketch::for_vertex(&g, v, seed));
+            }
+            let boundary: Vec<Edge> = g
+                .edges()
+                .filter(|e| (e.u < 30) != (e.v < 30))
+                .collect();
+            match s.decode(seed) {
+                Some(e) => assert!(boundary.contains(&e), "seed {seed}: {e:?} not boundary"),
+                None => assert!(boundary.is_empty(), "seed {seed}: missed boundary"),
+            }
+        }
+    }
+
+    #[test]
+    fn wire_size_is_polylog() {
+        // The whole point: a component's connectivity summary in ~4.7 kbit.
+        assert_eq!(L0Sketch::wire_bits(), 8 * 40 * 97);
+    }
+
+    #[test]
+    fn spanning_forest_on_classic_graphs() {
+        for (g, want_edges) in [
+            (classic::path(50), 49),
+            (classic::cycle(33), 32),
+            (classic::complete(25), 24),
+            (classic::star(40), 39),
+        ] {
+            let forest = sketch_spanning_forest(&g, 11);
+            assert_eq!(forest.len(), want_edges);
+            // A spanning forest connects everything the graph connects.
+            let pairs: Vec<(Vertex, Vertex)> = forest.iter().map(|e| (e.u, e.v)).collect();
+            let f = CsrGraph::from_edges(g.n(), &pairs);
+            assert_eq!(component_count(&f), component_count(&g));
+        }
+    }
+
+    #[test]
+    fn spanning_forest_matches_component_structure_of_gnp() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for (n, p) in [(80usize, 0.015), (120, 0.05), (60, 0.4)] {
+            let g = gnp(n, p, &mut rng);
+            let forest = sketch_spanning_forest(&g, 21);
+            let cc = component_count(&g);
+            assert_eq!(forest.len(), n - cc, "n={n} p={p}");
+            for e in &forest {
+                assert!(g.has_edge(e.u, e.v), "forest edge {e:?} not in graph");
+            }
+        }
+    }
+
+    proptest! {
+        /// Sketch linearity: sketch(S ∪ T) = sketch(S) ⊕ sketch(T) for
+        /// disjoint S, T, and decoding a 1-edge boundary is exact.
+        #[test]
+        fn linearity(edges in proptest::collection::vec((0u32..24, 0u32..24), 1..80), seed in 0u64..1000) {
+            let g = CsrGraph::from_edges(24, &edges);
+            let mut left = L0Sketch::empty();
+            let mut right = L0Sketch::empty();
+            let mut whole = L0Sketch::empty();
+            for v in 0..24u32 {
+                let s = L0Sketch::for_vertex(&g, v, seed);
+                if v < 12 { left.xor_in(&s) } else { right.xor_in(&s) }
+                whole.xor_in(&s);
+            }
+            let mut combined = left.clone();
+            combined.xor_in(&right);
+            prop_assert_eq!(&combined, &whole);
+            // The whole graph has no boundary: must be empty.
+            prop_assert!(whole.is_empty());
+        }
+
+        /// The forest size equals n − #components on arbitrary graphs.
+        #[test]
+        fn forest_size_invariant(edges in proptest::collection::vec((0u32..30, 0u32..30), 0..120)) {
+            let g = CsrGraph::from_edges(30, &edges);
+            let forest = sketch_spanning_forest(&g, 5);
+            prop_assert_eq!(forest.len(), 30 - component_count(&g));
+        }
+    }
+}

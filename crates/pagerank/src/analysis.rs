@@ -1,0 +1,91 @@
+//! Approximation-quality metrics for the δ-approximation claim of
+//! Theorem 4.
+
+/// Maximum relative error over vertices whose reference value is at least
+/// `floor` (tiny values are statistically meaningless for a multiplicative
+/// guarantee).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn max_relative_error(estimate: &[f64], reference: &[f64], floor: f64) -> f64 {
+    assert_eq!(estimate.len(), reference.len(), "length mismatch");
+    estimate
+        .iter()
+        .zip(reference)
+        .filter(|(_, &r)| r >= floor)
+        .map(|(&e, &r)| (e - r).abs() / r)
+        .fold(0.0, f64::max)
+}
+
+/// Total variation-style L1 error `Σ |estimate − reference|`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn l1_error(estimate: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), reference.len(), "length mismatch");
+    estimate.iter().zip(reference).map(|(&e, &r)| (e - r).abs()).sum()
+}
+
+/// Fits the slope of `log y` against `log x` by least squares — the tool
+/// the experiments use to extract scaling exponents (e.g. rounds ∝ k^slope
+/// should give ≈ −2 for Algorithm 1 and ≈ −1 for the baseline).
+///
+/// Returns `None` with fewer than two valid points.
+pub fn log_log_slope(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(&x, &y)| x > 0.0 && y > 0.0)
+        .map(|(&x, &y)| (x.ln(), y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_respects_floor() {
+        let est = [1.0, 0.001];
+        let refv = [2.0, 0.0001];
+        // Only the first vertex is above the floor: error 0.5.
+        assert!((max_relative_error(&est, &refv, 0.01) - 0.5).abs() < 1e-12);
+        // With floor 0 both count; the second has error 9.
+        assert!((max_relative_error(&est, &refv, 0.0) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_sums_absolute_gaps() {
+        assert!((l1_error(&[1.0, 2.0], &[0.5, 2.5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_recovers_power_laws() {
+        let xs: Vec<f64> = (1..=6).map(|k| (1 << k) as f64).collect();
+        let inv_sq: Vec<f64> = xs.iter().map(|&x| 100_000.0 / (x * x)).collect();
+        let slope = log_log_slope(&xs, &inv_sq).unwrap();
+        assert!((slope + 2.0).abs() < 1e-9, "slope {slope}");
+        let lin: Vec<f64> = xs.iter().map(|&x| 42.0 * x).collect();
+        assert!((log_log_slope(&xs, &lin).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_degenerate_cases() {
+        assert_eq!(log_log_slope(&[1.0], &[2.0]), None);
+        assert_eq!(log_log_slope(&[0.0, 0.0], &[1.0, 2.0]), None);
+    }
+}

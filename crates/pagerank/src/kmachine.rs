@@ -1,0 +1,625 @@
+//! **Algorithm 1**: distributed PageRank in `O~(n/k²)` rounds (Theorem 4).
+//!
+//! Each machine holds a token counter per hosted vertex. Per iteration:
+//!
+//! 1. every token dies with probability `ε` (and at dangling vertices);
+//! 2. **light** vertices (`< k` tokens): the machine samples a uniform
+//!    out-neighbor per token and aggregates counts *across all its hosted
+//!    light vertices* into one `⟨α[v], dest:v⟩` message per destination
+//!    vertex (lines 8–16 of Algorithm 1) — so any vertex receives at most
+//!    `k−1` messages per iteration no matter its degree;
+//! 3. **heavy** vertices (`≥ k` tokens): the machine samples a *machine*
+//!    per token from `(n₁ᵤ/dᵤ, …, n_kᵤ/dᵤ)` and sends one `⟨β[j], src:u⟩`
+//!    count per machine (lines 18–27); the receiver forwards each counted
+//!    token to a uniform hosted out-neighbor of `u` (lines 31–36).
+//!
+//! Destinations of light messages are home machines of vertices, which
+//! under the random vertex partition are i.i.d. uniform — exactly the
+//! hypothesis of Lemma 13, so direct routing delivers each iteration in
+//! `O~(n/k²)` rounds. (The paper invokes randomized routing here; under
+//! RVP the destination machines are already uniform, which is what the
+//! routing lemma needs.)
+//!
+//! **Synchronization.** Iterations are separated by a FIFO *flush
+//! barrier*: after its sends, each machine broadcasts a `Flush` carrying
+//! the number of tokens that survived its step. Since links are FIFO, a
+//! machine that has received flushes from everyone has received all of
+//! the iteration's data. The flush values also yield the exact global
+//! count of live tokens, so the protocol terminates precisely when no
+//! token survives anywhere — no iteration bound needs to be guessed.
+//! Machines can drift by at most one iteration, so a single parity bit
+//! per message disambiguates (proved in the module tests).
+
+use crate::PrConfig;
+use km_core::{
+    id_bits, Envelope, NetConfig, Outbox, Protocol, RoundCtx, SequentialEngine, Status, WireSize,
+};
+use km_graph::{DiGraph, Partition, Vertex};
+use rand::Rng;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Message payload of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrPayload {
+    /// `⟨α[v], dest:v⟩` — `count` tokens moving to vertex `v` (light path,
+    /// aggregated across all the sender's light vertices).
+    Count {
+        /// Destination vertex.
+        v: Vertex,
+        /// Number of tokens.
+        count: u64,
+    },
+    /// `⟨β[j], src:u⟩` — `count` tokens leaving heavy vertex `u` for
+    /// out-neighbors hosted at the receiving machine.
+    Heavy {
+        /// The heavy source vertex.
+        u: Vertex,
+        /// Number of tokens.
+        count: u64,
+    },
+    /// Flush barrier: the sender finished its step for this iteration and
+    /// produced `live` surviving tokens.
+    Flush {
+        /// Tokens surviving the sender's step.
+        live: u64,
+    },
+}
+
+/// A parity-tagged message of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrMsg {
+    /// Iteration parity (machines drift by ≤ 1 iteration).
+    pub parity: bool,
+    /// The payload.
+    pub payload: PrPayload,
+    bits: u32,
+}
+
+impl PrMsg {
+    pub(crate) fn count(n: usize, parity: bool, v: Vertex, count: u64) -> Self {
+        let bits = (2 + id_bits(n) + 32) as u32;
+        PrMsg { parity, payload: PrPayload::Count { v, count }, bits }
+    }
+    pub(crate) fn heavy(n: usize, parity: bool, u: Vertex, count: u64) -> Self {
+        let bits = (2 + id_bits(n) + 32) as u32;
+        PrMsg { parity, payload: PrPayload::Heavy { u, count }, bits }
+    }
+    pub(crate) fn flush(parity: bool, live: u64) -> Self {
+        PrMsg { parity, payload: PrPayload::Flush { live }, bits: 2 + 32 }
+    }
+}
+
+impl WireSize for PrMsg {
+    fn bits(&self) -> u64 {
+        self.bits as u64
+    }
+}
+
+/// Exact Binomial(`trials`, `p`) sample by Bernoulli trials.
+///
+/// Trials are bounded by the machine's token count (`O~(n/k)`), so the
+/// simple exact loop is both correct and fast enough at simulator scale.
+pub(crate) fn binomial<R: Rng>(rng: &mut R, trials: u64, p: f64) -> u64 {
+    let mut hits = 0;
+    for _ in 0..trials {
+        if rng.gen_bool(p) {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// The per-machine state shared by Algorithm 1 and the CONGEST baseline.
+#[derive(Debug)]
+pub(crate) struct LocalState {
+    pub n: usize,
+    /// Hosted vertices (ascending).
+    pub vertices: Vec<Vertex>,
+    /// Global id → local index.
+    pub index: HashMap<Vertex, usize>,
+    /// Out-adjacency per local vertex.
+    pub out_adj: Vec<Vec<Vertex>>,
+    /// `u → hosted out-neighbors of u` (receiver side of the heavy path;
+    /// derivable from the hosted vertices' in-edges).
+    pub host_targets: HashMap<Vertex, Vec<usize>>,
+    /// The shared vertex→machine map (the public hash function).
+    pub part: Arc<Partition>,
+    /// Current tokens per local vertex.
+    pub tokens: Vec<u64>,
+    /// Visit counts ψ per local vertex.
+    pub visits: Vec<u64>,
+}
+
+impl LocalState {
+    /// Builds the local state of every machine from the global input —
+    /// machine `i` sees only what RVP gives it (its vertices, their
+    /// out-edges and in-edges) plus the shared hash function.
+    pub fn build_all(g: &DiGraph, part: &Arc<Partition>, cfg: &PrConfig) -> Vec<LocalState> {
+        assert_eq!(g.n(), part.n(), "partition size mismatch");
+        (0..part.k())
+            .map(|i| {
+                let vertices: Vec<Vertex> = part.members(i).to_vec();
+                let index: HashMap<Vertex, usize> =
+                    vertices.iter().enumerate().map(|(j, &v)| (v, j)).collect();
+                let out_adj: Vec<Vec<Vertex>> =
+                    vertices.iter().map(|&v| g.out_neighbors(v).to_vec()).collect();
+                let mut host_targets: HashMap<Vertex, Vec<usize>> = HashMap::new();
+                for (j, &v) in vertices.iter().enumerate() {
+                    for &u in g.in_neighbors(v) {
+                        host_targets.entry(u).or_default().push(j);
+                    }
+                }
+                let tokens = vec![cfg.tokens_per_vertex; vertices.len()];
+                let visits = vec![cfg.tokens_per_vertex; vertices.len()];
+                LocalState {
+                    n: g.n(),
+                    vertices,
+                    index,
+                    out_adj,
+                    host_targets,
+                    part: Arc::clone(part),
+                    tokens,
+                    visits,
+                }
+            })
+            .collect()
+    }
+
+    /// Receives `count` tokens addressed to vertex `v` (must be hosted).
+    pub fn arrive_at_vertex(&mut self, v: Vertex, count: u64) {
+        let j = *self.index.get(&v).expect("Count message for a non-hosted vertex");
+        self.tokens[j] += count;
+        self.visits[j] += count;
+    }
+
+    /// Receives `count` tokens from heavy vertex `u`, each forwarded to a
+    /// uniform hosted out-neighbor of `u` (lines 31–36 of Algorithm 1).
+    pub fn arrive_from_heavy<R: Rng>(&mut self, rng: &mut R, u: Vertex, count: u64) {
+        let targets = self
+            .host_targets
+            .get(&u)
+            .expect("Heavy message but no hosted out-neighbor of u");
+        debug_assert!(!targets.is_empty());
+        for _ in 0..count {
+            let j = targets[rng.gen_range(0..targets.len())];
+            self.tokens[j] += 1;
+            self.visits[j] += 1;
+        }
+    }
+
+    /// Total tokens currently held.
+    pub fn held_tokens(&self) -> u64 {
+        self.tokens.iter().sum()
+    }
+}
+
+/// One machine of Algorithm 1.
+#[derive(Debug)]
+pub struct KmPageRank {
+    st: LocalState,
+    cfg: PrConfig,
+    /// Token threshold above which a vertex takes the heavy (β) path;
+    /// the paper uses `k`. `u64::MAX` disables the heavy path entirely —
+    /// the ablation knob for the T4 design-choice experiment.
+    heavy_threshold: u64,
+    parity: bool,
+    flushes_seen: usize,
+    flush_live: u64,
+    my_live: u64,
+    pending: Vec<PrMsg>,
+    finished: bool,
+    /// Iterations this machine has executed (for diagnostics).
+    pub iterations: u64,
+}
+
+impl KmPageRank {
+    /// Builds one protocol instance per machine (heavy threshold = `k`,
+    /// the paper's choice).
+    pub fn build_all(g: &DiGraph, part: &Arc<Partition>, cfg: PrConfig) -> Vec<KmPageRank> {
+        Self::build_all_with_threshold(g, part, cfg, part.k() as u64)
+    }
+
+    /// Builds instances with an explicit heavy threshold (ablations).
+    pub fn build_all_with_threshold(
+        g: &DiGraph,
+        part: &Arc<Partition>,
+        cfg: PrConfig,
+        heavy_threshold: u64,
+    ) -> Vec<KmPageRank> {
+        LocalState::build_all(g, part, &cfg)
+            .into_iter()
+            .map(|st| KmPageRank {
+                st,
+                cfg,
+                heavy_threshold,
+                parity: false,
+                flushes_seen: 0,
+                flush_live: 0,
+                my_live: 0,
+                pending: Vec::new(),
+                finished: false,
+                iterations: 0,
+            })
+            .collect()
+    }
+
+    /// This machine's output: `(vertex, PageRank estimate)` for every
+    /// hosted vertex.
+    pub fn output(&self) -> PrOutput {
+        let estimates = self
+            .st
+            .vertices
+            .iter()
+            .zip(&self.st.visits)
+            .map(|(&v, &psi)| (v, self.cfg.estimate(self.st.n, psi)))
+            .collect();
+        PrOutput { estimates }
+    }
+
+    /// Raw visit counters (for conservation tests).
+    pub fn visits(&self) -> impl Iterator<Item = (Vertex, u64)> + '_ {
+        self.st.vertices.iter().copied().zip(self.st.visits.iter().copied())
+    }
+
+    /// Tokens still held locally (zero after a completed run).
+    pub fn held_tokens(&self) -> u64 {
+        self.st.held_tokens()
+    }
+
+    fn apply(&mut self, rng: &mut rand_chacha::ChaCha8Rng, msg: &PrMsg) {
+        match msg.payload {
+            PrPayload::Count { v, count } => self.st.arrive_at_vertex(v, count),
+            PrPayload::Heavy { u, count } => self.st.arrive_from_heavy(rng, u, count),
+            PrPayload::Flush { live } => {
+                self.flushes_seen += 1;
+                self.flush_live += live;
+            }
+        }
+    }
+
+    /// Runs one iteration step: termination sampling, light α-aggregation,
+    /// heavy β-distribution, then the flush broadcast.
+    fn step(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<PrMsg>) {
+        let k = ctx.k;
+        let me = ctx.me;
+        let n = self.st.n;
+        let eps = self.cfg.reset_prob;
+        let mut survivors_total: u64 = 0;
+        // α aggregated across all light vertices (BTreeMap: deterministic
+        // emission order, required for replayable transcripts).
+        let mut alpha: BTreeMap<Vertex, u64> = BTreeMap::new();
+        // Locally-arriving tokens are staged so a token moves once per step.
+        let mut staged_local: Vec<(usize, u64)> = Vec::new();
+
+        for j in 0..self.st.vertices.len() {
+            let t = std::mem::take(&mut self.st.tokens[j]);
+            if t == 0 {
+                continue;
+            }
+            let dead = binomial(ctx.rng, t, eps);
+            let live = t - dead;
+            if live == 0 {
+                continue;
+            }
+            let outs = &self.st.out_adj[j];
+            if outs.is_empty() {
+                continue; // dangling vertex: survivors terminate too
+            }
+            survivors_total += live;
+            let _ = k;
+            if live < self.heavy_threshold {
+                // Light: per-token uniform neighbor, aggregated into α.
+                for _ in 0..live {
+                    let v = outs[ctx.rng.gen_range(0..outs.len())];
+                    *alpha.entry(v).or_insert(0) += 1;
+                }
+            } else {
+                // Heavy: sample a machine per token ∝ n_{j,u}/d_u.
+                let u = self.st.vertices[j];
+                let mut cum: Vec<(u64, usize)> = Vec::new(); // (cumulative, machine)
+                let mut machine_counts: BTreeMap<usize, u64> = BTreeMap::new();
+                for &v in outs {
+                    *machine_counts.entry(self.st.part.home(v)).or_insert(0) += 1;
+                }
+                let mut acc = 0;
+                for (&m, &c) in &machine_counts {
+                    acc += c;
+                    cum.push((acc, m));
+                }
+                let d = acc;
+                let mut beta: BTreeMap<usize, u64> = BTreeMap::new();
+                for _ in 0..live {
+                    let x = ctx.rng.gen_range(0..d);
+                    let pos = cum.partition_point(|&(c, _)| c <= x);
+                    *beta.entry(cum[pos].1).or_insert(0) += 1;
+                }
+                for (&j_m, &c) in &beta {
+                    if j_m == me {
+                        // Our own share: forward to uniform hosted neighbors.
+                        let targets = &self.st.host_targets[&u];
+                        for _ in 0..c {
+                            let tj = targets[ctx.rng.gen_range(0..targets.len())];
+                            staged_local.push((tj, 1));
+                        }
+                    } else {
+                        out.send(j_m, PrMsg::heavy(n, self.parity, u, c));
+                    }
+                }
+            }
+        }
+
+        // Emit α messages (or deliver locally).
+        for (v, c) in alpha {
+            let home = self.st.part.home(v);
+            if home == me {
+                let j = self.st.index[&v];
+                staged_local.push((j, c));
+            } else {
+                out.send(home, PrMsg::count(n, self.parity, v, c));
+            }
+        }
+        for (j, c) in staged_local {
+            self.st.tokens[j] += c;
+            self.st.visits[j] += c;
+        }
+
+        self.my_live = survivors_total;
+        self.iterations += 1;
+        let flush = PrMsg::flush(self.parity, survivors_total);
+        out.broadcast(me, flush);
+    }
+
+    /// If the barrier is complete, either terminate or advance one
+    /// iteration (possibly several times if this machine lagged).
+    fn maybe_advance(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<PrMsg>) {
+        while !self.finished && self.flushes_seen == ctx.k - 1 {
+            let global_live = self.flush_live + self.my_live;
+            if global_live == 0 {
+                self.finished = true;
+                return;
+            }
+            self.parity = !self.parity;
+            self.flushes_seen = 0;
+            self.flush_live = 0;
+            self.my_live = 0;
+            let pending = std::mem::take(&mut self.pending);
+            for msg in &pending {
+                debug_assert_eq!(msg.parity, self.parity, "parity drift exceeded 1");
+                self.apply(ctx.rng, msg);
+            }
+            self.step(ctx, out);
+        }
+    }
+}
+
+impl Protocol for KmPageRank {
+    type Msg = PrMsg;
+
+    fn round(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        inbox: &[Envelope<PrMsg>],
+        out: &mut Outbox<PrMsg>,
+    ) -> Status {
+        if ctx.round == 0 {
+            // Iteration 1 starts unconditionally.
+            self.step(ctx, out);
+            self.maybe_advance(ctx, out); // k == 1 completes inline
+            return if self.finished { Status::Done } else { Status::Active };
+        }
+        for env in inbox {
+            if env.msg.parity == self.parity {
+                let msg = env.msg.clone();
+                self.apply(ctx.rng, &msg);
+            } else {
+                self.pending.push(env.msg.clone());
+            }
+        }
+        self.maybe_advance(ctx, out);
+        if self.finished {
+            Status::Done
+        } else {
+            Status::Active
+        }
+    }
+}
+
+/// The global result of a distributed PageRank run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrOutput {
+    /// `(vertex, estimate)` pairs output by one machine.
+    pub estimates: Vec<(Vertex, f64)>,
+}
+
+/// Runs Algorithm 1 end to end on the sequential engine and returns the
+/// assembled PageRank vector plus transcript metrics.
+pub fn run_kmachine_pagerank(
+    g: &DiGraph,
+    part: &Arc<Partition>,
+    cfg: PrConfig,
+    net: NetConfig,
+) -> Result<(Vec<f64>, km_core::Metrics), km_core::EngineError> {
+    let machines = KmPageRank::build_all(g, part, cfg);
+    let report = SequentialEngine::run(net, machines)?;
+    let mut pr = vec![0.0; g.n()];
+    for m in &report.machines {
+        for (v, est) in m.output().estimates {
+            pr[v as usize] = est;
+        }
+    }
+    Ok((pr, report.metrics))
+}
+
+/// Converts an undirected graph to the bidirected digraph all PageRank
+/// entry points expect.
+pub fn bidirect(g: &km_graph::CsrGraph) -> DiGraph {
+    let arcs: Vec<(Vertex, Vertex)> =
+        g.edges().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
+    DiGraph::from_arcs(g.n(), &arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_iteration::power_iteration;
+    use km_core::ParallelEngine;
+    use km_graph::generators::lower_bound_h::LowerBoundGraph;
+    use km_graph::generators::{classic, gnp};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn net(k: usize, n: usize, seed: u64) -> NetConfig {
+        NetConfig::polylog(k, n, seed).max_rounds(2_000_000)
+    }
+
+    #[test]
+    fn binomial_is_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut total = 0;
+        for _ in 0..200 {
+            total += binomial(&mut rng, 100, 0.3);
+        }
+        let mean = total as f64 / 200.0;
+        assert!((mean - 30.0).abs() < 3.0, "mean {mean}");
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 50, 1.0 - f64::EPSILON), 50);
+    }
+
+    #[test]
+    fn every_vertex_keeps_initial_visits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = bidirect(&gnp(60, 0.1, &mut rng));
+        let part = Arc::new(Partition::by_hash(60, 4, 9));
+        let cfg = PrConfig { reset_prob: 0.4, tokens_per_vertex: 10 };
+        let machines = KmPageRank::build_all(&g, &part, cfg);
+        let report = SequentialEngine::run(net(4, 60, 5), machines).unwrap();
+        let mut seen = [false; 60];
+        for m in &report.machines {
+            for (v, psi) in m.visits() {
+                assert!(psi >= 10, "vertex {v} lost its initial tokens");
+                seen[v as usize] = true;
+            }
+            assert_eq!(m.held_tokens(), 0, "all tokens must be dead at termination");
+        }
+        assert!(seen.iter().all(|&s| s), "every vertex output by some machine");
+    }
+
+    #[test]
+    fn matches_power_iteration_on_cycle() {
+        // Directed cycle: uniform PageRank 1/n; heavy sampling keeps the
+        // statistical error small.
+        let n = 24;
+        let arcs: Vec<(Vertex, Vertex)> = (0..n as Vertex).map(|i| (i, (i + 1) % n as Vertex)).collect();
+        let g = DiGraph::from_arcs(n, &arcs);
+        let part = Arc::new(Partition::by_hash(n, 4, 1));
+        let cfg = PrConfig { reset_prob: 0.3, tokens_per_vertex: 4000 };
+        let (pr, _) = run_kmachine_pagerank(&g, &part, cfg, net(4, n, 3)).unwrap();
+        let exact = power_iteration(&g, 0.3, 1e-13, 10_000);
+        for v in 0..n {
+            let rel = (pr[v] - exact[v]).abs() / exact[v];
+            assert!(rel < 0.08, "v={v} rel={rel} got={} want={}", pr[v], exact[v]);
+        }
+    }
+
+    #[test]
+    fn lemma4_separation_through_the_distributed_algorithm() {
+        let h = LowerBoundGraph::new(vec![false, true, false, true, false, true]);
+        let g = &h.graph;
+        let part = Arc::new(Partition::by_hash(g.n(), 3, 7));
+        let cfg = PrConfig { reset_prob: 0.3, tokens_per_vertex: 30_000 };
+        let (pr, _) = run_kmachine_pagerank(g, &part, cfg, net(3, g.n(), 11)).unwrap();
+        // Average the two bit classes: clear separation.
+        let avg = |bit: bool| {
+            let vals: Vec<f64> = (0..h.quarter)
+                .filter(|&i| h.bits[i] == bit)
+                .map(|i| pr[h.v_vertex(i) as usize])
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(avg(true) > avg(false) * 1.05, "b1={} b0={}", avg(true), avg(false));
+    }
+
+    #[test]
+    fn heavy_path_exercised_on_star() {
+        // Star hub accumulates ≫ k tokens, forcing the β (heavy) path.
+        let g = bidirect(&classic::star(200));
+        let part = Arc::new(Partition::by_hash(200, 4, 3));
+        let cfg = PrConfig { reset_prob: 0.25, tokens_per_vertex: 40 };
+        let machines = KmPageRank::build_all(&g, &part, cfg);
+        let report = SequentialEngine::run(net(4, 200, 13), machines).unwrap();
+        // The hub's PageRank must dominate (roughly (1-eps) mass + share).
+        let mut hub_est = 0.0;
+        let mut leaf_est = 0.0;
+        for m in &report.machines {
+            for (v, e) in m.output().estimates {
+                if v == 0 {
+                    hub_est = e;
+                } else {
+                    leaf_est = e;
+                }
+            }
+        }
+        assert!(hub_est > 20.0 * leaf_est, "hub={hub_est} leaf={leaf_est}");
+    }
+
+    #[test]
+    fn heavy_path_ablation_still_correct() {
+        // With the heavy path disabled everything goes through α
+        // aggregation; the estimates stay statistically correct.
+        let g = bidirect(&classic::star(100));
+        let part = Arc::new(Partition::by_hash(100, 4, 3));
+        let cfg = PrConfig { reset_prob: 0.3, tokens_per_vertex: 2000 };
+        let machines = KmPageRank::build_all_with_threshold(&g, &part, cfg, u64::MAX);
+        let report = SequentialEngine::run(net(4, 100, 17), machines).unwrap();
+        let mut pr = vec![0.0; 100];
+        for m in &report.machines {
+            assert_eq!(m.held_tokens(), 0);
+            for (v, e) in m.output().estimates {
+                pr[v as usize] = e;
+            }
+        }
+        let exact = power_iteration(&g, 0.3, 1e-12, 10_000);
+        let rel = (pr[0] - exact[0]).abs() / exact[0];
+        assert!(rel < 0.1, "hub estimate off by {rel}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let g = bidirect(&gnp(50, 0.15, &mut rng));
+        let part = Arc::new(Partition::by_hash(50, 5, 2));
+        let cfg = PrConfig { reset_prob: 0.4, tokens_per_vertex: 30 };
+        let (pr1, m1) = run_kmachine_pagerank(&g, &part, cfg, net(5, 50, 77)).unwrap();
+        let (pr2, m2) = run_kmachine_pagerank(&g, &part, cfg, net(5, 50, 77)).unwrap();
+        assert_eq!(pr1, pr2);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let g = bidirect(&gnp(80, 0.1, &mut rng));
+        let part = Arc::new(Partition::by_hash(80, 6, 4));
+        let cfg = PrConfig { reset_prob: 0.35, tokens_per_vertex: 25 };
+        let netc = net(6, 80, 19);
+        let seq = SequentialEngine::run(netc, KmPageRank::build_all(&g, &part, cfg)).unwrap();
+        let par = ParallelEngine::with_threads(3)
+            .run(netc, KmPageRank::build_all(&g, &part, cfg))
+            .unwrap();
+        assert_eq!(seq.metrics, par.metrics);
+        for (a, b) in seq.machines.iter().zip(&par.machines) {
+            assert_eq!(a.output(), b.output());
+        }
+    }
+
+    #[test]
+    fn single_machine_degenerate_case() {
+        let g = bidirect(&classic::path(10));
+        let part = Arc::new(Partition::round_robin(10, 1));
+        let cfg = PrConfig { reset_prob: 0.5, tokens_per_vertex: 10 };
+        let (pr, metrics) = run_kmachine_pagerank(&g, &part, cfg, net(1, 10, 0)).unwrap();
+        assert_eq!(metrics.total_msgs(), 0);
+        assert!(pr.iter().all(|&x| x > 0.0));
+    }
+}

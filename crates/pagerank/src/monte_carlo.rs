@@ -1,0 +1,96 @@
+//! The sequential Monte-Carlo estimator of Das Sarma et al. \[20\].
+//!
+//! The reference implementation of the token process that Algorithm 1
+//! distributes: every vertex creates `tokens_per_vertex` tokens; each
+//! token repeatedly (a) dies with probability `ε`, else (b) moves to a
+//! uniform out-neighbor (dying at dangling vertices); `ψ_v` counts all
+//! visits to `v` including the initial placement, and
+//! `π̂(v) = ε·ψ_v/(n·tokens_per_vertex)`.
+//!
+//! Used as the mid-level oracle: the distributed implementations must
+//! produce estimates statistically indistinguishable from this one, and
+//! this one must converge to [`crate::power_iteration()`](crate::power_iteration()).
+
+use crate::PrConfig;
+use km_graph::{DiGraph, Vertex};
+use rand::Rng;
+
+/// Runs the sequential token process; returns the PageRank estimates.
+pub fn monte_carlo_pagerank<R: Rng>(g: &DiGraph, cfg: &PrConfig, rng: &mut R) -> Vec<f64> {
+    let visits = visit_counts(g, cfg, rng);
+    visits.iter().map(|&psi| cfg.estimate(g.n(), psi)).collect()
+}
+
+/// The raw visit counts `ψ_v` (exposed for conservation tests).
+pub fn visit_counts<R: Rng>(g: &DiGraph, cfg: &PrConfig, rng: &mut R) -> Vec<u64> {
+    let n = g.n();
+    let mut visits = vec![0u64; n];
+    for start in 0..n as Vertex {
+        for _ in 0..cfg.tokens_per_vertex {
+            let mut at = start;
+            visits[at as usize] += 1;
+            loop {
+                if rng.gen_bool(cfg.reset_prob) {
+                    break;
+                }
+                let outs = g.out_neighbors(at);
+                if outs.is_empty() {
+                    break;
+                }
+                at = outs[rng.gen_range(0..outs.len())];
+                visits[at as usize] += 1;
+            }
+        }
+    }
+    visits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_iteration::power_iteration;
+    use km_graph::generators::lower_bound_h::LowerBoundGraph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn visits_at_least_initial_tokens() {
+        let g = DiGraph::from_arcs(5, &[(0, 1), (1, 2)]);
+        let cfg = PrConfig { reset_prob: 0.5, tokens_per_vertex: 20 };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let v = visit_counts(&g, &cfg, &mut rng);
+        for &x in &v {
+            assert!(x >= 20);
+        }
+        // Vertex 4 is isolated: exactly its own tokens.
+        assert_eq!(v[4], 20);
+    }
+
+    #[test]
+    fn estimates_converge_to_power_iteration() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let h = LowerBoundGraph::random(41, &mut rng);
+        let eps = 0.4;
+        // Heavy sampling for a tight statistical test.
+        let cfg = PrConfig { reset_prob: eps, tokens_per_vertex: 20_000 };
+        let mc = monte_carlo_pagerank(&h.graph, &cfg, &mut rng);
+        let exact = power_iteration(&h.graph, eps, 1e-13, 10_000);
+        for (v, (&got, &want)) in mc.iter().zip(&exact).enumerate() {
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.05, "v={v}: got {got}, want {want}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn lemma4_separation_visible_in_monte_carlo() {
+        let h = LowerBoundGraph::new(vec![false, true, false, true]);
+        let eps = 0.3;
+        let cfg = PrConfig { reset_prob: eps, tokens_per_vertex: 50_000 };
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mc = monte_carlo_pagerank(&h.graph, &cfg, &mut rng);
+        // v_1 (bit 1) must measurably exceed v_0 (bit 0).
+        let v0 = mc[h.v_vertex(0) as usize];
+        let v1 = mc[h.v_vertex(1) as usize];
+        assert!(v1 > v0, "v1={v1} v0={v0}");
+    }
+}

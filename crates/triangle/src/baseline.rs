@@ -1,0 +1,199 @@
+//! The full-replication broadcast baseline.
+//!
+//! The strawman the scaling experiments contrast with Theorem 5: every
+//! machine broadcasts its canonically-owned edges to all `k−1` peers, so
+//! everyone learns the whole graph and triangles are deduplicated by a
+//! shared ownership hash. Per-link load is `Θ(m/k)` edges, i.e.
+//! `O~(m/k)` rounds — a full `k^{2/3}` factor slower than the
+//! color-partition algorithm, and the message complexity `Θ(m·k)` shows
+//! why Corollary 2's "aggregate everything" strategies are wasteful.
+
+use km_core::rng::keyed_hash;
+use km_core::{
+    id_bits, Envelope, NetConfig, Outbox, Protocol, RoundCtx, SequentialEngine, Status, WireSize,
+};
+use km_graph::ids::Triangle;
+use km_graph::{CsrGraph, Edge, Partition, Vertex};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Broadcast-baseline message: an edge or a flush marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BcastMsg {
+    /// A replicated edge.
+    Edge {
+        /// The edge.
+        e: Edge,
+        /// Wire size (2 vertex ids).
+        bits: u32,
+    },
+    /// Completion marker.
+    Flush,
+}
+
+impl WireSize for BcastMsg {
+    fn bits(&self) -> u64 {
+        match self {
+            BcastMsg::Edge { bits, .. } => *bits as u64,
+            BcastMsg::Flush => 8,
+        }
+    }
+}
+
+/// One machine of the broadcast baseline.
+#[derive(Debug)]
+pub struct BroadcastTriangle {
+    n: usize,
+    vertices: Vec<Vertex>,
+    adjacency: Vec<Vec<Vertex>>,
+    part: Arc<Partition>,
+    edges: BTreeSet<Edge>,
+    flushes: usize,
+    finished: bool,
+    /// Triangles owned (by hash) and enumerated by this machine.
+    pub triangles: Vec<Triangle>,
+}
+
+impl BroadcastTriangle {
+    /// Builds one protocol instance per machine.
+    pub fn build_all(g: &CsrGraph, part: &Arc<Partition>) -> Vec<BroadcastTriangle> {
+        assert_eq!(g.n(), part.n(), "partition size mismatch");
+        (0..part.k())
+            .map(|i| {
+                let vertices: Vec<Vertex> = part.members(i).to_vec();
+                let adjacency = vertices.iter().map(|&v| g.neighbors(v).to_vec()).collect();
+                BroadcastTriangle {
+                    n: g.n(),
+                    vertices,
+                    adjacency,
+                    part: Arc::clone(part),
+                    edges: BTreeSet::new(),
+                    flushes: 0,
+                    finished: false,
+                    triangles: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    fn enumerate(&mut self, ctx: &RoundCtx<'_>) {
+        // Shared ownership hash dedups output across machines.
+        let k = ctx.k;
+        let me = ctx.me;
+        let shared = ctx.shared_seed;
+        let accept = |a: Vertex, b: Vertex, c: Vertex| {
+            let key = ((a as u64) << 42) ^ ((b as u64) << 21) ^ c as u64;
+            (keyed_hash(shared, key) % k as u64) as usize == me
+        };
+        self.triangles = crate::kmachine::enumerate_within(&self.edges, accept);
+    }
+}
+
+impl Protocol for BroadcastTriangle {
+    type Msg = BcastMsg;
+
+    fn round(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        inbox: &[Envelope<BcastMsg>],
+        out: &mut Outbox<BcastMsg>,
+    ) -> Status {
+        if ctx.round == 0 {
+            let bits = (2 * id_bits(self.n)) as u32;
+            for (j, &v) in self.vertices.iter().enumerate() {
+                for &w in &self.adjacency[j] {
+                    // Canonical owner: the home of the smaller endpoint.
+                    let e = Edge::new(v, w);
+                    if self.part.home(e.u) == ctx.me && v == e.u {
+                        self.edges.insert(e);
+                        out.broadcast(ctx.me, BcastMsg::Edge { e, bits });
+                    }
+                }
+            }
+            out.broadcast(ctx.me, BcastMsg::Flush);
+            if ctx.k == 1 {
+                self.enumerate(ctx);
+                self.finished = true;
+                return Status::Done;
+            }
+            return Status::Active;
+        }
+        for env in inbox {
+            match env.msg {
+                BcastMsg::Edge { e, .. } => {
+                    self.edges.insert(e);
+                }
+                BcastMsg::Flush => self.flushes += 1,
+            }
+        }
+        if !self.finished && self.flushes == ctx.k - 1 {
+            self.enumerate(ctx);
+            self.finished = true;
+        }
+        if self.finished {
+            Status::Done
+        } else {
+            Status::Active
+        }
+    }
+}
+
+/// Runs the broadcast baseline end to end.
+pub fn run_broadcast_triangles(
+    g: &CsrGraph,
+    part: &Arc<Partition>,
+    net: NetConfig,
+) -> Result<(Vec<Triangle>, km_core::Metrics), km_core::EngineError> {
+    let machines = BroadcastTriangle::build_all(g, part);
+    let report = SequentialEngine::run(net, machines)?;
+    let mut all: Vec<Triangle> = report
+        .machines
+        .iter()
+        .flat_map(|m| m.triangles.iter().copied())
+        .collect();
+    all.sort_unstable();
+    Ok((all, report.metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmachine::{run_kmachine_triangles, TriConfig};
+    use crate::seq::enumerate_triangles;
+    use km_graph::generators::gnp;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn net(k: usize, n: usize, seed: u64) -> NetConfig {
+        NetConfig::polylog(k, n, seed).max_rounds(5_000_000)
+    }
+
+    #[test]
+    fn baseline_is_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = gnp(40, 0.4, &mut rng);
+        let part = Arc::new(Partition::by_hash(40, 6, 3));
+        let (ts, _) = run_broadcast_triangles(&g, &part, net(6, 40, 4)).unwrap();
+        assert_eq!(ts, enumerate_triangles(&g));
+    }
+
+    #[test]
+    fn color_partition_beats_broadcast_on_rounds() {
+        // Dense-ish graph, enough machines for the k^{2/3} gap to show.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 120;
+        let k = 27;
+        let g = gnp(n, 0.5, &mut rng);
+        let part = Arc::new(Partition::by_hash(n, k, 5));
+        let (_, m_bcast) = run_broadcast_triangles(&g, &part, net(k, n, 6)).unwrap();
+        let (_, m_color) =
+            run_kmachine_triangles(&g, &part, TriConfig::default(), net(k, n, 6)).unwrap();
+        assert!(
+            m_bcast.rounds > m_color.rounds,
+            "broadcast {} rounds vs color {} rounds",
+            m_bcast.rounds,
+            m_color.rounds
+        );
+        assert!(m_bcast.total_msgs() > 2 * m_color.total_msgs());
+    }
+}

@@ -1,0 +1,704 @@
+//! The `O~(m/k^{5/3} + n/k^{4/3})` triangle enumeration algorithm
+//! (Theorem 5, Section 3.2), generalizing Dolev–Lenzen–Peled's
+//! "Tri, tri again" partition to `k ≪ n` machines.
+//!
+//! **Color partition.** A shared hash colors every vertex with one of
+//! `q = Θ(k^{1/3})` colors, splitting `V` into `q` classes of `O~(n/q)`
+//! vertices. Every *multiset* `{a,b,c}` of colors is assigned to a
+//! distinct machine (there are `C(q+2,3) ≤ k` of them; `q` is chosen
+//! maximal). The machine owning `{a,b,c}` collects every edge whose
+//! endpoint colors are a sub-multiset and enumerates exactly the
+//! triangles whose color multiset equals `{a,b,c}` — so each triangle is
+//! reported by exactly one machine, and each edge is replicated to at
+//! most `q = O(k^{1/3})` machines (the count in the proof of Theorem 5).
+//!
+//! **Edge proxies and the designation rule.** Edges travel via a
+//! uniformly random *proxy* machine (randomized proxy computation,
+//! Section 1.3), which spreads the `m·k^{1/3}` re-routing messages evenly.
+//! Who sends an edge to its proxy follows the paper's *proxy assignment
+//! rule*: a machine hosting a vertex `v` of degree ≥ `2k·log n` broadcasts
+//! a designation request, and the machines hosting `v`'s neighbors send
+//! those edges instead (ties between two high-degree endpoints broken by
+//! a shared coin) — this is what removes the `Δ/k` term from the runtime.
+//!
+//! Phases are separated by the same FIFO flush barrier as the PageRank
+//! protocol (drift ≤ 1 phase, messages carry their phase tag).
+
+use km_core::{
+    id_bits, Envelope, NetConfig, Outbox, Protocol, RoundCtx, SequentialEngine, Status, WireSize,
+};
+use km_core::{rng::keyed_hash, MachineIdx};
+use km_graph::ids::Triangle;
+use km_graph::{CsrGraph, Edge, Partition, Vertex};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+const COLOR_SALT: u64 = 0x7A11_AC0F_F1CE_0001;
+const PROXY_SALT: u64 = 0x7A11_AC0F_F1CE_0002;
+const TIE_SALT: u64 = 0x7A11_AC0F_F1CE_0003;
+
+/// Canonical 64-bit key of an edge (for hashing).
+#[inline]
+fn edge_key(e: Edge) -> u64 {
+    ((e.u as u64) << 32) | e.v as u64
+}
+
+/// The shared color scheme: `q` colors and the multiset-triplet → machine
+/// assignment, identically computable on every machine from `k` alone.
+#[derive(Debug, Clone)]
+pub struct ColorScheme {
+    q: usize,
+    triplets: Vec<[u8; 3]>,
+    index: HashMap<[u8; 3], MachineIdx>,
+}
+
+impl ColorScheme {
+    /// Builds the scheme for `k` machines: the largest `q` with
+    /// `C(q+2,3) ≤ k` (so `q ≥ ⌊k^{1/3}⌋`), triplets enumerated in
+    /// lexicographic order.
+    pub fn for_machines(k: usize) -> Self {
+        assert!(k >= 1, "need at least one machine");
+        let mut q = 1usize;
+        while (q + 1) * (q + 2) * (q + 3) / 6 <= k {
+            q += 1;
+        }
+        let mut triplets = Vec::new();
+        for a in 0..q as u8 {
+            for b in a..q as u8 {
+                for c in b..q as u8 {
+                    triplets.push([a, b, c]);
+                }
+            }
+        }
+        let index = triplets
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as MachineIdx))
+            .collect();
+        ColorScheme { q, triplets, index }
+    }
+
+    /// Number of colors `q`.
+    pub fn colors(&self) -> usize {
+        self.q
+    }
+
+    /// Number of machines that own a triplet.
+    pub fn triplet_machines(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// The triplet owned by `machine`, if any.
+    pub fn triplet_of(&self, machine: MachineIdx) -> Option<[u8; 3]> {
+        self.triplets.get(machine).copied()
+    }
+
+    /// The color of vertex `v` under the shared seed.
+    #[inline]
+    pub fn color(&self, shared_seed: u64, v: Vertex) -> u8 {
+        (keyed_hash(shared_seed ^ COLOR_SALT, v as u64) % self.q as u64) as u8
+    }
+
+    /// The machines whose triplet contains the (multiset) color pair
+    /// `{ca, cb}` — at most `q` of them; exactly the machines that must
+    /// receive an edge with these endpoint colors.
+    pub fn machines_for_pair(&self, ca: u8, cb: u8) -> Vec<MachineIdx> {
+        let mut out = Vec::with_capacity(self.q);
+        for x in 0..self.q as u8 {
+            let mut t = [ca, cb, x];
+            t.sort_unstable();
+            let m = self.index[&t];
+            if !out.contains(&m) {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// The unique machine that enumerates a triangle with these endpoint
+    /// colors.
+    pub fn owner_of(&self, c1: u8, c2: u8, c3: u8) -> MachineIdx {
+        let mut t = [c1, c2, c3];
+        t.sort_unstable();
+        self.index[&t]
+    }
+}
+
+/// Message payload of the triangle protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TriPayload {
+    /// "My vertex `v` has high degree — you designate its edges' proxies."
+    HdRequest {
+        /// The high-degree vertex.
+        v: Vertex,
+    },
+    /// An edge on its way to its proxy.
+    ToProxy {
+        /// The edge.
+        e: Edge,
+    },
+    /// An edge re-routed from its proxy to a triplet machine.
+    ToMachine {
+        /// The edge.
+        e: Edge,
+    },
+    /// Phase-completion barrier marker.
+    Flush,
+}
+
+/// A phase-tagged message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriMsg {
+    /// The sender's phase when emitting (receivers buffer ahead-of-phase
+    /// messages; drift is at most one phase).
+    pub phase: u8,
+    /// The payload.
+    pub payload: TriPayload,
+    bits: u32,
+}
+
+impl TriMsg {
+    fn hd(n: usize, phase: u8, v: Vertex) -> Self {
+        TriMsg { phase, payload: TriPayload::HdRequest { v }, bits: (2 + id_bits(n)) as u32 }
+    }
+    fn to_proxy(n: usize, phase: u8, e: Edge) -> Self {
+        TriMsg { phase, payload: TriPayload::ToProxy { e }, bits: (2 + 2 * id_bits(n)) as u32 }
+    }
+    fn to_machine(n: usize, phase: u8, e: Edge) -> Self {
+        TriMsg { phase, payload: TriPayload::ToMachine { e }, bits: (2 + 2 * id_bits(n)) as u32 }
+    }
+    fn flush(phase: u8) -> Self {
+        TriMsg { phase, payload: TriPayload::Flush, bits: 8 }
+    }
+}
+
+impl WireSize for TriMsg {
+    fn bits(&self) -> u64 {
+        self.bits as u64
+    }
+}
+
+/// Tuning knobs of the protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct TriConfig {
+    /// Degree threshold for the designation-request rule; `None` uses the
+    /// paper's `2·k·log₂ n`.
+    pub degree_threshold: Option<usize>,
+    /// Also enumerate open triads (Section 1.2 notes the bounds extend).
+    pub enumerate_triads: bool,
+    /// Route edges through random proxies (the paper's randomized proxy
+    /// computation). `false` sends designated edges straight to their
+    /// triplet machines — the ablation showing why the extra hop exists.
+    pub use_proxies: bool,
+}
+
+impl Default for TriConfig {
+    fn default() -> Self {
+        TriConfig { degree_threshold: None, enumerate_triads: false, use_proxies: true }
+    }
+}
+
+/// One machine of the Theorem 5 protocol.
+#[derive(Debug)]
+pub struct KmTriangle {
+    n: usize,
+    vertices: Vec<Vertex>,
+    adjacency: Vec<Vec<Vertex>>,
+    part: Arc<Partition>,
+    scheme: ColorScheme,
+    threshold: usize,
+    cfg: TriConfig,
+    /// Globally-known high-degree vertices (mine + received requests).
+    hd: BTreeSet<Vertex>,
+    /// Edges this machine proxies.
+    proxy_edges: Vec<Edge>,
+    /// Edges received for my triplet.
+    recv_edges: BTreeSet<Edge>,
+    phase: u8,
+    flushes: usize,
+    pending: Vec<TriMsg>,
+    finished: bool,
+    /// Triangles this machine enumerated (exactly the triangles whose
+    /// color multiset equals this machine's triplet).
+    pub triangles: Vec<Triangle>,
+    /// Open triads enumerated (only when `cfg.enumerate_triads`), as
+    /// `(center, a, b)` with `a < b` and edge `{a,b}` absent.
+    pub open_triads: Vec<(Vertex, Vertex, Vertex)>,
+}
+
+impl KmTriangle {
+    /// Builds one protocol instance per machine from the global input.
+    pub fn build_all(g: &CsrGraph, part: &Arc<Partition>, cfg: TriConfig) -> Vec<KmTriangle> {
+        assert_eq!(g.n(), part.n(), "partition size mismatch");
+        let k = part.k();
+        let scheme = ColorScheme::for_machines(k);
+        let threshold = cfg.degree_threshold.unwrap_or_else(|| {
+            (2.0 * k as f64 * (g.n().max(2) as f64).log2()).ceil() as usize
+        });
+        (0..k)
+            .map(|i| {
+                let vertices: Vec<Vertex> = part.members(i).to_vec();
+                let adjacency = vertices.iter().map(|&v| g.neighbors(v).to_vec()).collect();
+                KmTriangle {
+                    n: g.n(),
+                    vertices,
+                    adjacency,
+                    part: Arc::clone(part),
+                    scheme: scheme.clone(),
+                    threshold,
+                    cfg,
+                    hd: BTreeSet::new(),
+                    proxy_edges: Vec::new(),
+                    recv_edges: BTreeSet::new(),
+                    phase: 0,
+                    flushes: 0,
+                    pending: Vec::new(),
+                    finished: false,
+                    triangles: Vec::new(),
+                    open_triads: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    /// The shared color scheme (for tests and experiments).
+    pub fn scheme(&self) -> &ColorScheme {
+        &self.scheme
+    }
+
+    fn apply(&mut self, msg: &TriMsg) {
+        match msg.payload {
+            TriPayload::HdRequest { v } => {
+                self.hd.insert(v);
+            }
+            TriPayload::ToProxy { e } => self.proxy_edges.push(e),
+            TriPayload::ToMachine { e } => {
+                self.recv_edges.insert(e);
+            }
+            TriPayload::Flush => self.flushes += 1,
+        }
+    }
+
+    /// Phase 0: broadcast designation requests for high-degree vertices.
+    fn phase0(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<TriMsg>) {
+        for (j, &v) in self.vertices.iter().enumerate() {
+            if self.adjacency[j].len() >= self.threshold {
+                self.hd.insert(v);
+                out.broadcast(ctx.me, TriMsg::hd(self.n, 0, v));
+            }
+        }
+        out.broadcast(ctx.me, TriMsg::flush(0));
+    }
+
+    /// The machine responsible for shipping edge `e` to its proxy,
+    /// following the designation rule. Deterministic across machines
+    /// because the HD set is global after phase 0.
+    fn designator(&self, shared: u64, e: Edge) -> MachineIdx {
+        let u_hd = self.hd.contains(&e.u);
+        let v_hd = self.hd.contains(&e.v);
+        match (u_hd, v_hd) {
+            // v's request honored: u's home ships (and vice versa).
+            (false, true) => self.part.home(e.u),
+            (true, false) => self.part.home(e.v),
+            // Tie: a shared coin picks which request wins.
+            (true, true) => {
+                if keyed_hash(shared ^ TIE_SALT, edge_key(e)) & 1 == 0 {
+                    self.part.home(e.v)
+                } else {
+                    self.part.home(e.u)
+                }
+            }
+            // No high-degree endpoint: the lower endpoint's home ships.
+            (false, false) => self.part.home(e.u),
+        }
+    }
+
+    /// Phase 1: ship every edge I'm the designator of to its random proxy
+    /// (or, in the ablation, straight to its triplet machines).
+    fn phase1(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<TriMsg>) {
+        let shared = ctx.shared_seed;
+        let mut known: BTreeSet<Edge> = BTreeSet::new();
+        for (j, &v) in self.vertices.iter().enumerate() {
+            for &w in &self.adjacency[j] {
+                known.insert(Edge::new(v, w));
+            }
+        }
+        for &e in &known {
+            if self.designator(shared, e) != ctx.me {
+                continue;
+            }
+            if self.cfg.use_proxies {
+                let proxy = km_core::router::proxy_of(shared ^ PROXY_SALT, edge_key(e), ctx.k);
+                if proxy == ctx.me {
+                    self.proxy_edges.push(e);
+                } else {
+                    out.send(proxy, TriMsg::to_proxy(self.n, 1, e));
+                }
+            } else {
+                let ca = self.scheme.color(shared, e.u);
+                let cb = self.scheme.color(shared, e.v);
+                for m in self.scheme.machines_for_pair(ca, cb) {
+                    if m == ctx.me {
+                        self.recv_edges.insert(e);
+                    } else {
+                        out.send(m, TriMsg::to_machine(self.n, 1, e));
+                    }
+                }
+            }
+        }
+        out.broadcast(ctx.me, TriMsg::flush(1));
+    }
+
+    /// Phase 2: as a proxy, re-route each edge to the machines whose
+    /// triplet contains its color pair.
+    fn phase2(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<TriMsg>) {
+        let shared = ctx.shared_seed;
+        let edges = std::mem::take(&mut self.proxy_edges);
+        for e in edges {
+            let ca = self.scheme.color(shared, e.u);
+            let cb = self.scheme.color(shared, e.v);
+            for m in self.scheme.machines_for_pair(ca, cb) {
+                if m == ctx.me {
+                    self.recv_edges.insert(e);
+                } else {
+                    out.send(m, TriMsg::to_machine(self.n, 2, e));
+                }
+            }
+        }
+        out.broadcast(ctx.me, TriMsg::flush(2));
+    }
+
+    /// Phase 3: local enumeration over the received edges.
+    fn phase3(&mut self, ctx: &mut RoundCtx<'_>) {
+        let shared = ctx.shared_seed;
+        let Some(mine) = self.scheme.triplet_of(ctx.me) else {
+            return; // machines beyond the triplet count only proxied
+        };
+        let scheme = &self.scheme;
+        let accept = |a: Vertex, b: Vertex, c: Vertex| {
+            let mut t = [
+                scheme.color(shared, a),
+                scheme.color(shared, b),
+                scheme.color(shared, c),
+            ];
+            t.sort_unstable();
+            t == mine
+        };
+        self.triangles = enumerate_within(&self.recv_edges, accept);
+        if self.cfg.enumerate_triads {
+            self.open_triads = enumerate_triads_within(&self.recv_edges, accept);
+        }
+    }
+
+    fn maybe_advance(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<TriMsg>) {
+        while !self.finished && self.flushes == ctx.k - 1 {
+            self.flushes = 0;
+            self.phase += 1;
+            let pending = std::mem::take(&mut self.pending);
+            for msg in &pending {
+                debug_assert_eq!(msg.phase, self.phase, "phase drift exceeded 1");
+                self.apply(msg);
+            }
+            match self.phase {
+                1 => self.phase1(ctx, out),
+                2 => self.phase2(ctx, out),
+                3 => {
+                    self.phase3(ctx);
+                    self.finished = true;
+                }
+                p => unreachable!("no phase {p}"),
+            }
+        }
+    }
+}
+
+impl Protocol for KmTriangle {
+    type Msg = TriMsg;
+
+    fn round(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        inbox: &[Envelope<TriMsg>],
+        out: &mut Outbox<TriMsg>,
+    ) -> Status {
+        if ctx.round == 0 {
+            self.phase0(ctx, out);
+            self.maybe_advance(ctx, out); // k == 1 runs everything inline
+            return if self.finished { Status::Done } else { Status::Active };
+        }
+        for env in inbox {
+            if env.msg.phase == self.phase {
+                let msg = env.msg.clone();
+                self.apply(&msg);
+            } else {
+                self.pending.push(env.msg.clone());
+            }
+        }
+        self.maybe_advance(ctx, out);
+        if self.finished {
+            Status::Done
+        } else {
+            Status::Active
+        }
+    }
+}
+
+/// Enumerates all triangles within an edge set, filtered by `accept`
+/// (each triangle reported once, canonical order).
+pub(crate) fn enumerate_within(
+    edges: &BTreeSet<Edge>,
+    accept: impl Fn(Vertex, Vertex, Vertex) -> bool,
+) -> Vec<Triangle> {
+    let mut adj: HashMap<Vertex, Vec<Vertex>> = HashMap::new();
+    for e in edges {
+        adj.entry(e.u).or_default().push(e.v);
+        adj.entry(e.v).or_default().push(e.u);
+    }
+    for list in adj.values_mut() {
+        list.sort_unstable();
+    }
+    let mut out = Vec::new();
+    for e in edges {
+        let (u, v) = (e.u, e.v);
+        let nu = &adj[&u];
+        let nv = &adj[&v];
+        let mut i = nu.partition_point(|&w| w <= v);
+        let mut j = nv.partition_point(|&w| w <= v);
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if accept(u, v, nu[i]) {
+                        out.push(Triangle { a: u, b: v, c: nu[i] });
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Enumerates open triads `(center, a, b)` (two edges present, third
+/// absent) within an edge set, filtered by `accept`.
+pub(crate) fn enumerate_triads_within(
+    edges: &BTreeSet<Edge>,
+    accept: impl Fn(Vertex, Vertex, Vertex) -> bool,
+) -> Vec<(Vertex, Vertex, Vertex)> {
+    let mut adj: HashMap<Vertex, Vec<Vertex>> = HashMap::new();
+    for e in edges {
+        adj.entry(e.u).or_default().push(e.v);
+        adj.entry(e.v).or_default().push(e.u);
+    }
+    let mut keys: Vec<Vertex> = adj.keys().copied().collect();
+    keys.sort_unstable();
+    for list in adj.values_mut() {
+        list.sort_unstable();
+    }
+    let mut out = Vec::new();
+    for &center in &keys {
+        let ns = &adj[&center];
+        for (i, &a) in ns.iter().enumerate() {
+            for &b in &ns[i + 1..] {
+                if !edges.contains(&Edge::new(a, b)) && accept(center, a, b) {
+                    out.push((center, a, b));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Runs the Theorem 5 protocol end to end and returns the globally
+/// assembled (sorted) triangle list plus transcript metrics.
+pub fn run_kmachine_triangles(
+    g: &CsrGraph,
+    part: &Arc<Partition>,
+    cfg: TriConfig,
+    net: NetConfig,
+) -> Result<(Vec<Triangle>, km_core::Metrics), km_core::EngineError> {
+    let machines = KmTriangle::build_all(g, part, cfg);
+    let report = SequentialEngine::run(net, machines)?;
+    let mut all: Vec<Triangle> = report
+        .machines
+        .iter()
+        .flat_map(|m| m.triangles.iter().copied())
+        .collect();
+    all.sort_unstable();
+    Ok((all, report.metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::enumerate_triangles;
+    use km_core::ParallelEngine;
+    use km_graph::generators::{classic, gnp};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn net(k: usize, n: usize, seed: u64) -> NetConfig {
+        NetConfig::polylog(k, n, seed).max_rounds(5_000_000)
+    }
+
+    #[test]
+    fn color_scheme_shapes() {
+        let s8 = ColorScheme::for_machines(8);
+        assert_eq!(s8.colors(), 2);
+        assert_eq!(s8.triplet_machines(), 4); // C(4,3)
+        let s27 = ColorScheme::for_machines(27);
+        assert_eq!(s27.colors(), 4); // C(6,3)=20 ≤ 27 < C(7,3)=35
+        assert_eq!(s27.triplet_machines(), 20);
+        let s1 = ColorScheme::for_machines(1);
+        assert_eq!(s1.colors(), 1);
+        assert_eq!(s1.triplet_machines(), 1);
+    }
+
+    #[test]
+    fn every_pair_reaches_at_most_q_machines() {
+        let s = ColorScheme::for_machines(64);
+        let q = s.colors();
+        for a in 0..q as u8 {
+            for b in a..q as u8 {
+                let ms = s.machines_for_pair(a, b);
+                assert!(!ms.is_empty() && ms.len() <= q, "pair ({a},{b}): {}", ms.len());
+                // The owner of any triangle containing the pair is reachable.
+                for c in 0..q as u8 {
+                    assert!(ms.contains(&s.owner_of(a, b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumerates_k4_exactly() {
+        let g = classic::complete(4);
+        let part = Arc::new(Partition::by_hash(4, 5, 3));
+        let (ts, _) = run_kmachine_triangles(&g, &part, TriConfig::default(), net(5, 4, 1)).unwrap();
+        assert_eq!(ts, enumerate_triangles(&g));
+        assert_eq!(ts.len(), 4);
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for (n, p, k, seed) in [(40, 0.3, 4, 1u64), (60, 0.5, 9, 2), (50, 0.2, 16, 3), (30, 0.8, 7, 4)] {
+            let g = gnp(n, p, &mut rng);
+            let part = Arc::new(Partition::by_hash(n, k, seed));
+            let (ts, _) =
+                run_kmachine_triangles(&g, &part, TriConfig::default(), net(k, n, seed)).unwrap();
+            let want = enumerate_triangles(&g);
+            assert_eq!(ts, want, "n={n} p={p} k={k}");
+        }
+    }
+
+    #[test]
+    fn each_triangle_enumerated_by_unique_owner() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let g = gnp(45, 0.4, &mut rng);
+        let k = 11;
+        let part = Arc::new(Partition::by_hash(45, k, 5));
+        let machines = KmTriangle::build_all(&g, &part, TriConfig::default());
+        let report = SequentialEngine::run(net(k, 45, 5), machines).unwrap();
+        let mut seen = BTreeSet::new();
+        for m in &report.machines {
+            for t in &m.triangles {
+                assert!(seen.insert(*t), "triangle {t:?} reported twice");
+            }
+        }
+        assert_eq!(seen.len(), enumerate_triangles(&g).len());
+    }
+
+    #[test]
+    fn high_degree_designation_rule_fires() {
+        // Star with a tiny threshold: the hub is high-degree, so leaves'
+        // home machines must ship its edges. Add a triangle so output is
+        // non-trivial.
+        let mut edges: Vec<(Vertex, Vertex)> = (1..50).map(|v| (0, v)).collect();
+        edges.push((1, 2));
+        let g = CsrGraph::from_edges(50, &edges);
+        let k = 6;
+        let part = Arc::new(Partition::by_hash(50, k, 2));
+        let cfg = TriConfig { degree_threshold: Some(5), enumerate_triads: false, use_proxies: true };
+        let machines = KmTriangle::build_all(&g, &part, cfg);
+        let report = SequentialEngine::run(net(k, 50, 8), machines).unwrap();
+        let mut all: Vec<Triangle> =
+            report.machines.iter().flat_map(|m| m.triangles.iter().copied()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![Triangle::new(0, 1, 2)]);
+        // The HD set must have propagated to every machine.
+        for m in &report.machines {
+            assert!(m.hd.contains(&0));
+        }
+    }
+
+    #[test]
+    fn open_triads_match_sequential_oracle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let g = gnp(25, 0.3, &mut rng);
+        let k = 8;
+        let part = Arc::new(Partition::by_hash(25, k, 4));
+        let cfg = TriConfig { degree_threshold: None, enumerate_triads: true, use_proxies: true };
+        let machines = KmTriangle::build_all(&g, &part, cfg);
+        let report = SequentialEngine::run(net(k, 25, 6), machines).unwrap();
+        let mut got: Vec<(Vertex, Vertex, Vertex)> =
+            report.machines.iter().flat_map(|m| m.open_triads.iter().copied()).collect();
+        got.sort_unstable();
+        let want = crate::triads::enumerate_open_triads(&g);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn proxyless_ablation_is_still_exact() {
+        // Disabling proxies changes the routing pattern, not correctness.
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let g = gnp(45, 0.4, &mut rng);
+        let k = 9;
+        let part = Arc::new(Partition::by_hash(45, k, 6));
+        let cfg = TriConfig { degree_threshold: None, enumerate_triads: false, use_proxies: false };
+        let (ts, _) = run_kmachine_triangles(&g, &part, cfg, net(k, 45, 7)).unwrap();
+        assert_eq!(ts, enumerate_triangles(&g));
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let g = gnp(50, 0.3, &mut rng);
+        let k = 9;
+        let part = Arc::new(Partition::by_hash(50, k, 7));
+        let netc = net(k, 50, 12);
+        let seq =
+            SequentialEngine::run(netc, KmTriangle::build_all(&g, &part, TriConfig::default()))
+                .unwrap();
+        let par = ParallelEngine::with_threads(4)
+            .run(netc, KmTriangle::build_all(&g, &part, TriConfig::default()))
+            .unwrap();
+        assert_eq!(seq.metrics, par.metrics);
+        for (a, b) in seq.machines.iter().zip(&par.machines) {
+            assert_eq!(a.triangles, b.triangles);
+        }
+    }
+
+    #[test]
+    fn single_machine_runs_inline() {
+        let g = classic::complete(6);
+        let part = Arc::new(Partition::round_robin(6, 1));
+        let (ts, metrics) =
+            run_kmachine_triangles(&g, &part, TriConfig::default(), net(1, 6, 0)).unwrap();
+        assert_eq!(ts.len(), 20);
+        assert_eq!(metrics.total_msgs(), 0);
+    }
+
+    #[test]
+    fn empty_graph_enumerates_nothing() {
+        let g = CsrGraph::from_edges(10, &[]);
+        let part = Arc::new(Partition::by_hash(10, 4, 1));
+        let (ts, _) =
+            run_kmachine_triangles(&g, &part, TriConfig::default(), net(4, 10, 2)).unwrap();
+        assert!(ts.is_empty());
+    }
+}

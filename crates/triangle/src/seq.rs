@@ -1,0 +1,169 @@
+//! Sequential triangle enumeration oracles.
+//!
+//! [`enumerate_triangles`] is the standard *forward* algorithm on sorted
+//! adjacency (each triangle reported once, `O(m^{3/2})`);
+//! [`node_iterator_naive`] is the textbook `O(Σ deg²)` enumerator kept as
+//! an independent oracle for property tests.
+
+use km_graph::ids::Triangle;
+use km_graph::CsrGraph;
+
+/// Enumerates every triangle of `g` exactly once, in canonical order.
+///
+/// Walks each edge `(u, v)` with `u < v` and merge-intersects the
+/// higher-than-`v` tails of the two sorted adjacency lists.
+pub fn enumerate_triangles(g: &CsrGraph) -> Vec<Triangle> {
+    let mut out = Vec::new();
+    for u in g.vertices() {
+        let nu = g.neighbors(u);
+        for &v in nu.iter().filter(|&&v| v > u) {
+            let nv = g.neighbors(v);
+            // Intersect {w ∈ N(u) : w > v} with {w ∈ N(v) : w > v}.
+            let mut i = nu.partition_point(|&w| w <= v);
+            let mut j = nv.partition_point(|&w| w <= v);
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(Triangle { a: u, b: v, c: nu[i] });
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Number of triangles (no materialization).
+pub fn count_triangles(g: &CsrGraph) -> usize {
+    let mut count = 0;
+    for u in g.vertices() {
+        let nu = g.neighbors(u);
+        for &v in nu.iter().filter(|&&v| v > u) {
+            let nv = g.neighbors(v);
+            let mut i = nu.partition_point(|&w| w <= v);
+            let mut j = nv.partition_point(|&w| w <= v);
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// The naive node-iterator oracle: for every vertex, test all neighbor
+/// pairs. Quadratic in degree — use only on small graphs in tests.
+pub fn node_iterator_naive(g: &CsrGraph) -> Vec<Triangle> {
+    let mut out = Vec::new();
+    for v in g.vertices() {
+        let ns = g.neighbors(v);
+        for (i, &a) in ns.iter().enumerate() {
+            if a <= v {
+                continue;
+            }
+            for &b in &ns[i + 1..] {
+                if g.has_edge(a, b) {
+                    out.push(Triangle::new(v, a, b));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Expected triangle count of `G(n, p)`: `C(n,3)·p³` (Theorem 3 uses
+/// `t = Θ(C(n,3))` at `p = 1/2`).
+pub fn expected_gnp_triangles(n: usize, p: f64) -> f64 {
+    let n = n as f64;
+    n * (n - 1.0) * (n - 2.0) / 6.0 * p * p * p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use km_graph::generators::{classic, gnp};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let g = classic::complete(4);
+        let ts = enumerate_triangles(&g);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(count_triangles(&g), 4);
+    }
+
+    #[test]
+    fn complete_graph_count_is_binomial() {
+        for n in [3usize, 5, 8, 12] {
+            let g = classic::complete(n);
+            let expect = n * (n - 1) * (n - 2) / 6;
+            assert_eq!(count_triangles(&g), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graphs() {
+        assert_eq!(count_triangles(&classic::star(20)), 0);
+        assert_eq!(count_triangles(&classic::path(20)), 0);
+        assert_eq!(count_triangles(&classic::cycle(20)), 0);
+        assert_eq!(count_triangles(&classic::complete_bipartite(5, 7)), 0);
+        assert_eq!(count_triangles(&classic::cycle(3)), 1);
+    }
+
+    #[test]
+    fn enumeration_is_canonical_and_unique() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = gnp(40, 0.3, &mut rng);
+        let ts = enumerate_triangles(&g);
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ts.len(), "no duplicates");
+        for t in &ts {
+            assert!(t.a < t.b && t.b < t.c);
+            assert!(g.has_edge(t.a, t.b) && g.has_edge(t.a, t.c) && g.has_edge(t.b, t.c));
+        }
+    }
+
+    #[test]
+    fn gnp_half_matches_expectation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let n = 60;
+        let g = gnp(n, 0.5, &mut rng);
+        let t = count_triangles(&g) as f64;
+        let expect = expected_gnp_triangles(n, 0.5);
+        assert!((t - expect).abs() < 0.25 * expect, "t={t} expect={expect}");
+    }
+
+    proptest! {
+        /// The forward algorithm agrees with the naive oracle.
+        #[test]
+        fn forward_matches_naive(edges in proptest::collection::vec((0u32..25, 0u32..25), 0..180)) {
+            let g = CsrGraph::from_edges(25, &edges);
+            let fast = enumerate_triangles(&g);
+            let slow = node_iterator_naive(&g);
+            prop_assert_eq!(fast, slow);
+        }
+
+        /// Counting agrees with enumeration length.
+        #[test]
+        fn count_matches_enumeration(edges in proptest::collection::vec((0u32..20, 0u32..20), 0..150)) {
+            let g = CsrGraph::from_edges(20, &edges);
+            prop_assert_eq!(count_triangles(&g), enumerate_triangles(&g).len());
+        }
+    }
+}

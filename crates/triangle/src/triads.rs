@@ -1,0 +1,111 @@
+//! Open triads: triples of vertices with exactly two edges.
+//!
+//! Section 1.2: "Our bounds for triangle enumeration also apply to the
+//! problem of enumerating all the open triads" — friend-recommendation
+//! structure in social networks. The distributed enumeration rides on the
+//! same color-partition protocol ([`crate::kmachine::TriConfig`] with
+//! `enumerate_triads`); this module provides the sequential oracle and
+//! counting identities.
+
+use km_graph::{CsrGraph, Vertex};
+
+/// Enumerates all open triads as `(center, a, b)` with `a < b`:
+/// edges `{center,a}` and `{center,b}` present, `{a,b}` absent.
+///
+/// `O(Σ deg²)` — each triad has a unique center, so each is reported once.
+pub fn enumerate_open_triads(g: &CsrGraph) -> Vec<(Vertex, Vertex, Vertex)> {
+    let mut out = Vec::new();
+    for center in g.vertices() {
+        let ns = g.neighbors(center);
+        for (i, &a) in ns.iter().enumerate() {
+            for &b in &ns[i + 1..] {
+                if !g.has_edge(a, b) {
+                    out.push((center, a, b));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Counts open triads via the identity
+/// `#triads = Σ_v C(deg v, 2) − 3·#triangles`
+/// (every triangle contributes a closed wedge at each of its 3 vertices).
+pub fn count_open_triads(g: &CsrGraph) -> usize {
+    let wedges: usize = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v);
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    wedges - 3 * crate::seq::count_triangles(g)
+}
+
+/// The global clustering coefficient `3·triangles / wedges` (a standard
+/// consumer of triangle + triad counts; used by the social-network
+/// example).
+pub fn global_clustering_coefficient(g: &CsrGraph) -> f64 {
+    let wedges: usize = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v);
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * crate::seq::count_triangles(g) as f64 / wedges as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use km_graph::generators::{classic, gnp};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn star_is_all_triads() {
+        let g = classic::star(6); // hub 0, leaves 1..5
+        let triads = enumerate_open_triads(&g);
+        assert_eq!(triads.len(), 10); // C(5,2)
+        assert_eq!(count_open_triads(&g), 10);
+        assert!(triads.iter().all(|&(c, _, _)| c == 0));
+    }
+
+    #[test]
+    fn complete_graph_has_no_triads() {
+        let g = classic::complete(7);
+        assert!(enumerate_open_triads(&g).is_empty());
+        assert_eq!(count_open_triads(&g), 0);
+        assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_triads() {
+        let g = classic::path(5);
+        // Each internal vertex centers exactly one triad.
+        assert_eq!(count_open_triads(&g), 3);
+    }
+
+    #[test]
+    fn clustering_coefficient_of_gnp_near_p() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = gnp(300, 0.2, &mut rng);
+        let cc = global_clustering_coefficient(&g);
+        assert!((cc - 0.2).abs() < 0.05, "cc={cc}");
+    }
+
+    proptest! {
+        /// Enumeration length equals the counting identity.
+        #[test]
+        fn identity_holds(edges in proptest::collection::vec((0u32..18, 0u32..18), 0..120)) {
+            let g = CsrGraph::from_edges(18, &edges);
+            prop_assert_eq!(enumerate_open_triads(&g).len(), count_open_triads(&g));
+        }
+    }
+}

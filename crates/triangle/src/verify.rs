@@ -1,0 +1,109 @@
+//! Exactness verification for distributed enumerators.
+
+use crate::seq::enumerate_triangles;
+use km_graph::ids::Triangle;
+use km_graph::CsrGraph;
+
+/// The outcome of comparing a distributed enumeration with the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumerationDiff {
+    /// Triangles the distributed run missed.
+    pub missing: Vec<Triangle>,
+    /// Triangles reported that do not exist (or were duplicated).
+    pub spurious: Vec<Triangle>,
+}
+
+impl EnumerationDiff {
+    /// True when the enumeration was exact.
+    pub fn is_exact(&self) -> bool {
+        self.missing.is_empty() && self.spurious.is_empty()
+    }
+}
+
+/// Compares a (sorted or unsorted) distributed output with the sequential
+/// oracle. Duplicates in `got` are reported as spurious.
+pub fn diff_enumeration(g: &CsrGraph, got: &[Triangle]) -> EnumerationDiff {
+    let want = enumerate_triangles(g);
+    let mut got_sorted = got.to_vec();
+    got_sorted.sort_unstable();
+    let mut missing = Vec::new();
+    let mut spurious = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < want.len() || j < got_sorted.len() {
+        if i == want.len() {
+            spurious.push(got_sorted[j]);
+            j += 1;
+        } else if j == got_sorted.len() {
+            missing.push(want[i]);
+            i += 1;
+        } else {
+            match want[i].cmp(&got_sorted[j]) {
+                std::cmp::Ordering::Less => {
+                    missing.push(want[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    spurious.push(got_sorted[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                    // Extra copies of the same triangle are spurious.
+                    while j < got_sorted.len() && got_sorted[j] == got_sorted[j - 1] {
+                        spurious.push(got_sorted[j]);
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    EnumerationDiff { missing, spurious }
+}
+
+/// Panics with a readable report unless `got` is exactly the triangle set
+/// of `g`.
+pub fn assert_exact_enumeration(g: &CsrGraph, got: &[Triangle]) {
+    let diff = diff_enumeration(g, got);
+    assert!(
+        diff.is_exact(),
+        "enumeration mismatch: {} missing (first: {:?}), {} spurious (first: {:?})",
+        diff.missing.len(),
+        diff.missing.first(),
+        diff.spurious.len(),
+        diff.spurious.first()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use km_graph::generators::classic;
+
+    #[test]
+    fn exact_when_equal() {
+        let g = classic::complete(5);
+        let ts = enumerate_triangles(&g);
+        assert!(diff_enumeration(&g, &ts).is_exact());
+        assert_exact_enumeration(&g, &ts);
+    }
+
+    #[test]
+    fn detects_missing_and_spurious() {
+        let g = classic::complete(4);
+        let mut ts = enumerate_triangles(&g);
+        let dropped = ts.pop().unwrap();
+        ts.push(Triangle::new(0, 1, 2)); // duplicate
+        let diff = diff_enumeration(&g, &ts);
+        assert_eq!(diff.missing, vec![dropped]);
+        assert_eq!(diff.spurious, vec![Triangle::new(0, 1, 2)]);
+        assert!(!diff.is_exact());
+    }
+
+    #[test]
+    #[should_panic(expected = "enumeration mismatch")]
+    fn assertion_panics_on_mismatch() {
+        let g = classic::complete(4);
+        assert_exact_enumeration(&g, &[]);
+    }
+}

@@ -1,0 +1,24 @@
+//! # km-repro
+//!
+//! Umbrella crate for the reproduction of *On the Distributed Complexity of
+//! Large-Scale Graph Computations* (Pandurangan, Robinson, Scquizzato;
+//! SPAA 2018). Re-exports the workspace crates under stable names so
+//! examples and downstream users need a single dependency:
+//!
+//! * [`core`] — the k-machine model simulator (engines, routing, metrics);
+//! * [`graph`] — graphs, generators, and the RVP/REP input partitions;
+//! * [`pagerank`] — Algorithm 1 and its baselines (Theorems 2 & 4);
+//! * [`triangle`] — triangle enumeration (Theorems 3 & 5, Corollaries 1–2);
+//! * [`lower`] — the General Lower Bound Theorem machinery (Theorem 1);
+//! * [`sort`] — distributed sample sort (Section 1.3 application);
+//! * [`mst`] — connectivity/MST via Borůvka phases (Section 1.3).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use km_core as core;
+pub use km_graph as graph;
+pub use km_lower as lower;
+pub use km_mst as mst;
+pub use km_pagerank as pagerank;
+pub use km_sort as sort;
+pub use km_triangle as triangle;

@@ -1,0 +1,88 @@
+//! Integration: the parallel engine is transcript-equivalent to the
+//! sequential engine across every protocol in the workspace.
+
+use km_core::{NetConfig, ParallelEngine, SequentialEngine};
+use km_graph::generators::gnp;
+use km_graph::{Partition, Vertex, WeightedGraph};
+use km_mst::BoruvkaMst;
+use km_pagerank::kmachine::{bidirect, KmPageRank};
+use km_pagerank::PrConfig;
+use km_sort::SampleSort;
+use km_triangle::kmachine::{KmTriangle, TriConfig};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn net(k: usize, n: usize, seed: u64) -> NetConfig {
+    NetConfig::polylog(k, n, seed).max_rounds(10_000_000)
+}
+
+#[test]
+fn pagerank_parallel_equals_sequential() {
+    let mut rng = ChaCha8Rng::seed_from_u64(300);
+    let g = bidirect(&gnp(70, 0.1, &mut rng));
+    let part = Arc::new(Partition::by_hash(g.n(), 7, 1));
+    let cfg = PrConfig { reset_prob: 0.4, tokens_per_vertex: 25 };
+    let netc = net(7, g.n(), 8);
+    let seq = SequentialEngine::run(netc, KmPageRank::build_all(&g, &part, cfg)).unwrap();
+    let par = ParallelEngine::with_threads(3)
+        .run(netc, KmPageRank::build_all(&g, &part, cfg))
+        .unwrap();
+    assert_eq!(seq.metrics, par.metrics);
+    for (a, b) in seq.machines.iter().zip(&par.machines) {
+        assert_eq!(a.output(), b.output());
+    }
+}
+
+#[test]
+fn triangle_parallel_equals_sequential() {
+    let mut rng = ChaCha8Rng::seed_from_u64(301);
+    let g = gnp(60, 0.4, &mut rng);
+    let part = Arc::new(Partition::by_hash(60, 9, 2));
+    let netc = net(9, 60, 9);
+    let seq =
+        SequentialEngine::run(netc, KmTriangle::build_all(&g, &part, TriConfig::default()))
+            .unwrap();
+    let par = ParallelEngine::with_threads(4)
+        .run(netc, KmTriangle::build_all(&g, &part, TriConfig::default()))
+        .unwrap();
+    assert_eq!(seq.metrics, par.metrics);
+    for (a, b) in seq.machines.iter().zip(&par.machines) {
+        assert_eq!(a.triangles, b.triangles);
+    }
+}
+
+#[test]
+fn sort_parallel_equals_sequential() {
+    let mut rng = ChaCha8Rng::seed_from_u64(302);
+    let inputs = SampleSort::random_input(400, 6, &mut rng);
+    let netc = net(6, 400, 10);
+    let seq = SequentialEngine::run(netc, SampleSort::build_all(inputs.clone(), 30)).unwrap();
+    let par = ParallelEngine::with_threads(3)
+        .run(netc, SampleSort::build_all(inputs, 30))
+        .unwrap();
+    assert_eq!(seq.metrics, par.metrics);
+    for (a, b) in seq.machines.iter().zip(&par.machines) {
+        assert_eq!(a.output, b.output);
+    }
+}
+
+#[test]
+fn mst_parallel_equals_sequential() {
+    let mut rng = ChaCha8Rng::seed_from_u64(303);
+    let g = gnp(50, 0.2, &mut rng);
+    let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
+    let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let wg = WeightedGraph::from_weighted_edges(50, &edges, &ws);
+    let part = Arc::new(Partition::by_hash(50, 5, 3));
+    let netc = net(5, 50, 11);
+    let seq = SequentialEngine::run(netc, BoruvkaMst::build_all(&wg, &part)).unwrap();
+    let par = ParallelEngine::with_threads(2)
+        .run(netc, BoruvkaMst::build_all(&wg, &part))
+        .unwrap();
+    assert_eq!(seq.metrics, par.metrics);
+    for (a, b) in seq.machines.iter().zip(&par.machines) {
+        assert_eq!(a.forest, b.forest);
+    }
+}

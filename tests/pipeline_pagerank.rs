@@ -1,0 +1,83 @@
+//! Integration: full PageRank pipelines across crates
+//! (generate → partition → distribute → run → compare to oracle).
+
+use km_graph::generators::lower_bound_h::LowerBoundGraph;
+use km_graph::generators::{classic, gnp};
+use km_graph::Partition;
+use km_pagerank::congest_baseline::run_congest_pagerank;
+use km_pagerank::kmachine::{bidirect, run_kmachine_pagerank};
+use km_pagerank::{max_relative_error, power_iteration, PrConfig};
+use km_repro::core::NetConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn net(k: usize, n: usize, seed: u64) -> NetConfig {
+    NetConfig::polylog(k, n, seed).max_rounds(10_000_000)
+}
+
+#[test]
+fn algorithm1_and_baseline_agree_with_oracle_on_gnp() {
+    let mut rng = ChaCha8Rng::seed_from_u64(100);
+    let g = bidirect(&gnp(120, 0.08, &mut rng));
+    let eps = 0.3;
+    let exact = power_iteration(&g, eps, 1e-13, 100_000);
+    let part = Arc::new(Partition::by_hash(g.n(), 6, 9));
+    let cfg = PrConfig { reset_prob: eps, tokens_per_vertex: 3000 };
+    let floor = eps / g.n() as f64;
+
+    let (pr_a, m_a) = run_kmachine_pagerank(&g, &part, cfg, net(6, g.n(), 5)).unwrap();
+    let (pr_b, m_b) = run_congest_pagerank(&g, &part, cfg, net(6, g.n(), 5)).unwrap();
+    assert!(max_relative_error(&pr_a, &exact, floor) < 0.1);
+    assert!(max_relative_error(&pr_b, &exact, floor) < 0.1);
+    assert!(m_a.rounds > 0 && m_b.rounds > 0);
+}
+
+#[test]
+fn lower_bound_graph_end_to_end() {
+    // The Theorem-2 hard instance run through the whole stack: the
+    // distributed estimate must reveal the orientation bits.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let h = LowerBoundGraph::random(81, &mut rng);
+    let part = Arc::new(Partition::random_vertex(h.n(), 4, &mut rng));
+    let cfg = PrConfig { reset_prob: 0.3, tokens_per_vertex: 40_000 };
+    let (pr, _) = run_kmachine_pagerank(&h.graph, &part, cfg, net(4, h.n(), 3)).unwrap();
+    // Decode each bit by thresholding at the midpoint of the two analytic
+    // values; all bits must decode correctly with this token budget.
+    let mid = (h.pagerank_v_for_bit(0.3, false) + h.pagerank_v_for_bit(0.3, true)) / 2.0;
+    for i in 0..h.quarter {
+        let decoded = pr[h.v_vertex(i) as usize] > mid;
+        assert_eq!(decoded, h.bits[i], "bit {i} mis-decoded");
+    }
+}
+
+#[test]
+fn star_worst_case_superiority() {
+    // On the star, Algorithm 1 must beat the baseline in max per-machine
+    // traffic (the quantity that drives its round complexity).
+    let n = 800;
+    let g = bidirect(&classic::star(n));
+    let part = Arc::new(Partition::by_hash(n, 8, 4));
+    let cfg = PrConfig { reset_prob: 0.4, tokens_per_vertex: 10 };
+    let (_, m_a) = run_kmachine_pagerank(&g, &part, cfg, net(8, n, 6)).unwrap();
+    let (_, m_b) = run_congest_pagerank(&g, &part, cfg, net(8, n, 6)).unwrap();
+    assert!(
+        m_b.max_recv_bits() > 2 * m_a.max_recv_bits(),
+        "baseline max recv {} vs alg1 {}",
+        m_b.max_recv_bits(),
+        m_a.max_recv_bits()
+    );
+}
+
+#[test]
+fn deterministic_across_engine_runs() {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let g = bidirect(&gnp(60, 0.1, &mut rng));
+    let part = Arc::new(Partition::by_hash(g.n(), 5, 2));
+    let cfg = PrConfig { reset_prob: 0.5, tokens_per_vertex: 20 };
+    let run = || run_kmachine_pagerank(&g, &part, cfg, net(5, g.n(), 11)).unwrap();
+    let (pr1, m1) = run();
+    let (pr2, m2) = run();
+    assert_eq!(pr1, pr2);
+    assert_eq!(m1, m2);
+}
