@@ -26,7 +26,9 @@ fn bench_engines(c: &mut Criterion) {
                 b.iter(|| {
                     let machines: Vec<UniformScatter> =
                         (0..k).map(|_| UniformScatter::new(x)).collect();
-                    ParallelEngine::with_threads(threads).run(cfg, machines).unwrap()
+                    ParallelEngine::with_threads(threads)
+                        .run(cfg, machines)
+                        .unwrap()
                 })
             },
         );

@@ -19,8 +19,12 @@ fn bench_triangles(c: &mut Criterion) {
     let mut group = c.benchmark_group("triangles");
     group.sample_size(10);
 
-    group.bench_function("sequential_forward/n250", |b| b.iter(|| enumerate_triangles(&g)));
-    group.bench_function("sequential_naive/n250", |b| b.iter(|| node_iterator_naive(&g)));
+    group.bench_function("sequential_forward/n250", |b| {
+        b.iter(|| enumerate_triangles(&g))
+    });
+    group.bench_function("sequential_naive/n250", |b| {
+        b.iter(|| node_iterator_naive(&g))
+    });
 
     for k in [8usize, 27] {
         let part = Arc::new(Partition::by_hash(g.n(), k, 3));

@@ -37,8 +37,10 @@ pub fn ablations(seed: u64) -> Table {
     let part = Arc::new(Partition::by_hash(n, k, seed));
     let cfg = PrConfig::paper(n, 0.4, 2.0);
     let netc = NetConfig::polylog(k, n, seed).max_rounds(50_000_000);
-    for (label, threshold) in [("heavy path ON (thresh k)", k as u64), ("heavy path OFF", u64::MAX)]
-    {
+    for (label, threshold) in [
+        ("heavy path ON (thresh k)", k as u64),
+        ("heavy path OFF", u64::MAX),
+    ] {
         let machines = KmPageRank::build_all_with_threshold(&g, &part, cfg, threshold);
         let report = SequentialEngine::run(netc, machines).expect("run");
         t.row(vec![

@@ -21,7 +21,16 @@ pub fn glbt_chain(seed: u64) -> Table {
     let mut t = Table::new(
         "GLBT",
         "Theorem 1 chain on instrumented runs: IC <= max|Pi| <= (B+1)(k-1)T",
-        &["problem", "k", "IC", "max |Pi|", "(B+1)(k-1)T", "T", "T >= LB", "chain"],
+        &[
+            "problem",
+            "k",
+            "IC",
+            "max |Pi|",
+            "(B+1)(k-1)T",
+            "T",
+            "T >= LB",
+            "chain",
+        ],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 

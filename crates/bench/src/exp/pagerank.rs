@@ -24,7 +24,15 @@ pub fn f1_lemma4_separation(seed: u64) -> Table {
     let mut t = Table::new(
         "F1",
         "Lemma 4 separation on H(n=4001): PageRank(v_i)·n by orientation bit",
-        &["eps", "PR|b=0 ·n", "PR|b=1 ·n", "ratio", "paper b=0", "paper b=1 (LB)", "powit dev"],
+        &[
+            "eps",
+            "PR|b=0 ·n",
+            "PR|b=1 ·n",
+            "ratio",
+            "paper b=0",
+            "paper b=1 (LB)",
+            "powit dev",
+        ],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let h = LowerBoundGraph::random(401, &mut rng); // concrete H for power iteration
@@ -53,7 +61,14 @@ pub fn t2_lower_bound(seed: u64) -> Table {
     let mut t = Table::new(
         "T2-LB",
         "Theorem 2 on H(n=2001): GLBT lower bound vs Algorithm 1 (B = polylog)",
-        &["k", "IC (bits)", "LB rounds", "measured rounds", "max |Pi| (bits)", "LB respected"],
+        &[
+            "k",
+            "IC (bits)",
+            "LB rounds",
+            "measured rounds",
+            "max |Pi| (bits)",
+            "LB respected",
+        ],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let h = LowerBoundGraph::random(n, &mut rng);
@@ -85,7 +100,14 @@ pub fn t4_scaling(seed: u64) -> Table {
     let mut t = Table::new(
         "T4-UB",
         "Theorem 4: rounds vs k (Algorithm 1 vs conversion baseline)",
-        &["graph", "k", "alg1 rounds", "baseline rounds", "alg1 msgs", "baseline msgs"],
+        &[
+            "graph",
+            "k",
+            "alg1 rounds",
+            "baseline rounds",
+            "alg1 msgs",
+            "baseline msgs",
+        ],
     );
     let ks = [4usize, 8, 16, 32];
     let mut slopes: Vec<(String, f64, f64)> = Vec::new();
@@ -142,7 +164,10 @@ pub fn t4_accuracy(seed: u64) -> Table {
     let exact = power_iteration(&g, eps, 1e-13, 100_000);
     let floor = eps / g.n() as f64;
     for &tokens in &[64u64, 256, 1024, 4096] {
-        let cfg = PrConfig { reset_prob: eps, tokens_per_vertex: tokens };
+        let cfg = PrConfig {
+            reset_prob: eps,
+            tokens_per_vertex: tokens,
+        };
         let part = Arc::new(Partition::by_hash(g.n(), 8, seed + 3));
         let (pr, _) = run_kmachine_pagerank(&g, &part, cfg, net(8, g.n(), seed)).expect("run");
         let err = max_relative_error(&pr, &exact, floor);

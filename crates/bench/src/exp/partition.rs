@@ -27,7 +27,14 @@ pub fn p2_rodl_rucinski(seed: u64) -> Table {
             let expect = expected_induced_edges(&g, tt);
             let bound = induced_edge_bound(&g, tt);
             let viol = violation_rate(&g, tt, 300, &mut rng);
-            t.row(vec![f(p), tt.to_string(), f(mean), f(expect), f(bound), f(viol)]);
+            t.row(vec![
+                f(p),
+                tt.to_string(),
+                f(mean),
+                f(expect),
+                f(bound),
+                f(viol),
+            ]);
         }
     }
     t.note("paper: Pr[e(G[R]) > 3 eta t^2] < t e^{-ct} — violation rate must be ~0");
@@ -39,7 +46,15 @@ pub fn rvp_balance(seed: u64) -> Table {
     let mut t = Table::new(
         "RVP",
         "Random vertex partition balance (n = 100000)",
-        &["k", "n/k ideal", "max load", "min load", "imbalance", "edge imb (gnp 0.001)", "ok"],
+        &[
+            "k",
+            "n/k ideal",
+            "max load",
+            "min load",
+            "imbalance",
+            "edge imb (gnp 0.001)",
+            "ok",
+        ],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n = 100_000;

@@ -19,8 +19,8 @@ pub fn l13_random_routing(seed: u64) -> Table {
         let mut xs = Vec::new();
         let mut rs = Vec::new();
         for &x in &[256usize, 1024, 4096] {
-            let cfg = NetConfig::with_bandwidth(k, 64, seed + (k * x) as u64)
-                .max_rounds(50_000_000);
+            let cfg =
+                NetConfig::with_bandwidth(k, 64, seed + (k * x) as u64).max_rounds(50_000_000);
             let machines: Vec<UniformScatter> = (0..k).map(|_| UniformScatter::new(x)).collect();
             let report = SequentialEngine::run(cfg, machines).expect("run");
             let rounds = report.metrics.rounds;
@@ -38,7 +38,9 @@ pub fn l13_random_routing(seed: u64) -> Table {
     }
     for (k, xs, rs) in per_k_rounds {
         let slope = log_log_slope(&xs, &rs).unwrap_or(f64::NAN);
-        t.note(format!("k={k}: rounds vs x slope {slope:.2} (paper: ~1, x log x/k)"));
+        t.note(format!(
+            "k={k}: rounds vs x slope {slope:.2} (paper: ~1, x log x/k)"
+        ));
     }
     t
 }

@@ -25,7 +25,15 @@ pub fn t3_lower_bound(seed: u64) -> Table {
     let mut t = Table::new(
         "T3-LB",
         "Theorem 3 on G(n,1/2): GLBT bound vs the Theorem-5 algorithm",
-        &["n", "k", "IC (bits)", "LB rounds", "measured rounds", "max |Pi| (bits)", "LB respected"],
+        &[
+            "n",
+            "k",
+            "IC (bits)",
+            "LB rounds",
+            "measured rounds",
+            "max |Pi| (bits)",
+            "LB respected",
+        ],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for &(n, k) in &[(200usize, 8usize), (200, 27), (300, 27), (300, 64)] {
@@ -56,7 +64,14 @@ pub fn t5_scaling(seed: u64) -> Table {
     let mut t = Table::new(
         "T5-UB",
         "Theorem 5: rounds vs k on G(300, 1/2) (color partition vs broadcast)",
-        &["k", "colors q", "alg rounds", "bcast rounds", "alg msgs", "bcast msgs"],
+        &[
+            "k",
+            "colors q",
+            "alg rounds",
+            "bcast rounds",
+            "alg msgs",
+            "bcast msgs",
+        ],
     );
     let n = 300;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -125,7 +140,11 @@ pub fn t5_correctness(seed: u64) -> Table {
             enumerate_triangles(&g).len().to_string(),
             diff.missing.len().to_string(),
             diff.spurious.len().to_string(),
-            if diff.is_exact() { "exact".into() } else { "MISMATCH".into() },
+            if diff.is_exact() {
+                "exact".into()
+            } else {
+                "MISMATCH".into()
+            },
         ]);
     }
     t.note("paper: every triangle output by exactly one machine (Theorem 5 correctness argument)");
@@ -177,8 +196,8 @@ pub fn c2_messages(seed: u64) -> Table {
     let g = gnp(n, 0.5, &mut rng);
     for &k in &[8usize, 27, 64] {
         let part = Arc::new(Partition::by_hash(n, k, seed + 6));
-        let (_, m) = run_kmachine_triangles(&g, &part, TriConfig::default(), net(k, n, seed))
-            .expect("run");
+        let (_, m) =
+            run_kmachine_triangles(&g, &part, TriConfig::default(), net(k, n, seed)).expect("run");
         let lb = TriangleLb::new(n, k);
         // Each message carries Theta(log n) bits, so the bit bound k*IC
         // translates to k*IC/log n messages.

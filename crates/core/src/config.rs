@@ -32,7 +32,12 @@ impl NetConfig {
 
     /// Explicit bandwidth.
     pub fn with_bandwidth(k: usize, bandwidth_bits: u64, seed: u64) -> Self {
-        NetConfig { k, bandwidth_bits, max_rounds: 100_000_000, seed }
+        NetConfig {
+            k,
+            bandwidth_bits,
+            max_rounds: 100_000_000,
+            seed,
+        }
     }
 
     /// Sets the round-limit safety valve.
@@ -67,7 +72,10 @@ mod tests {
     #[test]
     fn builder_chain() {
         let c = NetConfig::with_bandwidth(4, 128, 7).max_rounds(10);
-        assert_eq!((c.k, c.bandwidth_bits, c.max_rounds, c.seed), (4, 128, 10, 7));
+        assert_eq!(
+            (c.k, c.bandwidth_bits, c.max_rounds, c.seed),
+            (4, 128, 10, 7)
+        );
     }
 
     #[test]

@@ -67,11 +67,7 @@ impl<M: WireSize> Network<M> {
 
     /// Runs one delivery phase: every link releases up to `budget` bits.
     /// Returns `true` if any link transmitted at least one bit.
-    pub(crate) fn deliver(
-        &mut self,
-        budget: u64,
-        inboxes: &mut [Vec<Envelope<M>>],
-    ) -> bool {
+    pub(crate) fn deliver(&mut self, budget: u64, inboxes: &mut [Vec<Envelope<M>>]) -> bool {
         let mut any = false;
         for (dst, inbox) in inboxes.iter_mut().enumerate().take(self.k) {
             for src in 0..self.k {
@@ -110,12 +106,7 @@ impl<M: WireSize> Network<M> {
 
     /// Finalizes the max-per-link statistic.
     pub(crate) fn finalize(&mut self) {
-        self.metrics.max_link_bits = self
-            .links
-            .iter()
-            .map(|l| l.totals().1)
-            .max()
-            .unwrap_or(0);
+        self.metrics.max_link_bits = self.links.iter().map(|l| l.totals().1).max().unwrap_or(0);
     }
 }
 

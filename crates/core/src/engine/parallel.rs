@@ -18,7 +18,10 @@ use crate::MachineIdx;
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 enum Cmd<M> {
-    Round { round: u64, inboxes: Vec<Vec<Envelope<M>>> },
+    Round {
+        round: u64,
+        inboxes: Vec<Vec<Envelope<M>>>,
+    },
     Stop,
 }
 
@@ -36,7 +39,9 @@ pub struct ParallelEngine {
 
 impl Default for ParallelEngine {
     fn default() -> Self {
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         ParallelEngine { threads }
     }
 }
@@ -49,7 +54,9 @@ impl ParallelEngine {
 
     /// An engine with an explicit thread count.
     pub fn with_threads(threads: usize) -> Self {
-        ParallelEngine { threads: threads.max(1) }
+        ParallelEngine {
+            threads: threads.max(1),
+        }
     }
 
     /// Executes `machines` under `config`; semantics identical to
@@ -57,17 +64,17 @@ impl ParallelEngine {
     ///
     /// # Panics
     /// Panics if `machines.len() != config.k` or the config is invalid.
-    pub fn run<P>(
-        &self,
-        config: NetConfig,
-        machines: Vec<P>,
-    ) -> Result<RunReport<P>, EngineError>
+    pub fn run<P>(&self, config: NetConfig, machines: Vec<P>) -> Result<RunReport<P>, EngineError>
     where
         P: Protocol + Send,
         P::Msg: Send,
     {
         config.validate();
-        assert_eq!(machines.len(), config.k, "one protocol instance per machine");
+        assert_eq!(
+            machines.len(),
+            config.k,
+            "one protocol instance per machine"
+        );
         let k = config.k;
         let workers = self.threads.min(k).max(1);
         if workers == 1 {
@@ -145,10 +152,17 @@ impl ParallelEngine {
                 // Ship inboxes (moving them out), collect outboxes in order.
                 let mut inbox_iter = std::mem::take(&mut inboxes).into_iter();
                 for (w, tx) in cmd_txs.iter().enumerate() {
-                    let take = if w + 1 < nchunks { bases[w + 1] - bases[w] } else { k - bases[w] };
+                    let take = if w + 1 < nchunks {
+                        bases[w + 1] - bases[w]
+                    } else {
+                        k - bases[w]
+                    };
                     let batch: Vec<_> = inbox_iter.by_ref().take(take).collect();
-                    tx.send(Cmd::Round { round: iterations, inboxes: batch })
-                        .expect("worker alive");
+                    tx.send(Cmd::Round {
+                        round: iterations,
+                        inboxes: batch,
+                    })
+                    .expect("worker alive");
                 }
                 for (w, rx) in resp_rxs.iter().enumerate() {
                     match rx.recv().expect("worker alive") {
@@ -175,10 +189,7 @@ impl ParallelEngine {
                 if iterations >= config.max_rounds {
                     break Err(EngineError::RoundLimitExceeded {
                         limit: config.max_rounds,
-                        active_machines: statuses
-                            .iter()
-                            .filter(|s| **s == Status::Active)
-                            .count(),
+                        active_machines: statuses.iter().filter(|s| **s == Status::Active).count(),
                         queued_msgs: net.queued(),
                     });
                 }
@@ -198,7 +209,10 @@ impl ParallelEngine {
             result.map(|_| {
                 net.finalize();
                 net.metrics.rounds = comm_rounds;
-                RunReport { machines: final_machines, metrics: net.metrics }
+                RunReport {
+                    machines: final_machines,
+                    metrics: net.metrics,
+                }
             })
         })
         .expect("worker thread panicked")
@@ -244,7 +258,11 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_transcript() {
-        let mk = || (0..9).map(|_| Gossip { log: Vec::new() }).collect::<Vec<_>>();
+        let mk = || {
+            (0..9)
+                .map(|_| Gossip { log: Vec::new() })
+                .collect::<Vec<_>>()
+        };
         let cfg = NetConfig::with_bandwidth(9, 48, 12345);
         let seq = SequentialEngine::run(cfg, mk()).unwrap();
         let par = ParallelEngine::with_threads(4).run(cfg, mk()).unwrap();
@@ -282,6 +300,9 @@ mod tests {
         let err = ParallelEngine::with_threads(2)
             .run(cfg, vec![Chatter, Chatter, Chatter, Chatter])
             .unwrap_err();
-        assert!(matches!(err, EngineError::RoundLimitExceeded { limit: 5, .. }));
+        assert!(matches!(
+            err,
+            EngineError::RoundLimitExceeded { limit: 5, .. }
+        ));
     }
 }

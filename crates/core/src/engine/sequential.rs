@@ -25,7 +25,11 @@ impl SequentialEngine {
         mut machines: Vec<P>,
     ) -> Result<RunReport<P>, EngineError> {
         config.validate();
-        assert_eq!(machines.len(), config.k, "one protocol instance per machine");
+        assert_eq!(
+            machines.len(),
+            config.k,
+            "one protocol instance per machine"
+        );
         let k = config.k;
         let mut net: Network<P::Msg> = Network::new(k);
         let mut rngs: Vec<_> = (0..k).map(|i| rng::machine_rng(config.seed, i)).collect();
@@ -71,7 +75,10 @@ impl SequentialEngine {
         }
         net.finalize();
         net.metrics.rounds = comm_rounds;
-        Ok(RunReport { machines, metrics: net.metrics })
+        Ok(RunReport {
+            machines,
+            metrics: net.metrics,
+        })
     }
 }
 
@@ -119,7 +126,12 @@ mod tests {
         // 3 senders each send 16 messages of 8 bits to machine 0 over their
         // own links; B = 32 bits/round ⇒ 4 messages/round ⇒ 4 comm rounds.
         let cfg = NetConfig::with_bandwidth(4, 32, 1);
-        let machines: Vec<Flood> = (0..4).map(|_| Flood { count: 16, received: 0 }).collect();
+        let machines: Vec<Flood> = (0..4)
+            .map(|_| Flood {
+                count: 16,
+                received: 0,
+            })
+            .collect();
         let report = SequentialEngine::run(cfg, machines).unwrap();
         assert_eq!(report.metrics.rounds, 4);
         assert_eq!(report.machines[0].received, 48);
@@ -191,7 +203,11 @@ mod tests {
         let cfg = NetConfig::with_bandwidth(3, 64, 0).max_rounds(10);
         let err = SequentialEngine::run(cfg, vec![Chatter, Chatter, Chatter]).unwrap_err();
         match err {
-            EngineError::RoundLimitExceeded { limit, active_machines, .. } => {
+            EngineError::RoundLimitExceeded {
+                limit,
+                active_machines,
+                ..
+            } => {
                 assert_eq!(limit, 10);
                 assert_eq!(active_machines, 3);
             }

@@ -20,7 +20,11 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::RoundLimitExceeded { limit, active_machines, queued_msgs } => write!(
+            EngineError::RoundLimitExceeded {
+                limit,
+                active_machines,
+                queued_msgs,
+            } => write!(
                 f,
                 "round limit {limit} exceeded with {active_machines} active machine(s) \
                  and {queued_msgs} queued message(s)"
@@ -37,7 +41,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = EngineError::RoundLimitExceeded { limit: 5, active_machines: 2, queued_msgs: 7 };
+        let e = EngineError::RoundLimitExceeded {
+            limit: 5,
+            active_machines: 2,
+            queued_msgs: 7,
+        };
         let s = e.to_string();
         assert!(s.contains('5') && s.contains('2') && s.contains('7'));
     }

@@ -23,7 +23,12 @@ pub struct Link<M> {
 
 impl<M> Default for Link<M> {
     fn default() -> Self {
-        Link { queue: VecDeque::new(), front_progress: 0, total_bits: 0, total_msgs: 0 }
+        Link {
+            queue: VecDeque::new(),
+            front_progress: 0,
+            total_bits: 0,
+            total_msgs: 0,
+        }
     }
 }
 
@@ -77,7 +82,10 @@ mod tests {
     use super::*;
 
     fn env(bits_msg: Vec<u8>) -> Envelope<crate::message::Raw> {
-        Envelope { src: 0, msg: crate::message::Raw::from_vec(bits_msg) }
+        Envelope {
+            src: 0,
+            msg: crate::message::Raw::from_vec(bits_msg),
+        }
     }
 
     #[test]

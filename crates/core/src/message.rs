@@ -9,7 +9,7 @@
 //! theorems instead of with encoding artifacts.
 
 use crate::MachineIdx;
-use bytes::Bytes;
+use std::sync::Arc;
 
 /// Logical wire size of a message, in bits.
 ///
@@ -32,14 +32,15 @@ pub fn id_bits(n: usize) -> u64 {
 }
 
 /// An opaque byte payload (for raw/byte-oriented protocols and tests);
-/// its wire size is its exact byte length.
+/// its wire size is its exact byte length. Cloning is cheap (shared
+/// refcounted buffer).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Raw(pub Bytes);
+pub struct Raw(pub Arc<[u8]>);
 
 impl Raw {
     /// Wraps a byte vector.
     pub fn from_vec(v: Vec<u8>) -> Self {
-        Raw(Bytes::from(v))
+        Raw(v.into())
     }
 }
 
@@ -106,7 +107,10 @@ pub struct Outbox<M> {
 impl<M> Outbox<M> {
     /// Creates an empty outbox for a k-machine network.
     pub fn new(k: usize) -> Self {
-        Outbox { k, staged: Vec::new() }
+        Outbox {
+            k,
+            staged: Vec::new(),
+        }
     }
 
     /// Stages `msg` for delivery to `dst`.
@@ -115,7 +119,11 @@ impl<M> Outbox<M> {
     /// Panics if `dst >= k`.
     #[inline]
     pub fn send(&mut self, dst: MachineIdx, msg: M) {
-        assert!(dst < self.k, "destination {dst} out of range for k={}", self.k);
+        assert!(
+            dst < self.k,
+            "destination {dst} out of range for k={}",
+            self.k
+        );
         self.staged.push((dst, msg));
     }
 

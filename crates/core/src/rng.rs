@@ -20,7 +20,9 @@ pub fn splitmix64(mut z: u64) -> u64 {
 
 /// The private RNG of machine `i` under global seed `seed`.
 pub fn machine_rng(seed: u64, machine: usize) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(splitmix64(seed ^ (machine as u64).wrapping_mul(0xA24BAED4963EE407)))
+    ChaCha8Rng::seed_from_u64(splitmix64(
+        seed ^ (machine as u64).wrapping_mul(0xA24BAED4963EE407),
+    ))
 }
 
 /// The shared public random seed (identical on all machines).
@@ -69,7 +71,10 @@ mod tests {
         }
         let ideal = 1000.0;
         for &b in &buckets {
-            assert!((b as f64) > 0.8 * ideal && (b as f64) < 1.2 * ideal, "bucket {b}");
+            assert!(
+                (b as f64) > 0.8 * ideal && (b as f64) < 1.2 * ideal,
+                "bucket {b}"
+            );
         }
     }
 }

@@ -65,7 +65,14 @@ pub fn send_via_random_relay<M, R: Rng>(
     inner: M,
 ) {
     let relay = rng.gen_range(0..k);
-    out.send(relay, Routed { origin, target, inner });
+    out.send(
+        relay,
+        Routed {
+            origin,
+            target,
+            inner,
+        },
+    );
 }
 
 /// One round of relay processing: forwards messages not yet at their
@@ -229,8 +236,12 @@ mod tests {
         let k = 5;
         let x = 20;
         let cfg = NetConfig::with_bandwidth(k, 1024, 3);
-        let machines: Vec<Funnel> =
-            (0..k).map(|_| Funnel { x, arrived: Vec::new() }).collect();
+        let machines: Vec<Funnel> = (0..k)
+            .map(|_| Funnel {
+                x,
+                arrived: Vec::new(),
+            })
+            .collect();
         let report = SequentialEngine::run(cfg, machines).unwrap();
         let arrived = &report.machines[0].arrived;
         assert_eq!(arrived.len(), (k - 1) * x);

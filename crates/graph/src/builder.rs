@@ -20,12 +20,20 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new(), weights: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            weights: Vec::new(),
+        }
     }
 
     /// Creates a builder with edge capacity preallocated.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m), weights: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+            weights: Vec::new(),
+        }
     }
 
     /// Number of vertices.

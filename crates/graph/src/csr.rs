@@ -109,13 +109,20 @@ impl CsrGraph {
             return false;
         }
         // Search the shorter list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Maximum degree Δ.
     pub fn max_degree(&self) -> usize {
-        (0..self.n()).map(|v| self.degree(v as Vertex)).max().unwrap_or(0)
+        (0..self.n())
+            .map(|v| self.degree(v as Vertex))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterator over all vertices.

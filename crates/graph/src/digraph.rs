@@ -65,7 +65,12 @@ impl DiGraph {
         let (out_offsets, out_neighbors) = build(n, &clean);
         let reversed: Vec<(Vertex, Vertex)> = clean.iter().map(|&(u, v)| (v, u)).collect();
         let (in_offsets, in_neighbors) = build(n, &reversed);
-        DiGraph { out_offsets, out_neighbors, in_offsets, in_neighbors }
+        DiGraph {
+            out_offsets,
+            out_neighbors,
+            in_offsets,
+            in_neighbors,
+        }
     }
 
     /// Number of vertices.

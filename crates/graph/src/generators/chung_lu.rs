@@ -42,7 +42,10 @@ pub fn power_law_weights(n: usize, gamma: f64, avg_degree: f64) -> Vec<f64> {
 pub fn chung_lu<R: Rng>(weights: &[f64], rng: &mut R) -> CsrGraph {
     let n = weights.len();
     for &w in weights {
-        assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "weights must be finite and non-negative"
+        );
     }
     let total: f64 = weights.iter().sum();
     let mut edges: Vec<(Vertex, Vertex)> = Vec::new();

@@ -17,10 +17,7 @@ use std::collections::HashSet;
 /// Panics if `m > C(n,2)`.
 pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
     let total: u64 = (n as u64) * (n as u64).saturating_sub(1) / 2;
-    assert!(
-        (m as u64) <= total,
-        "m={m} exceeds C({n},2)={total}"
-    );
+    assert!((m as u64) <= total, "m={m} exceeds C({n},2)={total}");
     // Floyd's algorithm: for j in total-m..total, pick t in [0, j]; insert t
     // unless already chosen, else insert j. Yields a uniform m-subset of
     // pair indices with exactly m insertions.

@@ -73,7 +73,11 @@ impl LowerBoundGraph {
                 arcs.push((u, x));
             }
         }
-        LowerBoundGraph { graph: DiGraph::from_arcs(n, &arcs), bits, quarter: q }
+        LowerBoundGraph {
+            graph: DiGraph::from_arcs(n, &arcs),
+            bits,
+            quarter: q,
+        }
     }
 
     /// Builds `H` on (approximately) `n` vertices with fair-coin bits.
@@ -246,7 +250,7 @@ mod tests {
         let g = &h.graph;
         assert_eq!(h.n(), 13);
         assert_eq!(g.m(), 12); // m = n - 1
-        // Chain u_i -> t_i -> v_i -> w for all i.
+                               // Chain u_i -> t_i -> v_i -> w for all i.
         for i in 0..3 {
             assert!(g.has_arc(h.u_vertex(i), h.t_vertex(i)));
             assert!(g.has_arc(h.t_vertex(i), h.v_vertex(i)));

@@ -79,8 +79,15 @@ impl Triangle {
     pub fn new(x: Vertex, y: Vertex, z: Vertex) -> Self {
         let mut t = [x, y, z];
         t.sort_unstable();
-        assert!(t[0] != t[1] && t[1] != t[2], "triangle vertices must be distinct");
-        Triangle { a: t[0], b: t[1], c: t[2] }
+        assert!(
+            t[0] != t[1] && t[1] != t[2],
+            "triangle vertices must be distinct"
+        );
+        Triangle {
+            a: t[0],
+            b: t[1],
+            c: t[2],
+        }
     }
 
     /// The three edges of the triangle, in canonical order.

@@ -29,7 +29,12 @@ impl LoadStats {
         let min = *loads.iter().min().unwrap();
         let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
         let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
-        LoadStats { max, min, mean, imbalance }
+        LoadStats {
+            max,
+            min,
+            mean,
+            imbalance,
+        }
     }
 }
 

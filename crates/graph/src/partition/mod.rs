@@ -55,7 +55,12 @@ impl Partition {
             assert!(m < k, "machine index {m} out of range for k={k}");
             members[m].push(v as Vertex);
         }
-        Partition { k, home, members, model }
+        Partition {
+            k,
+            home,
+            members,
+            model,
+        }
     }
 
     /// RVP: independent uniform assignment (Section 1.1).
@@ -73,7 +78,9 @@ impl Partition {
     pub fn by_hash(n: usize, k: usize, seed: u64) -> Self {
         assert!(k > 0, "need at least one machine");
         let home = (0..n)
-            .map(|v| (splitmix64(seed ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15)) % k as u64) as usize)
+            .map(|v| {
+                (splitmix64(seed ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15)) % k as u64) as usize
+            })
             .collect();
         Self::build(k, home, PartitionModel::Hashed)
     }

@@ -40,7 +40,10 @@ impl EdgePartition {
 
     /// Edges owned by machine `i`.
     pub fn owned_by(&self, i: MachineIdx) -> Vec<Edge> {
-        self.iter().filter(|&(_, o)| o == i).map(|(e, _)| e).collect()
+        self.iter()
+            .filter(|&(_, o)| o == i)
+            .map(|(e, _)| e)
+            .collect()
     }
 
     /// Edges per machine.
@@ -61,11 +64,7 @@ impl EdgePartition {
 ///
 /// Matches footnote 3's `O~(m/k² + n/k)` (the `n/k` term is the per-machine
 /// vertex announcement, included here as one id per hosted vertex).
-pub fn conversion_rounds(
-    rep: &EdgePartition,
-    target: &Partition,
-    bandwidth_bits: u64,
-) -> u64 {
+pub fn conversion_rounds(rep: &EdgePartition, target: &Partition, bandwidth_bits: u64) -> u64 {
     assert_eq!(rep.k(), target.k(), "machine count mismatch");
     let k = rep.k();
     let id_bits = 64 - (target.n().max(2) as u64 - 1).leading_zeros() as u64;

@@ -70,7 +70,12 @@ pub struct DegreeStats {
 pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
     let n = g.n();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            isolated: 0,
+        };
     }
     let mut min = usize::MAX;
     let mut max = 0;
@@ -83,7 +88,12 @@ pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
             isolated += 1;
         }
     }
-    DegreeStats { min, max, mean: g.degree_sum() as f64 / n as f64, isolated }
+    DegreeStats {
+        min,
+        max,
+        mean: g.degree_sum() as f64 / n as f64,
+        isolated,
+    }
 }
 
 #[cfg(test)]

@@ -80,7 +80,11 @@ impl WeightedGraph {
             neighbors[lo..hi].copy_from_slice(&nb);
             wts[lo..hi].copy_from_slice(&ww);
         }
-        WeightedGraph { offsets, neighbors, weights: wts }
+        WeightedGraph {
+            offsets,
+            neighbors,
+            weights: wts,
+        }
     }
 
     /// Number of vertices.
@@ -141,8 +145,7 @@ impl WeightedGraph {
 
     /// Drops the weights, keeping the topology.
     pub fn to_unweighted(&self) -> crate::csr::CsrGraph {
-        let pairs: Vec<(Vertex, Vertex)> =
-            self.weighted_edges().map(|(e, _)| (e.u, e.v)).collect();
+        let pairs: Vec<(Vertex, Vertex)> = self.weighted_edges().map(|(e, _)| (e.u, e.v)).collect();
         crate::csr::CsrGraph::from_edges(self.n(), &pairs)
     }
 }
@@ -154,11 +157,7 @@ mod tests {
 
     #[test]
     fn basic_weights() {
-        let g = WeightedGraph::from_weighted_edges(
-            3,
-            &[(0, 1), (1, 2)],
-            &[1.5, 2.5],
-        );
+        let g = WeightedGraph::from_weighted_edges(3, &[(0, 1), (1, 2)], &[1.5, 2.5]);
         assert_eq!(g.weight(0, 1), Some(1.5));
         assert_eq!(g.weight(1, 0), Some(1.5));
         assert_eq!(g.weight(0, 2), None);
@@ -167,11 +166,7 @@ mod tests {
 
     #[test]
     fn duplicate_keeps_minimum() {
-        let g = WeightedGraph::from_weighted_edges(
-            2,
-            &[(0, 1), (1, 0), (0, 1)],
-            &[3.0, 1.0, 2.0],
-        );
+        let g = WeightedGraph::from_weighted_edges(2, &[(0, 1), (1, 0), (0, 1)], &[3.0, 1.0, 2.0]);
         assert_eq!(g.m(), 1);
         assert_eq!(g.weight(0, 1), Some(1.0));
     }

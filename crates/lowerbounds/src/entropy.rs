@@ -52,8 +52,7 @@ pub fn mutual_information(joint: &[Vec<u64>]) -> f64 {
             flat.push(c);
         }
     }
-    entropy_from_counts(&row_counts) + entropy_from_counts(&col_counts)
-        - entropy_from_counts(&flat)
+    entropy_from_counts(&row_counts) + entropy_from_counts(&col_counts) - entropy_from_counts(&flat)
 }
 
 /// Entropy of a uniform distribution over `m` outcomes: `log₂ m`.

@@ -32,7 +32,11 @@ impl GlbtBound {
     pub fn new(ic: f64, bandwidth_bits: u64, k: usize) -> Self {
         assert!(ic > 0.0, "information cost must be positive");
         assert!(k >= 2, "the theorem needs at least 2 machines");
-        GlbtBound { ic, bandwidth_bits, k }
+        GlbtBound {
+            ic,
+            bandwidth_bits,
+            k,
+        }
     }
 
     /// The round lower bound `T ≥ IC / ((B+1)(k−1))` — Equation (3) with
@@ -70,7 +74,10 @@ impl GlbtBound {
 /// # Panics
 /// Panics unless `0 < prior ≤ posterior ≤ 1`.
 pub fn surprisal_reduction(prior: f64, posterior: f64) -> f64 {
-    assert!(prior > 0.0 && posterior >= prior && posterior <= 1.0, "need 0 < prior ≤ posterior ≤ 1");
+    assert!(
+        prior > 0.0 && posterior >= prior && posterior <= 1.0,
+        "need 0 < prior ≤ posterior ≤ 1"
+    );
     crate::entropy::surprisal(prior) - crate::entropy::surprisal(posterior)
 }
 

@@ -38,7 +38,12 @@ impl PagerankLb {
         assert!(k >= 2, "need k ≥ 2");
         let q = (n - 1) / 4;
         let n = 4 * q + 1;
-        PagerankLb { n, k, secret_bits: q, ic: q as f64 / k as f64 }
+        PagerankLb {
+            n,
+            k,
+            secret_bits: q,
+            ic: q as f64 / k as f64,
+        }
     }
 
     /// The Theorem 1 instance (IC = m/4k).
@@ -59,12 +64,7 @@ impl PagerankLb {
 pub fn paths_known_initially(h: &LowerBoundGraph, part: &Partition, machine: MachineIdx) -> usize {
     (0..h.quarter)
         .filter(|&i| {
-            let (x, u, t, v) = (
-                h.x_vertex(i),
-                h.u_vertex(i),
-                h.t_vertex(i),
-                h.v_vertex(i),
-            );
+            let (x, u, t, v) = (h.x_vertex(i), h.u_vertex(i), h.t_vertex(i), h.v_vertex(i));
             let at = |w| part.home(w) == machine;
             (at(x) && at(t)) || (at(u) && at(v))
         })

@@ -22,10 +22,10 @@
 
 pub mod sketch;
 
+use km_core::rng::keyed_hash;
 use km_core::{
     id_bits, Envelope, NetConfig, Outbox, Protocol, RoundCtx, SequentialEngine, Status, WireSize,
 };
-use km_core::rng::keyed_hash;
 use km_graph::{Edge, Partition, Vertex, WeightedGraph};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -127,14 +127,26 @@ impl WireSize for MstMsg {
 impl MstMsg {
     fn candidate(n: usize, parity: bool, comp: Vertex, e: Edge, w: f64) -> Self {
         let bits = (2 + 3 * id_bits(n) + 64) as u32;
-        MstMsg { parity, payload: MstPayload::Candidate { comp, e, w }, bits }
+        MstMsg {
+            parity,
+            payload: MstPayload::Candidate { comp, e, w },
+            bits,
+        }
     }
     fn chosen(n: usize, parity: bool, e: Edge, w: f64) -> Self {
         let bits = (2 + 2 * id_bits(n) + 64) as u32;
-        MstMsg { parity, payload: MstPayload::Chosen { e, w }, bits }
+        MstMsg {
+            parity,
+            payload: MstPayload::Chosen { e, w },
+            bits,
+        }
     }
     fn flush(parity: bool, produced: u64) -> Self {
-        MstMsg { parity, payload: MstPayload::Flush { produced }, bits: 2 + 32 }
+        MstMsg {
+            parity,
+            payload: MstPayload::Flush { produced },
+            bits: 2 + 32,
+        }
     }
 }
 
@@ -222,7 +234,10 @@ impl BoruvkaMst {
                 if self.labels[u as usize] == lv {
                     continue;
                 }
-                let cand = Cand { w, e: Edge::new(v, u) };
+                let cand = Cand {
+                    w,
+                    e: Edge::new(v, u),
+                };
                 match best.get(&lv) {
                     Some(b) if b.better_than(&cand) => {}
                     _ => {
@@ -238,7 +253,10 @@ impl BoruvkaMst {
             if proxy == ctx.me {
                 self.absorb_candidate(comp, cand);
             } else {
-                out.send(proxy, MstMsg::candidate(self.n, self.parity, comp, cand.e, cand.w));
+                out.send(
+                    proxy,
+                    MstMsg::candidate(self.n, self.parity, comp, cand.e, cand.w),
+                );
             }
         }
         out.broadcast(ctx.me, MstMsg::flush(self.parity, self.my_produced));
@@ -365,7 +383,11 @@ impl Protocol for BoruvkaMst {
         if ctx.round == 0 {
             self.gather(ctx, out);
             self.maybe_advance(ctx, out);
-            return if self.finished { Status::Done } else { Status::Active };
+            return if self.finished {
+                Status::Done
+            } else {
+                Status::Active
+            };
         }
         for env in inbox {
             if env.msg.parity == self.parity {
@@ -432,7 +454,10 @@ mod tests {
             &[1.0, 2.0, 3.0, 0.5],
         );
         let (edges, w) = kruskal(&g);
-        assert_eq!(edges, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)]);
+        assert_eq!(
+            edges,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)]
+        );
         assert!((w - 3.5).abs() < 1e-12);
     }
 
@@ -466,11 +491,7 @@ mod tests {
     #[test]
     fn disconnected_graph_yields_forest() {
         // Two components: 0-1-2 and 3-4.
-        let g = WeightedGraph::from_weighted_edges(
-            5,
-            &[(0, 1), (1, 2), (3, 4)],
-            &[1.0, 2.0, 3.0],
-        );
+        let g = WeightedGraph::from_weighted_edges(5, &[(0, 1), (1, 2), (3, 4)], &[1.0, 2.0, 3.0]);
         let part = Arc::new(Partition::by_hash(5, 3, 2));
         let (edges, w, _) = run_boruvka(&g, &part, net(3, 5, 3)).unwrap();
         assert_eq!(edges.len(), 3);
@@ -496,6 +517,10 @@ mod tests {
         let report = SequentialEngine::run(net(4, n, 21), machines).unwrap();
         // Components at least halve per phase: ≤ log2(n) + 1 phases
         // (+1 for the final empty phase that detects termination).
-        assert!(report.machines[0].phases <= 8, "phases {}", report.machines[0].phases);
+        assert!(
+            report.machines[0].phases <= 8,
+            "phases {}",
+            report.machines[0].phases
+        );
     }
 }

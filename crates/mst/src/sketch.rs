@@ -45,7 +45,11 @@ struct BasicSketch {
 
 impl BasicSketch {
     fn empty() -> Self {
-        BasicSketch { key_xor: [0; LEVELS], check_xor: [0; LEVELS], parity: [0; LEVELS] }
+        BasicSketch {
+            key_xor: [0; LEVELS],
+            check_xor: [0; LEVELS],
+            parity: [0; LEVELS],
+        }
     }
 
     fn toggle_edge(&mut self, key: u64, seed: u64) {
@@ -122,7 +126,9 @@ fn edge_check(seed: u64, key: u64) -> u32 {
 impl L0Sketch {
     /// The empty sketch (identity of XOR).
     pub fn empty() -> Self {
-        L0Sketch { reps: (0..REPS).map(|_| BasicSketch::empty()).collect() }
+        L0Sketch {
+            reps: (0..REPS).map(|_| BasicSketch::empty()).collect(),
+        }
     }
 
     #[inline]
@@ -207,7 +213,10 @@ pub fn sketch_spanning_forest(g: &CsrGraph, base_seed: u64) -> Vec<Edge> {
             std::collections::BTreeMap::new();
         for v in 0..n as Vertex {
             let s = L0Sketch::for_vertex(g, v, seed);
-            comp_sketch.entry(label[v as usize]).or_insert_with(L0Sketch::empty).xor_in(&s);
+            comp_sketch
+                .entry(label[v as usize])
+                .or_insert_with(L0Sketch::empty)
+                .xor_in(&s);
         }
         // Decode one outgoing edge per component.
         let mut merges: Vec<Edge> = Vec::new();
@@ -302,10 +311,7 @@ mod tests {
             for v in 0..30 {
                 s.xor_in(&L0Sketch::for_vertex(&g, v, seed));
             }
-            let boundary: Vec<Edge> = g
-                .edges()
-                .filter(|e| (e.u < 30) != (e.v < 30))
-                .collect();
+            let boundary: Vec<Edge> = g.edges().filter(|e| (e.u < 30) != (e.v < 30)).collect();
             match s.decode(seed) {
                 Some(e) => assert!(boundary.contains(&e), "seed {seed}: {e:?} not boundary"),
                 None => assert!(boundary.is_empty(), "seed {seed}: missed boundary"),

@@ -23,7 +23,11 @@ pub fn max_relative_error(estimate: &[f64], reference: &[f64], floor: f64) -> f6
 /// Panics if the slices differ in length.
 pub fn l1_error(estimate: &[f64], reference: &[f64]) -> f64 {
     assert_eq!(estimate.len(), reference.len(), "length mismatch");
-    estimate.iter().zip(reference).map(|(&e, &r)| (e - r).abs()).sum()
+    estimate
+        .iter()
+        .zip(reference)
+        .map(|(&e, &r)| (e - r).abs())
+        .sum()
 }
 
 /// Fits the slope of `log y` against `log x` by least squares — the tool

@@ -159,7 +159,11 @@ impl Protocol for CongestPageRank {
         if ctx.round == 0 {
             self.step(ctx, out);
             self.maybe_advance(ctx, out);
-            return if self.finished { Status::Done } else { Status::Active };
+            return if self.finished {
+                Status::Done
+            } else {
+                Status::Active
+            };
         }
         for env in inbox {
             if env.msg.parity == self.parity {
@@ -210,11 +214,15 @@ mod tests {
     #[test]
     fn baseline_matches_power_iteration_statistically() {
         let n = 24;
-        let arcs: Vec<(Vertex, Vertex)> =
-            (0..n as Vertex).map(|i| (i, (i + 1) % n as Vertex)).collect();
+        let arcs: Vec<(Vertex, Vertex)> = (0..n as Vertex)
+            .map(|i| (i, (i + 1) % n as Vertex))
+            .collect();
         let g = DiGraph::from_arcs(n, &arcs);
         let part = Arc::new(Partition::by_hash(n, 4, 1));
-        let cfg = PrConfig { reset_prob: 0.3, tokens_per_vertex: 4000 };
+        let cfg = PrConfig {
+            reset_prob: 0.3,
+            tokens_per_vertex: 4000,
+        };
         let (pr, _) = run_congest_pagerank(&g, &part, cfg, net(4, n, 3)).unwrap();
         let exact = power_iteration(&g, 0.3, 1e-13, 10_000);
         for v in 0..n {
@@ -232,7 +240,10 @@ mod tests {
         let k = 8;
         let g = bidirect(&classic::star(n));
         let part = Arc::new(Partition::by_hash(n, k, 5));
-        let cfg = PrConfig { reset_prob: 0.4, tokens_per_vertex: 8 };
+        let cfg = PrConfig {
+            reset_prob: 0.4,
+            tokens_per_vertex: 8,
+        };
         let (_, m_base) = run_congest_pagerank(&g, &part, cfg, net(k, n, 7)).unwrap();
         let (_, m_alg1) = run_kmachine_pagerank(&g, &part, cfg, net(k, n, 7)).unwrap();
         // Both protocols pay the same k² flush messages per iteration, which

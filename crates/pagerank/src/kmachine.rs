@@ -79,14 +79,26 @@ pub struct PrMsg {
 impl PrMsg {
     pub(crate) fn count(n: usize, parity: bool, v: Vertex, count: u64) -> Self {
         let bits = (2 + id_bits(n) + 32) as u32;
-        PrMsg { parity, payload: PrPayload::Count { v, count }, bits }
+        PrMsg {
+            parity,
+            payload: PrPayload::Count { v, count },
+            bits,
+        }
     }
     pub(crate) fn heavy(n: usize, parity: bool, u: Vertex, count: u64) -> Self {
         let bits = (2 + id_bits(n) + 32) as u32;
-        PrMsg { parity, payload: PrPayload::Heavy { u, count }, bits }
+        PrMsg {
+            parity,
+            payload: PrPayload::Heavy { u, count },
+            bits,
+        }
     }
     pub(crate) fn flush(parity: bool, live: u64) -> Self {
-        PrMsg { parity, payload: PrPayload::Flush { live }, bits: 2 + 32 }
+        PrMsg {
+            parity,
+            payload: PrPayload::Flush { live },
+            bits: 2 + 32,
+        }
     }
 }
 
@@ -142,8 +154,10 @@ impl LocalState {
                 let vertices: Vec<Vertex> = part.members(i).to_vec();
                 let index: HashMap<Vertex, usize> =
                     vertices.iter().enumerate().map(|(j, &v)| (v, j)).collect();
-                let out_adj: Vec<Vec<Vertex>> =
-                    vertices.iter().map(|&v| g.out_neighbors(v).to_vec()).collect();
+                let out_adj: Vec<Vec<Vertex>> = vertices
+                    .iter()
+                    .map(|&v| g.out_neighbors(v).to_vec())
+                    .collect();
                 let mut host_targets: HashMap<Vertex, Vec<usize>> = HashMap::new();
                 for (j, &v) in vertices.iter().enumerate() {
                     for &u in g.in_neighbors(v) {
@@ -168,7 +182,10 @@ impl LocalState {
 
     /// Receives `count` tokens addressed to vertex `v` (must be hosted).
     pub fn arrive_at_vertex(&mut self, v: Vertex, count: u64) {
-        let j = *self.index.get(&v).expect("Count message for a non-hosted vertex");
+        let j = *self
+            .index
+            .get(&v)
+            .expect("Count message for a non-hosted vertex");
         self.tokens[j] += count;
         self.visits[j] += count;
     }
@@ -259,7 +276,11 @@ impl KmPageRank {
 
     /// Raw visit counters (for conservation tests).
     pub fn visits(&self) -> impl Iterator<Item = (Vertex, u64)> + '_ {
-        self.st.vertices.iter().copied().zip(self.st.visits.iter().copied())
+        self.st
+            .vertices
+            .iter()
+            .copied()
+            .zip(self.st.visits.iter().copied())
     }
 
     /// Tokens still held locally (zero after a completed run).
@@ -406,7 +427,11 @@ impl Protocol for KmPageRank {
             // Iteration 1 starts unconditionally.
             self.step(ctx, out);
             self.maybe_advance(ctx, out); // k == 1 completes inline
-            return if self.finished { Status::Done } else { Status::Active };
+            return if self.finished {
+                Status::Done
+            } else {
+                Status::Active
+            };
         }
         for env in inbox {
             if env.msg.parity == self.parity {
@@ -454,8 +479,7 @@ pub fn run_kmachine_pagerank(
 /// Converts an undirected graph to the bidirected digraph all PageRank
 /// entry points expect.
 pub fn bidirect(g: &km_graph::CsrGraph) -> DiGraph {
-    let arcs: Vec<(Vertex, Vertex)> =
-        g.edges().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
+    let arcs: Vec<(Vertex, Vertex)> = g.edges().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
     DiGraph::from_arcs(g.n(), &arcs)
 }
 
@@ -491,7 +515,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let g = bidirect(&gnp(60, 0.1, &mut rng));
         let part = Arc::new(Partition::by_hash(60, 4, 9));
-        let cfg = PrConfig { reset_prob: 0.4, tokens_per_vertex: 10 };
+        let cfg = PrConfig {
+            reset_prob: 0.4,
+            tokens_per_vertex: 10,
+        };
         let machines = KmPageRank::build_all(&g, &part, cfg);
         let report = SequentialEngine::run(net(4, 60, 5), machines).unwrap();
         let mut seen = [false; 60];
@@ -502,7 +529,10 @@ mod tests {
             }
             assert_eq!(m.held_tokens(), 0, "all tokens must be dead at termination");
         }
-        assert!(seen.iter().all(|&s| s), "every vertex output by some machine");
+        assert!(
+            seen.iter().all(|&s| s),
+            "every vertex output by some machine"
+        );
     }
 
     #[test]
@@ -510,15 +540,25 @@ mod tests {
         // Directed cycle: uniform PageRank 1/n; heavy sampling keeps the
         // statistical error small.
         let n = 24;
-        let arcs: Vec<(Vertex, Vertex)> = (0..n as Vertex).map(|i| (i, (i + 1) % n as Vertex)).collect();
+        let arcs: Vec<(Vertex, Vertex)> = (0..n as Vertex)
+            .map(|i| (i, (i + 1) % n as Vertex))
+            .collect();
         let g = DiGraph::from_arcs(n, &arcs);
         let part = Arc::new(Partition::by_hash(n, 4, 1));
-        let cfg = PrConfig { reset_prob: 0.3, tokens_per_vertex: 4000 };
+        let cfg = PrConfig {
+            reset_prob: 0.3,
+            tokens_per_vertex: 4000,
+        };
         let (pr, _) = run_kmachine_pagerank(&g, &part, cfg, net(4, n, 3)).unwrap();
         let exact = power_iteration(&g, 0.3, 1e-13, 10_000);
         for v in 0..n {
             let rel = (pr[v] - exact[v]).abs() / exact[v];
-            assert!(rel < 0.08, "v={v} rel={rel} got={} want={}", pr[v], exact[v]);
+            assert!(
+                rel < 0.08,
+                "v={v} rel={rel} got={} want={}",
+                pr[v],
+                exact[v]
+            );
         }
     }
 
@@ -527,7 +567,10 @@ mod tests {
         let h = LowerBoundGraph::new(vec![false, true, false, true, false, true]);
         let g = &h.graph;
         let part = Arc::new(Partition::by_hash(g.n(), 3, 7));
-        let cfg = PrConfig { reset_prob: 0.3, tokens_per_vertex: 30_000 };
+        let cfg = PrConfig {
+            reset_prob: 0.3,
+            tokens_per_vertex: 30_000,
+        };
         let (pr, _) = run_kmachine_pagerank(g, &part, cfg, net(3, g.n(), 11)).unwrap();
         // Average the two bit classes: clear separation.
         let avg = |bit: bool| {
@@ -537,7 +580,12 @@ mod tests {
                 .collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
-        assert!(avg(true) > avg(false) * 1.05, "b1={} b0={}", avg(true), avg(false));
+        assert!(
+            avg(true) > avg(false) * 1.05,
+            "b1={} b0={}",
+            avg(true),
+            avg(false)
+        );
     }
 
     #[test]
@@ -545,7 +593,10 @@ mod tests {
         // Star hub accumulates ≫ k tokens, forcing the β (heavy) path.
         let g = bidirect(&classic::star(200));
         let part = Arc::new(Partition::by_hash(200, 4, 3));
-        let cfg = PrConfig { reset_prob: 0.25, tokens_per_vertex: 40 };
+        let cfg = PrConfig {
+            reset_prob: 0.25,
+            tokens_per_vertex: 40,
+        };
         let machines = KmPageRank::build_all(&g, &part, cfg);
         let report = SequentialEngine::run(net(4, 200, 13), machines).unwrap();
         // The hub's PageRank must dominate (roughly (1-eps) mass + share).
@@ -569,7 +620,10 @@ mod tests {
         // aggregation; the estimates stay statistically correct.
         let g = bidirect(&classic::star(100));
         let part = Arc::new(Partition::by_hash(100, 4, 3));
-        let cfg = PrConfig { reset_prob: 0.3, tokens_per_vertex: 2000 };
+        let cfg = PrConfig {
+            reset_prob: 0.3,
+            tokens_per_vertex: 2000,
+        };
         let machines = KmPageRank::build_all_with_threshold(&g, &part, cfg, u64::MAX);
         let report = SequentialEngine::run(net(4, 100, 17), machines).unwrap();
         let mut pr = vec![0.0; 100];
@@ -589,7 +643,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         let g = bidirect(&gnp(50, 0.15, &mut rng));
         let part = Arc::new(Partition::by_hash(50, 5, 2));
-        let cfg = PrConfig { reset_prob: 0.4, tokens_per_vertex: 30 };
+        let cfg = PrConfig {
+            reset_prob: 0.4,
+            tokens_per_vertex: 30,
+        };
         let (pr1, m1) = run_kmachine_pagerank(&g, &part, cfg, net(5, 50, 77)).unwrap();
         let (pr2, m2) = run_kmachine_pagerank(&g, &part, cfg, net(5, 50, 77)).unwrap();
         assert_eq!(pr1, pr2);
@@ -601,7 +658,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(31);
         let g = bidirect(&gnp(80, 0.1, &mut rng));
         let part = Arc::new(Partition::by_hash(80, 6, 4));
-        let cfg = PrConfig { reset_prob: 0.35, tokens_per_vertex: 25 };
+        let cfg = PrConfig {
+            reset_prob: 0.35,
+            tokens_per_vertex: 25,
+        };
         let netc = net(6, 80, 19);
         let seq = SequentialEngine::run(netc, KmPageRank::build_all(&g, &part, cfg)).unwrap();
         let par = ParallelEngine::with_threads(3)
@@ -617,7 +677,10 @@ mod tests {
     fn single_machine_degenerate_case() {
         let g = bidirect(&classic::path(10));
         let part = Arc::new(Partition::round_robin(10, 1));
-        let cfg = PrConfig { reset_prob: 0.5, tokens_per_vertex: 10 };
+        let cfg = PrConfig {
+            reset_prob: 0.5,
+            tokens_per_vertex: 10,
+        };
         let (pr, metrics) = run_kmachine_pagerank(&g, &part, cfg, net(1, 10, 0)).unwrap();
         assert_eq!(metrics.total_msgs(), 0);
         assert!(pr.iter().all(|&x| x > 0.0));

@@ -52,7 +52,10 @@ impl PrConfig {
         assert!(reset_prob > 0.0 && reset_prob < 1.0, "need 0 < ε < 1");
         assert!(c > 0.0, "need c > 0");
         let tokens = (c * (n.max(2) as f64).log2()).ceil() as u64;
-        PrConfig { reset_prob, tokens_per_vertex: tokens.max(1) }
+        PrConfig {
+            reset_prob,
+            tokens_per_vertex: tokens.max(1),
+        }
     }
 
     /// The estimator scale: `π̂(v) = ε·ψ_v / (n · tokens_per_vertex)`.
@@ -75,7 +78,10 @@ mod tests {
     #[test]
     fn estimator_matches_isolated_vertex() {
         // An isolated vertex's ψ equals its own tokens; estimate must be ε/n.
-        let cfg = PrConfig { reset_prob: 0.3, tokens_per_vertex: 50 };
+        let cfg = PrConfig {
+            reset_prob: 0.3,
+            tokens_per_vertex: 50,
+        };
         let est = cfg.estimate(10, 50);
         assert!((est - 0.03).abs() < 1e-12);
     }

@@ -56,7 +56,10 @@ mod tests {
     #[test]
     fn visits_at_least_initial_tokens() {
         let g = DiGraph::from_arcs(5, &[(0, 1), (1, 2)]);
-        let cfg = PrConfig { reset_prob: 0.5, tokens_per_vertex: 20 };
+        let cfg = PrConfig {
+            reset_prob: 0.5,
+            tokens_per_vertex: 20,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let v = visit_counts(&g, &cfg, &mut rng);
         for &x in &v {
@@ -72,7 +75,10 @@ mod tests {
         let h = LowerBoundGraph::random(41, &mut rng);
         let eps = 0.4;
         // Heavy sampling for a tight statistical test.
-        let cfg = PrConfig { reset_prob: eps, tokens_per_vertex: 20_000 };
+        let cfg = PrConfig {
+            reset_prob: eps,
+            tokens_per_vertex: 20_000,
+        };
         let mc = monte_carlo_pagerank(&h.graph, &cfg, &mut rng);
         let exact = power_iteration(&h.graph, eps, 1e-13, 10_000);
         for (v, (&got, &want)) in mc.iter().zip(&exact).enumerate() {
@@ -85,7 +91,10 @@ mod tests {
     fn lemma4_separation_visible_in_monte_carlo() {
         let h = LowerBoundGraph::new(vec![false, true, false, true]);
         let eps = 0.3;
-        let cfg = PrConfig { reset_prob: eps, tokens_per_vertex: 50_000 };
+        let cfg = PrConfig {
+            reset_prob: eps,
+            tokens_per_vertex: 50_000,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mc = monte_carlo_pagerank(&h.graph, &cfg, &mut rng);
         // v_1 (bit 1) must measurably exceed v_0 (bit 0).

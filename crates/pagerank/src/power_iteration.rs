@@ -53,10 +53,7 @@ pub fn power_iteration_undirected(
     tol: f64,
     max_iters: usize,
 ) -> Vec<f64> {
-    let arcs: Vec<(u32, u32)> = g
-        .edges()
-        .flat_map(|e| [(e.u, e.v), (e.v, e.u)])
-        .collect();
+    let arcs: Vec<(u32, u32)> = g.edges().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
     let dg = DiGraph::from_arcs(g.n(), &arcs);
     power_iteration(&dg, eps, tol, max_iters)
 }

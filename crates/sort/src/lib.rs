@@ -173,10 +173,22 @@ impl SampleSort {
             if ctx.me == 0 {
                 self.bucket.push(key); // coordinator keeps its samples
             } else {
-                out.send(0, SortMsg { phase: 0, kind: SortKind::Sample(key) });
+                out.send(
+                    0,
+                    SortMsg {
+                        phase: 0,
+                        kind: SortKind::Sample(key),
+                    },
+                );
             }
         }
-        out.broadcast(ctx.me, SortMsg { phase: 0, kind: SortKind::Flush });
+        out.broadcast(
+            ctx.me,
+            SortMsg {
+                phase: 0,
+                kind: SortKind::Flush,
+            },
+        );
     }
 
     fn phase1(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<SortMsg>) {
@@ -192,11 +204,23 @@ impl SampleSort {
             }
             splitters.dedup();
             for &s in &splitters {
-                out.broadcast(ctx.me, SortMsg { phase: 1, kind: SortKind::Splitter(s) });
+                out.broadcast(
+                    ctx.me,
+                    SortMsg {
+                        phase: 1,
+                        kind: SortKind::Splitter(s),
+                    },
+                );
             }
             self.splitters = splitters;
         }
-        out.broadcast(ctx.me, SortMsg { phase: 1, kind: SortKind::Flush });
+        out.broadcast(
+            ctx.me,
+            SortMsg {
+                phase: 1,
+                kind: SortKind::Flush,
+            },
+        );
     }
 
     fn phase2(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<SortMsg>) {
@@ -207,17 +231,41 @@ impl SampleSort {
             if b == ctx.me {
                 self.bucket.push(key);
             } else {
-                out.send(b, SortMsg { phase: 2, kind: SortKind::Key(key) });
+                out.send(
+                    b,
+                    SortMsg {
+                        phase: 2,
+                        kind: SortKind::Key(key),
+                    },
+                );
             }
         }
-        out.broadcast(ctx.me, SortMsg { phase: 2, kind: SortKind::Flush });
+        out.broadcast(
+            ctx.me,
+            SortMsg {
+                phase: 2,
+                kind: SortKind::Flush,
+            },
+        );
     }
 
     fn phase3(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<SortMsg>) {
         self.bucket.sort_unstable();
         self.counts[ctx.me] = Some(self.bucket.len() as u64);
-        out.broadcast(ctx.me, SortMsg { phase: 3, kind: SortKind::Count(self.bucket.len() as u64) });
-        out.broadcast(ctx.me, SortMsg { phase: 3, kind: SortKind::Flush });
+        out.broadcast(
+            ctx.me,
+            SortMsg {
+                phase: 3,
+                kind: SortKind::Count(self.bucket.len() as u64),
+            },
+        );
+        out.broadcast(
+            ctx.me,
+            SortMsg {
+                phase: 3,
+                kind: SortKind::Flush,
+            },
+        );
     }
 
     fn phase4(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<SortMsg>) {
@@ -239,12 +287,21 @@ impl SampleSort {
                 let relay = ctx.rng.gen_range(0..ctx.k);
                 let msg = SortMsg {
                     phase: 4,
-                    kind: SortKind::RelayKey { owner: owner as u32, key },
+                    kind: SortKind::RelayKey {
+                        owner: owner as u32,
+                        key,
+                    },
                 };
                 out.send(relay, msg);
             }
         }
-        out.broadcast(ctx.me, SortMsg { phase: 4, kind: SortKind::Flush });
+        out.broadcast(
+            ctx.me,
+            SortMsg {
+                phase: 4,
+                kind: SortKind::Flush,
+            },
+        );
     }
 
     fn phase5(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<SortMsg>) {
@@ -253,10 +310,22 @@ impl SampleSort {
             if owner == ctx.me {
                 self.output.push(key);
             } else {
-                out.send(owner, SortMsg { phase: 5, kind: SortKind::Key(key) });
+                out.send(
+                    owner,
+                    SortMsg {
+                        phase: 5,
+                        kind: SortKind::Key(key),
+                    },
+                );
             }
         }
-        out.broadcast(ctx.me, SortMsg { phase: 5, kind: SortKind::Flush });
+        out.broadcast(
+            ctx.me,
+            SortMsg {
+                phase: 5,
+                kind: SortKind::Flush,
+            },
+        );
     }
 
     fn apply(&mut self, src: usize, msg: &SortMsg) {
@@ -312,7 +381,11 @@ impl Protocol for SampleSort {
         if ctx.round == 0 {
             self.phase0(ctx, out);
             self.maybe_advance(ctx, out);
-            return if self.finished { Status::Done } else { Status::Active };
+            return if self.finished {
+                Status::Done
+            } else {
+                Status::Active
+            };
         }
         for env in inbox {
             if env.msg.phase == self.phase {
@@ -433,6 +506,9 @@ mod tests {
         };
         let r4 = run(4, &mut rng);
         let r8 = run(8, &mut rng);
-        assert!(r4 / r8 > 2.0, "r4={r4} r8={r8}: expected superlinear speedup");
+        assert!(
+            r4 / r8 > 2.0,
+            "r4={r4} r8={r8}: expected superlinear speedup"
+        );
     }
 }

@@ -33,7 +33,11 @@ pub fn build_clique_machines(g: &CsrGraph) -> Vec<KmTriangle> {
     // Degree threshold n is unreachable (max degree n−1): in the clique
     // every machine hosts one vertex and ships its own canonical edges,
     // which is already balanced — the designation rule is a no-op.
-    let cfg = TriConfig { degree_threshold: Some(g.n().max(1)), enumerate_triads: false, use_proxies: true };
+    let cfg = TriConfig {
+        degree_threshold: Some(g.n().max(1)),
+        enumerate_triads: false,
+        use_proxies: true,
+    };
     KmTriangle::build_all(g, &part, cfg)
 }
 
@@ -45,7 +49,11 @@ pub fn run_clique_triangles(
 ) -> Result<(Vec<Triangle>, km_core::Metrics), km_core::EngineError> {
     let net: NetConfig = clique_config(g.n(), seed);
     let part = Arc::new(identity_partition(g.n()));
-    let cfg = TriConfig { degree_threshold: Some(g.n().max(1)), enumerate_triads: false, use_proxies: true };
+    let cfg = TriConfig {
+        degree_threshold: Some(g.n().max(1)),
+        enumerate_triads: false,
+        use_proxies: true,
+    };
     run_kmachine_triangles(g, &part, cfg, net)
 }
 
@@ -94,6 +102,11 @@ mod tests {
         let (_, m1) = run_clique_triangles(&g1, 2).unwrap();
         let (_, m2) = run_clique_triangles(&g2, 2).unwrap();
         let ratio = m2.rounds as f64 / m1.rounds.max(1) as f64;
-        assert!(ratio < 8.0, "rounds ratio {ratio} (m1={} m2={})", m1.rounds, m2.rounds);
+        assert!(
+            ratio < 8.0,
+            "rounds ratio {ratio} (m1={} m2={})",
+            m1.rounds,
+            m2.rounds
+        );
     }
 }

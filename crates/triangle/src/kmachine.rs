@@ -159,16 +159,32 @@ pub struct TriMsg {
 
 impl TriMsg {
     fn hd(n: usize, phase: u8, v: Vertex) -> Self {
-        TriMsg { phase, payload: TriPayload::HdRequest { v }, bits: (2 + id_bits(n)) as u32 }
+        TriMsg {
+            phase,
+            payload: TriPayload::HdRequest { v },
+            bits: (2 + id_bits(n)) as u32,
+        }
     }
     fn to_proxy(n: usize, phase: u8, e: Edge) -> Self {
-        TriMsg { phase, payload: TriPayload::ToProxy { e }, bits: (2 + 2 * id_bits(n)) as u32 }
+        TriMsg {
+            phase,
+            payload: TriPayload::ToProxy { e },
+            bits: (2 + 2 * id_bits(n)) as u32,
+        }
     }
     fn to_machine(n: usize, phase: u8, e: Edge) -> Self {
-        TriMsg { phase, payload: TriPayload::ToMachine { e }, bits: (2 + 2 * id_bits(n)) as u32 }
+        TriMsg {
+            phase,
+            payload: TriPayload::ToMachine { e },
+            bits: (2 + 2 * id_bits(n)) as u32,
+        }
     }
     fn flush(phase: u8) -> Self {
-        TriMsg { phase, payload: TriPayload::Flush, bits: 8 }
+        TriMsg {
+            phase,
+            payload: TriPayload::Flush,
+            bits: 8,
+        }
     }
 }
 
@@ -194,7 +210,11 @@ pub struct TriConfig {
 
 impl Default for TriConfig {
     fn default() -> Self {
-        TriConfig { degree_threshold: None, enumerate_triads: false, use_proxies: true }
+        TriConfig {
+            degree_threshold: None,
+            enumerate_triads: false,
+            use_proxies: true,
+        }
     }
 }
 
@@ -232,9 +252,9 @@ impl KmTriangle {
         assert_eq!(g.n(), part.n(), "partition size mismatch");
         let k = part.k();
         let scheme = ColorScheme::for_machines(k);
-        let threshold = cfg.degree_threshold.unwrap_or_else(|| {
-            (2.0 * k as f64 * (g.n().max(2) as f64).log2()).ceil() as usize
-        });
+        let threshold = cfg
+            .degree_threshold
+            .unwrap_or_else(|| (2.0 * k as f64 * (g.n().max(2) as f64).log2()).ceil() as usize);
         (0..k)
             .map(|i| {
                 let vertices: Vec<Vertex> = part.members(i).to_vec();
@@ -424,7 +444,11 @@ impl Protocol for KmTriangle {
         if ctx.round == 0 {
             self.phase0(ctx, out);
             self.maybe_advance(ctx, out); // k == 1 runs everything inline
-            return if self.finished { Status::Done } else { Status::Active };
+            return if self.finished {
+                Status::Done
+            } else {
+                Status::Active
+            };
         }
         for env in inbox {
             if env.msg.phase == self.phase {
@@ -470,7 +494,11 @@ pub(crate) fn enumerate_within(
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
                     if accept(u, v, nu[i]) {
-                        out.push(Triangle { a: u, b: v, c: nu[i] });
+                        out.push(Triangle {
+                            a: u,
+                            b: v,
+                            c: nu[i],
+                        });
                     }
                     i += 1;
                     j += 1;
@@ -565,7 +593,11 @@ mod tests {
         for a in 0..q as u8 {
             for b in a..q as u8 {
                 let ms = s.machines_for_pair(a, b);
-                assert!(!ms.is_empty() && ms.len() <= q, "pair ({a},{b}): {}", ms.len());
+                assert!(
+                    !ms.is_empty() && ms.len() <= q,
+                    "pair ({a},{b}): {}",
+                    ms.len()
+                );
                 // The owner of any triangle containing the pair is reachable.
                 for c in 0..q as u8 {
                     assert!(ms.contains(&s.owner_of(a, b, c)));
@@ -578,7 +610,8 @@ mod tests {
     fn enumerates_k4_exactly() {
         let g = classic::complete(4);
         let part = Arc::new(Partition::by_hash(4, 5, 3));
-        let (ts, _) = run_kmachine_triangles(&g, &part, TriConfig::default(), net(5, 4, 1)).unwrap();
+        let (ts, _) =
+            run_kmachine_triangles(&g, &part, TriConfig::default(), net(5, 4, 1)).unwrap();
         assert_eq!(ts, enumerate_triangles(&g));
         assert_eq!(ts.len(), 4);
     }
@@ -586,7 +619,12 @@ mod tests {
     #[test]
     fn matches_sequential_on_random_graphs() {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        for (n, p, k, seed) in [(40, 0.3, 4, 1u64), (60, 0.5, 9, 2), (50, 0.2, 16, 3), (30, 0.8, 7, 4)] {
+        for (n, p, k, seed) in [
+            (40, 0.3, 4, 1u64),
+            (60, 0.5, 9, 2),
+            (50, 0.2, 16, 3),
+            (30, 0.8, 7, 4),
+        ] {
             let g = gnp(n, p, &mut rng);
             let part = Arc::new(Partition::by_hash(n, k, seed));
             let (ts, _) =
@@ -623,11 +661,18 @@ mod tests {
         let g = CsrGraph::from_edges(50, &edges);
         let k = 6;
         let part = Arc::new(Partition::by_hash(50, k, 2));
-        let cfg = TriConfig { degree_threshold: Some(5), enumerate_triads: false, use_proxies: true };
+        let cfg = TriConfig {
+            degree_threshold: Some(5),
+            enumerate_triads: false,
+            use_proxies: true,
+        };
         let machines = KmTriangle::build_all(&g, &part, cfg);
         let report = SequentialEngine::run(net(k, 50, 8), machines).unwrap();
-        let mut all: Vec<Triangle> =
-            report.machines.iter().flat_map(|m| m.triangles.iter().copied()).collect();
+        let mut all: Vec<Triangle> = report
+            .machines
+            .iter()
+            .flat_map(|m| m.triangles.iter().copied())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, vec![Triangle::new(0, 1, 2)]);
         // The HD set must have propagated to every machine.
@@ -642,11 +687,18 @@ mod tests {
         let g = gnp(25, 0.3, &mut rng);
         let k = 8;
         let part = Arc::new(Partition::by_hash(25, k, 4));
-        let cfg = TriConfig { degree_threshold: None, enumerate_triads: true, use_proxies: true };
+        let cfg = TriConfig {
+            degree_threshold: None,
+            enumerate_triads: true,
+            use_proxies: true,
+        };
         let machines = KmTriangle::build_all(&g, &part, cfg);
         let report = SequentialEngine::run(net(k, 25, 6), machines).unwrap();
-        let mut got: Vec<(Vertex, Vertex, Vertex)> =
-            report.machines.iter().flat_map(|m| m.open_triads.iter().copied()).collect();
+        let mut got: Vec<(Vertex, Vertex, Vertex)> = report
+            .machines
+            .iter()
+            .flat_map(|m| m.open_triads.iter().copied())
+            .collect();
         got.sort_unstable();
         let want = crate::triads::enumerate_open_triads(&g);
         assert_eq!(got, want);
@@ -659,7 +711,11 @@ mod tests {
         let g = gnp(45, 0.4, &mut rng);
         let k = 9;
         let part = Arc::new(Partition::by_hash(45, k, 6));
-        let cfg = TriConfig { degree_threshold: None, enumerate_triads: false, use_proxies: false };
+        let cfg = TriConfig {
+            degree_threshold: None,
+            enumerate_triads: false,
+            use_proxies: false,
+        };
         let (ts, _) = run_kmachine_triangles(&g, &part, cfg, net(k, 45, 7)).unwrap();
         assert_eq!(ts, enumerate_triangles(&g));
     }

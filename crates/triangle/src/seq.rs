@@ -26,7 +26,11 @@ pub fn enumerate_triangles(g: &CsrGraph) -> Vec<Triangle> {
                     std::cmp::Ordering::Less => i += 1,
                     std::cmp::Ordering::Greater => j += 1,
                     std::cmp::Ordering::Equal => {
-                        out.push(Triangle { a: u, b: v, c: nu[i] });
+                        out.push(Triangle {
+                            a: u,
+                            b: v,
+                            c: nu[i],
+                        });
                         i += 1;
                         j += 1;
                     }

@@ -51,7 +51,10 @@ fn main() {
     // Run the (correct) Algorithm 1 and decode the secret bits from the
     // output — the information the lower bound says must have moved.
     let net = NetConfig::polylog(k, h.n(), 2).max_rounds(50_000_000);
-    let cfg = PrConfig { reset_prob: eps, tokens_per_vertex: 60_000 };
+    let cfg = PrConfig {
+        reset_prob: eps,
+        tokens_per_vertex: 60_000,
+    };
     let (pr, metrics) = run_kmachine_pagerank(&h.graph, &part, cfg, net).expect("run");
     let mid = (lo + hi) / 2.0;
     let decoded: Vec<bool> = (0..h.quarter)

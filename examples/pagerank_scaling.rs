@@ -20,8 +20,14 @@ fn main() {
     let n = 4000;
     let g = bidirect(&star(n));
     let cfg = PrConfig::paper(n, 0.4, 2.0);
-    println!("star({n}): hub degree {} — every token funnels through it\n", n - 1);
-    println!("{:>4}  {:>12}  {:>16}  {:>8}", "k", "alg1 rounds", "baseline rounds", "speedup");
+    println!(
+        "star({n}): hub degree {} — every token funnels through it\n",
+        n - 1
+    );
+    println!(
+        "{:>4}  {:>12}  {:>16}  {:>8}",
+        "k", "alg1 rounds", "baseline rounds", "speedup"
+    );
 
     let ks = [4usize, 8, 16, 32];
     let mut alg = Vec::new();

@@ -28,7 +28,10 @@ fn main() {
 
     // 1. An input graph nobody's single machine could hold (pretend!).
     let g = gnp(n, 0.05, &mut rng);
-    println!("input: G({n}, 0.05) with m = {} edges, k = {k} machines", g.m());
+    println!(
+        "input: G({n}, 0.05) with m = {} edges, k = {k} machines",
+        g.m()
+    );
 
     // 2. The random vertex partition of Section 1.1 (via hashing, so every
     //    machine can locate every vertex locally).
@@ -63,6 +66,10 @@ fn main() {
         tm.rounds,
         tm.total_msgs()
     );
-    assert_eq!(triangles, enumerate_triangles(&g), "distributed == sequential");
+    assert_eq!(
+        triangles,
+        enumerate_triangles(&g),
+        "distributed == sequential"
+    );
     println!("verified against the sequential oracle: exact");
 }

@@ -8,12 +8,12 @@
 //! ```
 
 use km_repro::core::NetConfig;
+use km_repro::core::SequentialEngine;
 use km_repro::graph::generators::{chung_lu, power_law_weights};
 use km_repro::graph::Partition;
 use km_repro::triangle::kmachine::{KmTriangle, TriConfig};
 use km_repro::triangle::triads::global_clustering_coefficient;
 use km_repro::triangle::verify::assert_exact_enumeration;
-use km_repro::core::SequentialEngine;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
@@ -35,7 +35,11 @@ fn main() {
 
     let part = Arc::new(Partition::random_vertex(n, k, &mut rng));
     let net = NetConfig::polylog(k, n, 9).max_rounds(50_000_000);
-    let cfg = TriConfig { degree_threshold: None, enumerate_triads: true, use_proxies: true };
+    let cfg = TriConfig {
+        degree_threshold: None,
+        enumerate_triads: true,
+        use_proxies: true,
+    };
     let machines = KmTriangle::build_all(&g, &part, cfg);
     let report = SequentialEngine::run(net, machines).expect("run");
 

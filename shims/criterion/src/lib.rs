@@ -1,0 +1,260 @@
+//! Offline shim for the `criterion` subset this workspace uses: the
+//! `criterion_group!`/`criterion_main!` macros, `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, and `black_box`.
+//!
+//! Timing model: per benchmark, one warm-up run, then `sample_size`
+//! timed runs (default 10, capped by a ~1 s budget); mean and min are
+//! printed. No statistics, plots, or baselines — wall-clock smoke
+//! numbers only, sufficient for "did this hot path regress 10×".
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A named benchmark id, optionally parameterized (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("algo", 8)` displays as `algo/8`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the
+/// routine.
+pub struct Bencher {
+    samples: usize,
+    /// Filled by `iter`: (mean, min) per-iteration time.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also seeds the time budget estimate).
+        let warm = Instant::now();
+        black_box(routine());
+        let per_iter = warm.elapsed();
+
+        // Keep the whole sample loop near ~1 s even for slow routines.
+        let budget = Duration::from_secs(1);
+        let fit = if per_iter.is_zero() {
+            self.samples
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)) as usize
+        };
+        let samples = self.samples.min(fit).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..samples {
+            let t = Instant::now();
+            black_box(routine());
+            let dt = t.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((total / samples as u32, min));
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((mean, min)) => {
+            println!("bench {label:<48} mean {mean:>12?}  min {min:>12?}");
+        }
+        None => println!("bench {label:<48} (no iter() call)"),
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_name());
+        run_one(&label, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_name());
+        run_one(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is eager, so this is bookkeeping only).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI arguments, mirroring criterion's
+    /// builder so `criterion_group!`-generated code stays source-
+    /// compatible with the real crate.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.into_name(), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a standalone function with an input reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&id.into_name(), self.sample_size, |b| f(b, input));
+        self
+    }
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_timing() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_function("trivial", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        group.finish();
+        assert!(ran >= 2, "warm-up plus at least one sample");
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("algo", 8).to_string(), "algo/8");
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline shim for the `proptest` subset this workspace uses.
+//!
+//! Supports the `proptest! { #[test] fn name(x in STRATEGY, ...) { .. } }`
+//! macro with range, tuple, and `collection::vec` strategies, plus the
+//! `prop_assert*` macros. Each property runs for `PROPTEST_CASES`
+//! uniformly random cases (default 64, deterministic per test name).
+//! There is **no shrinking**: a failure panics with the failing inputs
+//! printed via `Debug`.
+
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Deterministic case generation for the shim runner.
+
+    use rand::SeedableRng;
+
+    /// The RNG driving strategy sampling.
+    pub type TestRng = rand_chacha::ChaCha8Rng;
+
+    /// Number of cases per property: `PROPTEST_CASES` env or 64.
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// A per-test deterministic RNG (seeded from the test's name so
+    /// independent properties see independent streams).
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+}
+
+/// A generator of values of type `Value` (shim analogue of
+/// `proptest::strategy::Strategy`, without shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A constant is a (degenerate) strategy, as in real proptest's `Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut test_runner::TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection` subset).
+
+    use super::{test_runner::TestRng, Strategy};
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Size specification for [`vec()`]: an exact size or a half-open
+    /// range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, size)`: a vector of `size`-many samples of `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        test_runner, Just, Strategy,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are sampled from
+/// strategies. Runs [`test_runner::cases()`] random cases; a failing
+/// case panics immediately (no shrinking) with the inputs printed.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    // Render inputs before the body runs: the body may
+                    // consume them by value.
+                    let inputs = format!(
+                        concat!("[proptest shim] case {}/{} failed with:", $(concat!("\n  ", stringify!($arg), " = {:?}")),+),
+                        case + 1, cases, $(&$arg),+
+                    );
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || { $body }));
+                    if let Err(payload) = result {
+                        eprintln!("{inputs}");
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the rest of the case when the assumption fails. (The shim
+/// simply returns from the loop body closure — acceptable for the
+/// rare, cheap assumptions this workspace uses.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro compiles, samples within bounds, and runs bodies.
+        #[test]
+        fn ranges_within_bounds(x in 3u32..10, y in 0u64..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn vec_of_tuples(edges in collection::vec((0u32..7, 0u32..7), 0..20)) {
+            prop_assert!(edges.len() < 20);
+            for (a, b) in &edges {
+                prop_assert!(*a < 7 && *b < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut r1 = test_runner::rng_for("x");
+        let mut r2 = test_runner::rng_for("x");
+        let a: u64 = rand::Rng::gen(&mut r1);
+        let b: u64 = rand::Rng::gen(&mut r2);
+        assert_eq!(a, b);
+    }
+}

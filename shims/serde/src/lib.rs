@@ -1,0 +1,124 @@
+//! Offline shim for the `serde` subset this workspace uses:
+//! `#[derive(Serialize)]` on plain structs, consumed by the
+//! `serde_json::to_string_pretty` shim.
+//!
+//! Instead of serde's visitor architecture, [`Serialize`] converts a
+//! value into a tiny owned JSON [`Value`] tree — entirely sufficient for
+//! the experiment tables and metrics this workspace serializes, and
+//! swappable for real serde without touching call sites.
+
+pub use serde_derive::Serialize;
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A finite or non-finite float (non-finite prints as `null`).
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with field order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into the shim's JSON [`Value`] model (the serde shim's
+/// analogue of `serde::Serialize`).
+pub trait Serialize {
+    /// Converts `self` to a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty => $variant:ident as $as:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as $as)
+            }
+        }
+    )*};
+}
+impl_ser_int!(
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64,
+    u64 => UInt as u64, usize => UInt as u64,
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64,
+    i64 => Int as i64, isize => Int as i64,
+    f32 => Float as f64, f64 => Float as f64,
+);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline shim of `serde_derive`: a dependency-free `#[derive(Serialize)]`
+//! for **plain structs with named fields and no generics** — the only
+//! shape this workspace derives. Hand-parses the token stream instead of
+//! using `syn`/`quote` (unavailable offline).
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` (a `to_value(&self) -> Value`
+/// conversion) by emitting one JSON object entry per named field.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, body) = parse_struct(&tokens);
+    let fields = parse_named_fields(&body);
+
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> serde::Value {{\n\
+         \x20       serde::Value::Object(vec![{entries}])\n\
+         \x20   }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Finds `struct <Name> { ... }`, skipping attributes and visibility.
+/// Panics with a clear message on shapes the shim does not support
+/// (enums, tuple structs, generics).
+fn parse_struct(tokens: &[TokenTree]) -> (String, Vec<TokenTree>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip `#[...]`.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // Skip `(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde_derive shim: expected struct name, got {other:?}"),
+                };
+                match tokens.get(i + 2) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return (name, g.stream().into_iter().collect());
+                    }
+                    other => panic!(
+                        "serde_derive shim supports only non-generic structs \
+                         with named fields; got {other:?} after `struct {name}`"
+                    ),
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("serde_derive shim supports only structs, not {id}")
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("serde_derive shim: no `struct` found in derive input")
+}
+
+/// Extracts field names from a named-field body: for each top-level
+/// comma-separated item, the identifier immediately before the first
+/// top-level `:`.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // Skip field attributes and visibility.
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = body.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= body.len() {
+            break;
+        }
+        match &body[i] {
+            TokenTree::Ident(name) => {
+                match body.get(i + 1) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {
+                        fields.push(name.to_string())
+                    }
+                    other => panic!(
+                        "serde_derive shim: expected `:` after field `{name}`, got {other:?}"
+                    ),
+                }
+                // Skip the type: everything up to the next top-level comma.
+                // The `>` of a `->` (fn-pointer types) is not a closing
+                // angle bracket; its `-` arrives with joint spacing.
+                i += 2;
+                let mut depth = 0i32;
+                let mut after_joint_minus = false;
+                while i < body.len() {
+                    let mut joint_minus = false;
+                    match &body[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' && !after_joint_minus => {
+                            depth -= 1
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        TokenTree::Punct(p)
+                            if p.as_char() == '-' && p.spacing() == Spacing::Joint =>
+                        {
+                            joint_minus = true
+                        }
+                        _ => {}
+                    }
+                    after_joint_minus = joint_minus;
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive shim: unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}

@@ -1,0 +1,173 @@
+//! Offline shim for the `serde_json` subset this workspace uses:
+//! [`to_string_pretty`] (and [`to_string`]) over the shim `serde`'s
+//! [`Value`] model.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The shim's value model is total, so this is
+/// never actually produced; it exists so call sites keep serde_json's
+/// `Result` shape.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error (unreachable)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON (serde_json's pretty
+/// format).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Match serde_json: always a decimal point or exponent.
+                let s = format!("{x:?}");
+                out.push_str(&s);
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_json_string(s, out),
+        Value::Array(items) => write_seq(
+            items.iter(),
+            items.len(),
+            '[',
+            ']',
+            indent,
+            level,
+            out,
+            |item, out, lvl| write_value(item, indent, lvl, out),
+        ),
+        Value::Object(entries) => write_seq(
+            entries.iter(),
+            entries.len(),
+            '{',
+            '}',
+            indent,
+            level,
+            out,
+            |(key, val), out, lvl| {
+                write_json_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, indent, lvl, out);
+            },
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_seq<I: Iterator>(
+    items: I,
+    len: usize,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+    mut write_item: impl FnMut(I::Item, &mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (level + 1)));
+        }
+        write_item(item, out, level + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * level));
+    }
+    out.push(close);
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Point {
+        x: u32,
+        label: String,
+    }
+
+    impl Serialize for Point {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("x".to_string(), self.x.to_value()),
+                ("label".to_string(), self.label.to_value()),
+            ])
+        }
+    }
+
+    #[test]
+    fn pretty_prints_nested_object() {
+        let p = Point {
+            x: 3,
+            label: "a\"b".to_string(),
+        };
+        let s = to_string_pretty(&p).unwrap();
+        assert_eq!(s, "{\n  \"x\": 3,\n  \"label\": \"a\\\"b\"\n}");
+    }
+
+    #[test]
+    fn compact_prints_arrays() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn floats_have_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}

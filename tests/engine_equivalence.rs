@@ -23,7 +23,10 @@ fn pagerank_parallel_equals_sequential() {
     let mut rng = ChaCha8Rng::seed_from_u64(300);
     let g = bidirect(&gnp(70, 0.1, &mut rng));
     let part = Arc::new(Partition::by_hash(g.n(), 7, 1));
-    let cfg = PrConfig { reset_prob: 0.4, tokens_per_vertex: 25 };
+    let cfg = PrConfig {
+        reset_prob: 0.4,
+        tokens_per_vertex: 25,
+    };
     let netc = net(7, g.n(), 8);
     let seq = SequentialEngine::run(netc, KmPageRank::build_all(&g, &part, cfg)).unwrap();
     let par = ParallelEngine::with_threads(3)
@@ -41,9 +44,8 @@ fn triangle_parallel_equals_sequential() {
     let g = gnp(60, 0.4, &mut rng);
     let part = Arc::new(Partition::by_hash(60, 9, 2));
     let netc = net(9, 60, 9);
-    let seq =
-        SequentialEngine::run(netc, KmTriangle::build_all(&g, &part, TriConfig::default()))
-            .unwrap();
+    let seq = SequentialEngine::run(netc, KmTriangle::build_all(&g, &part, TriConfig::default()))
+        .unwrap();
     let par = ParallelEngine::with_threads(4)
         .run(netc, KmTriangle::build_all(&g, &part, TriConfig::default()))
         .unwrap();

@@ -23,7 +23,10 @@ fn algorithm1_and_baseline_agree_with_oracle_on_gnp() {
     let eps = 0.3;
     let exact = power_iteration(&g, eps, 1e-13, 100_000);
     let part = Arc::new(Partition::by_hash(g.n(), 6, 9));
-    let cfg = PrConfig { reset_prob: eps, tokens_per_vertex: 3000 };
+    let cfg = PrConfig {
+        reset_prob: eps,
+        tokens_per_vertex: 3000,
+    };
     let floor = eps / g.n() as f64;
 
     let (pr_a, m_a) = run_kmachine_pagerank(&g, &part, cfg, net(6, g.n(), 5)).unwrap();
@@ -40,7 +43,10 @@ fn lower_bound_graph_end_to_end() {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let h = LowerBoundGraph::random(81, &mut rng);
     let part = Arc::new(Partition::random_vertex(h.n(), 4, &mut rng));
-    let cfg = PrConfig { reset_prob: 0.3, tokens_per_vertex: 40_000 };
+    let cfg = PrConfig {
+        reset_prob: 0.3,
+        tokens_per_vertex: 40_000,
+    };
     let (pr, _) = run_kmachine_pagerank(&h.graph, &part, cfg, net(4, h.n(), 3)).unwrap();
     // Decode each bit by thresholding at the midpoint of the two analytic
     // values; all bits must decode correctly with this token budget.
@@ -58,7 +64,10 @@ fn star_worst_case_superiority() {
     let n = 800;
     let g = bidirect(&classic::star(n));
     let part = Arc::new(Partition::by_hash(n, 8, 4));
-    let cfg = PrConfig { reset_prob: 0.4, tokens_per_vertex: 10 };
+    let cfg = PrConfig {
+        reset_prob: 0.4,
+        tokens_per_vertex: 10,
+    };
     let (_, m_a) = run_kmachine_pagerank(&g, &part, cfg, net(8, n, 6)).unwrap();
     let (_, m_b) = run_congest_pagerank(&g, &part, cfg, net(8, n, 6)).unwrap();
     assert!(
@@ -74,7 +83,10 @@ fn deterministic_across_engine_runs() {
     let mut rng = ChaCha8Rng::seed_from_u64(31);
     let g = bidirect(&gnp(60, 0.1, &mut rng));
     let part = Arc::new(Partition::by_hash(g.n(), 5, 2));
-    let cfg = PrConfig { reset_prob: 0.5, tokens_per_vertex: 20 };
+    let cfg = PrConfig {
+        reset_prob: 0.5,
+        tokens_per_vertex: 20,
+    };
     let run = || run_kmachine_pagerank(&g, &part, cfg, net(5, g.n(), 11)).unwrap();
     let (pr1, m1) = run();
     let (pr2, m2) = run();

@@ -48,7 +48,11 @@ fn power_law_graph_with_random_vertex_partition() {
     let g = chung_lu(&w, &mut rng);
     let k = 11;
     let part = Arc::new(Partition::random_vertex(g.n(), k, &mut rng));
-    let cfg = TriConfig { degree_threshold: Some(30), enumerate_triads: false, use_proxies: true };
+    let cfg = TriConfig {
+        degree_threshold: Some(30),
+        enumerate_triads: false,
+        use_proxies: true,
+    };
     let (ts, _) = run_kmachine_triangles(&g, &part, cfg, net(k, g.n(), 5)).unwrap();
     assert_exact_enumeration(&g, &ts);
 }
@@ -63,5 +67,9 @@ fn complete_graph_stress() {
     // Edge replication: each of the m edges reaches at most q machines,
     // so total messages stay well below m·k.
     let m = g.m() as u64;
-    assert!(metrics.total_msgs() < m * 16, "msgs {}", metrics.total_msgs());
+    assert!(
+        metrics.total_msgs() < m * 16,
+        "msgs {}",
+        metrics.total_msgs()
+    );
 }
