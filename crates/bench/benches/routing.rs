@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use km_core::router::UniformScatter;
-use km_core::{NetConfig, ParallelEngine, SequentialEngine};
+use km_core::{EngineKind, NetConfig, Runner};
 
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine");
@@ -15,7 +15,10 @@ fn bench_engines(c: &mut Criterion) {
     group.bench_function("sequential/scatter_k16_x2048", |b| {
         b.iter(|| {
             let machines: Vec<UniformScatter> = (0..k).map(|_| UniformScatter::new(x)).collect();
-            SequentialEngine::run(cfg, machines).unwrap()
+            Runner::new(cfg)
+                .engine(EngineKind::Sequential)
+                .run(machines)
+                .unwrap()
         })
     });
     for threads in [2usize, 4] {
@@ -26,8 +29,9 @@ fn bench_engines(c: &mut Criterion) {
                 b.iter(|| {
                     let machines: Vec<UniformScatter> =
                         (0..k).map(|_| UniformScatter::new(x)).collect();
-                    ParallelEngine::with_threads(threads)
-                        .run(cfg, machines)
+                    Runner::new(cfg)
+                        .engine(EngineKind::Parallel { threads })
+                        .run(machines)
                         .unwrap()
                 })
             },

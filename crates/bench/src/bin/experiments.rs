@@ -5,11 +5,18 @@
 //! cargo run --release -p km-bench --bin experiments -- T4-UB   # one id
 //! cargo run --release -p km-bench --bin experiments -- --list
 //! cargo run --release -p km-bench --bin experiments -- --seed 7 F1 T5-UB
+//! cargo run --release -p km-bench --bin experiments -- --engine par S1
 //! ```
+//!
+//! `--engine {seq,par,auto}` selects the execution engine for every run
+//! (transcript-identical engines, so tables are engine-independent); it
+//! is wired through `km_core::EngineKind` via the `KM_ENGINE` variable
+//! that `EngineKind::Auto` resolution honors.
 //!
 //! Tables are printed to stdout and archived as JSON under `results/`.
 
 use km_bench::exp;
+use km_core::{runner::ENGINE_ENV, EngineKind};
 use std::time::Instant;
 
 fn main() {
@@ -27,6 +34,16 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .expect("--seed needs an integer");
+            }
+            "--engine" => {
+                i += 1;
+                let name = args.get(i).expect("--engine needs {seq,par,auto}");
+                let kind = EngineKind::parse(name)
+                    .unwrap_or_else(|| panic!("unknown engine `{name}`; try seq, par, or auto"));
+                // Every experiment runs through Runner's Auto resolution,
+                // which reads this variable — one switch flips them all.
+                std::env::set_var(ENGINE_ENV, name);
+                eprintln!("engine: {kind:?}");
             }
             id => wanted.push(id.to_string()),
         }

@@ -11,13 +11,13 @@
 //!   volume and the `k^{5/3}` scaling degrades).
 
 use crate::table::Table;
-use km_core::{NetConfig, SequentialEngine};
+use km_core::{run_algorithm, NetConfig, Runner};
 use km_graph::generators::{classic, gnp};
 use km_graph::Partition;
-use km_pagerank::kmachine::{bidirect, KmPageRank};
+use km_pagerank::kmachine::{bidirect, DistributedPageRank};
 use km_pagerank::PrConfig;
 use km_triangle::clique::identity_partition;
-use km_triangle::kmachine::{KmTriangle, TriConfig};
+use km_triangle::kmachine::{DistributedTriangles, TriConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -41,14 +41,19 @@ pub fn ablations(seed: u64) -> Table {
         ("heavy path ON (thresh k)", k as u64),
         ("heavy path OFF", u64::MAX),
     ] {
-        let machines = KmPageRank::build_all_with_threshold(&g, &part, cfg, threshold);
-        let report = SequentialEngine::run(netc, machines).expect("run");
+        let alg = DistributedPageRank {
+            g: &g,
+            part: &part,
+            cfg,
+            heavy_threshold: Some(threshold),
+        };
+        let outcome = run_algorithm(&alg, Runner::new(netc)).expect("run");
         t.row(vec![
             format!("pagerank star({n}) k={k}"),
             label.to_string(),
-            report.metrics.rounds.to_string(),
-            report.metrics.max_recv_bits().to_string(),
-            report.metrics.total_msgs().to_string(),
+            outcome.metrics.rounds.to_string(),
+            outcome.metrics.max_recv_bits().to_string(),
+            outcome.metrics.total_msgs().to_string(),
         ]);
     }
 
@@ -64,14 +69,18 @@ pub fn ablations(seed: u64) -> Table {
             enumerate_triads: false,
             use_proxies,
         };
-        let machines = KmTriangle::build_all(&g, &cpart, cfg);
-        let report = SequentialEngine::run(cnet, machines).expect("run");
+        let alg = DistributedTriangles {
+            g: &g,
+            part: &cpart,
+            cfg,
+        };
+        let outcome = run_algorithm(&alg, Runner::new(cnet)).expect("run");
         t.row(vec![
             format!("triangles clique n={n}"),
             label.to_string(),
-            report.metrics.rounds.to_string(),
-            report.metrics.max_recv_bits().to_string(),
-            report.metrics.total_msgs().to_string(),
+            outcome.metrics.rounds.to_string(),
+            outcome.metrics.max_recv_bits().to_string(),
+            outcome.metrics.total_msgs().to_string(),
         ]);
     }
     t.note("both devices cut rounds: the β path tames hub congestion; proxies spread re-routing");

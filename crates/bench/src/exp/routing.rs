@@ -2,7 +2,7 @@
 
 use crate::table::{f, Table};
 use km_core::router::{lemma13_bound, UniformScatter};
-use km_core::{NetConfig, SequentialEngine};
+use km_core::{NetConfig, Runner};
 use km_pagerank::analysis::log_log_slope;
 
 /// L13 — each machine scatters `x` tokens to uniform destinations; the
@@ -22,7 +22,7 @@ pub fn l13_random_routing(seed: u64) -> Table {
             let cfg =
                 NetConfig::with_bandwidth(k, 64, seed + (k * x) as u64).max_rounds(50_000_000);
             let machines: Vec<UniformScatter> = (0..k).map(|_| UniformScatter::new(x)).collect();
-            let report = SequentialEngine::run(cfg, machines).expect("run");
+            let report = Runner::new(cfg).run(machines).expect("run");
             let rounds = report.metrics.rounds;
             xs.push(x as f64);
             rs.push(rounds as f64);

@@ -1,5 +1,7 @@
 //! Network configuration for a k-machine execution.
 
+use crate::error::EngineError;
+
 /// Static parameters of a k-machine network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetConfig {
@@ -46,13 +48,29 @@ impl NetConfig {
         self
     }
 
-    /// Validates the configuration.
+    /// Validates the configuration, rejecting `k = 0`, zero bandwidth,
+    /// and a zero round limit (which could never complete a run).
     ///
-    /// # Panics
-    /// Panics if `k == 0` or bandwidth is zero.
-    pub fn validate(&self) {
-        assert!(self.k >= 1, "need at least one machine");
-        assert!(self.bandwidth_bits >= 1, "bandwidth must be positive");
+    /// The [`crate::Runner`] calls this before dispatching to an engine,
+    /// so an unusable configuration surfaces as
+    /// [`EngineError::InvalidConfig`] instead of deep inside a run.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.k == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "need at least one machine (k = 0)".into(),
+            });
+        }
+        if self.bandwidth_bits == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "per-link bandwidth must be positive".into(),
+            });
+        }
+        if self.max_rounds == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "max_rounds must be positive".into(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -79,8 +97,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one")]
-    fn zero_machines_invalid() {
-        NetConfig::with_bandwidth(0, 64, 0).validate();
+    fn invalid_configs_are_rejected_with_reasons() {
+        let err = NetConfig::with_bandwidth(0, 64, 0).validate().unwrap_err();
+        assert!(err.to_string().contains("at least one machine"));
+        let err = NetConfig::with_bandwidth(4, 0, 0).validate().unwrap_err();
+        assert!(err.to_string().contains("bandwidth"));
+        let err = NetConfig::with_bandwidth(4, 64, 0)
+            .max_rounds(0)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("max_rounds"));
+        assert!(NetConfig::with_bandwidth(4, 64, 0).validate().is_ok());
     }
 }

@@ -79,14 +79,16 @@ impl<M: WireSize> Network<M> {
                 let used = self.links[src * self.k + dst].deliver(budget, inbox);
                 if used > 0 {
                     any = true;
-                    let delivered = inbox.len() - before;
-                    self.metrics.recv_msgs[dst] += delivered as u64;
                 }
-                // Charge received bits for fully delivered messages only.
-                for env in &inbox[before..] {
+                // Charge received messages and bits from the same slice of
+                // fully delivered messages, so recv_msgs and recv_bits can
+                // never drift apart.
+                let delivered = &inbox[before..];
+                for env in delivered {
                     debug_assert_eq!(env.src, src);
                 }
-                let bits: u64 = inbox[before..].iter().map(|e| e.msg.bits().max(1)).sum();
+                self.metrics.recv_msgs[dst] += delivered.len() as u64;
+                let bits: u64 = delivered.iter().map(|e| e.msg.bits().max(1)).sum();
                 self.metrics.recv_bits[dst] += bits;
             }
         }
@@ -122,4 +124,62 @@ where
     statuses.iter().all(|s| *s == Status::Done)
         && net.is_drained()
         && inboxes.iter().all(Vec::is_empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::NetConfig;
+    use crate::engine::SequentialEngine;
+    use crate::message::{Envelope, Outbox};
+    use crate::protocol::{Protocol, RoundCtx, Status};
+    use rand::Rng;
+
+    /// Random-size messages to random peers for a few rounds: exercises
+    /// partial deliveries (messages larger than one round's budget) and
+    /// multi-message rounds.
+    struct Mesh {
+        rounds: u64,
+    }
+
+    impl Protocol for Mesh {
+        type Msg = Vec<u8>;
+        fn round(
+            &mut self,
+            ctx: &mut RoundCtx<'_>,
+            _inbox: &[Envelope<Vec<u8>>],
+            out: &mut Outbox<Vec<u8>>,
+        ) -> Status {
+            if ctx.round < self.rounds {
+                for _ in 0..ctx.rng.gen_range(0..4) {
+                    let dst = ctx.rng.gen_range(0..ctx.k);
+                    let len = ctx.rng.gen_range(0..24);
+                    out.send(dst, vec![0u8; len]);
+                }
+                Status::Active
+            } else {
+                Status::Done
+            }
+        }
+    }
+
+    #[test]
+    fn drained_run_balances_sent_and_received_metrics() {
+        // Small budget relative to message sizes forces messages to span
+        // rounds, the case where recv accounting could drift from sent.
+        let cfg = NetConfig::with_bandwidth(5, 48, 99);
+        let machines: Vec<Mesh> = (0..5).map(|_| Mesh { rounds: 4 }).collect();
+        let report = SequentialEngine::run(cfg, machines).unwrap();
+        let m = &report.metrics;
+        assert!(m.total_msgs() > 0, "the mesh must generate traffic");
+        assert_eq!(
+            m.sent_msgs.iter().sum::<u64>(),
+            m.recv_msgs.iter().sum::<u64>(),
+            "every sent message is received exactly once after a drain"
+        );
+        assert_eq!(
+            m.sent_bits.iter().sum::<u64>(),
+            m.recv_bits.iter().sum::<u64>(),
+            "every sent bit is received exactly once after a drain"
+        );
+    }
 }

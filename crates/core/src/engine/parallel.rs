@@ -62,19 +62,25 @@ impl ParallelEngine {
     /// Executes `machines` under `config`; semantics identical to
     /// [`super::SequentialEngine::run`].
     ///
-    /// # Panics
-    /// Panics if `machines.len() != config.k` or the config is invalid.
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] if the config fails
+    /// [`NetConfig::validate`] or `machines.len() != config.k`;
+    /// [`EngineError::RoundLimitExceeded`] if the safety valve fires.
     pub fn run<P>(&self, config: NetConfig, machines: Vec<P>) -> Result<RunReport<P>, EngineError>
     where
         P: Protocol + Send,
         P::Msg: Send,
     {
-        config.validate();
-        assert_eq!(
-            machines.len(),
-            config.k,
-            "one protocol instance per machine"
-        );
+        config.validate()?;
+        if machines.len() != config.k {
+            return Err(EngineError::InvalidConfig {
+                reason: format!(
+                    "one protocol instance per machine: got {} for k = {}",
+                    machines.len(),
+                    config.k
+                ),
+            });
+        }
         let k = config.k;
         let workers = self.threads.min(k).max(1);
         if workers == 1 {

@@ -18,18 +18,24 @@ pub struct SequentialEngine;
 impl SequentialEngine {
     /// Executes `machines` under `config`.
     ///
-    /// # Panics
-    /// Panics if `machines.len() != config.k` or the config is invalid.
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] if the config fails
+    /// [`NetConfig::validate`] or `machines.len() != config.k`;
+    /// [`EngineError::RoundLimitExceeded`] if the safety valve fires.
     pub fn run<P: Protocol>(
         config: NetConfig,
         mut machines: Vec<P>,
     ) -> Result<RunReport<P>, EngineError> {
-        config.validate();
-        assert_eq!(
-            machines.len(),
-            config.k,
-            "one protocol instance per machine"
-        );
+        config.validate()?;
+        if machines.len() != config.k {
+            return Err(EngineError::InvalidConfig {
+                reason: format!(
+                    "one protocol instance per machine: got {} for k = {}",
+                    machines.len(),
+                    config.k
+                ),
+            });
+        }
         let k = config.k;
         let mut net: Network<P::Msg> = Network::new(k);
         let mut rngs: Vec<_> = (0..k).map(|i| rng::machine_rng(config.seed, i)).collect();
@@ -211,7 +217,15 @@ mod tests {
                 assert_eq!(limit, 10);
                 assert_eq!(active_machines, 3);
             }
+            other => panic!("expected RoundLimitExceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn machine_count_mismatch_is_an_error() {
+        let cfg = NetConfig::with_bandwidth(3, 64, 0);
+        let err = SequentialEngine::run(cfg, vec![Chatter, Chatter]).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig { .. }), "{err}");
     }
 
     /// Self-sends are free and delivered next round.

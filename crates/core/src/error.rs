@@ -5,6 +5,14 @@ use std::fmt;
 /// Why an execution could not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
+    /// The network configuration (or the machine vector handed to the
+    /// engine) is unusable — e.g. `k = 0`, zero bandwidth, or a machine
+    /// count that does not match `k`. Raised by [`crate::NetConfig::validate`]
+    /// before any round executes.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
     /// The round-limit safety valve fired before global quiescence —
     /// almost always a protocol that never reaches `Status::Done`.
     RoundLimitExceeded {
@@ -20,6 +28,9 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            EngineError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
             EngineError::RoundLimitExceeded {
                 limit,
                 active_machines,
@@ -48,5 +59,13 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains('5') && s.contains('2') && s.contains('7'));
+    }
+
+    #[test]
+    fn invalid_config_display_carries_reason() {
+        let e = EngineError::InvalidConfig {
+            reason: "need at least one machine (k = 0)".into(),
+        };
+        assert!(e.to_string().contains("at least one machine"));
     }
 }

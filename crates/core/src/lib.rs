@@ -12,13 +12,19 @@
 //! * local computation is free; the **round complexity** is the number of
 //!   rounds until every machine is done and all links are drained.
 //!
-//! Algorithms implement the [`Protocol`] trait and are executed by either
-//! the deterministic [`engine::SequentialEngine`] or the thread-parallel
+//! Algorithms implement the [`Protocol`] trait and are executed through
+//! the [`Runner`] API: `Runner::new(cfg).engine(EngineKind::Auto)
+//! .run(machines)` dispatches to the deterministic
+//! [`engine::SequentialEngine`] or the thread-parallel
 //! [`engine::ParallelEngine`] (identical semantics, bit-for-bit identical
-//! transcripts). Message sizes are *logical bit counts* via [`WireSize`],
-//! so experiments can charge exactly the `Θ(log n)`-bit id costs the
-//! theory uses. Detailed transcript statistics ([`Metrics`]) feed the
-//! lower-bound validators in `km-lower`.
+//! transcripts), with [`EngineKind::Auto`] choosing by machine count and
+//! honoring the `KM_ENGINE` environment variable. Full algorithms
+//! implement [`KmAlgorithm`] (build → run → extract) and run through the
+//! generic [`run_algorithm`] driver, which returns a structured
+//! [`RunOutcome`]. Message sizes are *logical bit counts* via
+//! [`WireSize`], so experiments can charge exactly the `Θ(log n)`-bit id
+//! costs the theory uses. Detailed transcript statistics ([`Metrics`])
+//! feed the lower-bound validators in `km-lower`.
 //!
 //! The congested clique (`k = n`, one vertex per machine — Corollary 1)
 //! is the special case provided by [`clique`]. The randomized-routing
@@ -35,6 +41,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod rng;
 pub mod router;
+pub mod runner;
 
 pub use config::NetConfig;
 pub use engine::{ParallelEngine, RunReport, SequentialEngine};
@@ -42,6 +49,7 @@ pub use error::EngineError;
 pub use message::{id_bits, Envelope, Outbox, Raw, WireSize};
 pub use metrics::Metrics;
 pub use protocol::{Protocol, RoundCtx, Status};
+pub use runner::{run_algorithm, EngineKind, KmAlgorithm, RunOutcome, Runner};
 
 /// Index of a machine, `0..k` (shared with `km-graph::MachineIdx`).
 pub type MachineIdx = usize;

@@ -150,8 +150,8 @@ impl crate::protocol::Protocol for UniformScatter {
 mod tests {
     use super::*;
     use crate::config::NetConfig;
-    use crate::engine::SequentialEngine;
     use crate::protocol::{Protocol, RoundCtx, Status};
+    use crate::runner::Runner;
 
     #[test]
     fn proxy_is_deterministic_and_uniform() {
@@ -180,7 +180,7 @@ mod tests {
         let x = 50;
         let cfg = NetConfig::with_bandwidth(k, 64, 11);
         let machines: Vec<UniformScatter> = (0..k).map(|_| UniformScatter::new(x)).collect();
-        let report = SequentialEngine::run(cfg, machines).unwrap();
+        let report = Runner::new(cfg).run(machines).unwrap();
         let total: usize = report.machines.iter().map(|m| m.received).sum();
         assert_eq!(total, k * x);
     }
@@ -192,7 +192,7 @@ mod tests {
         let run = |x: usize| {
             let cfg = NetConfig::with_bandwidth(k, 16, 5); // 1 token/link/round
             let machines: Vec<UniformScatter> = (0..k).map(|_| UniformScatter::new(x)).collect();
-            SequentialEngine::run(cfg, machines).unwrap().metrics.rounds
+            Runner::new(cfg).run(machines).unwrap().metrics.rounds
         };
         let r1 = run(200);
         let r2 = run(400);
@@ -242,7 +242,7 @@ mod tests {
                 arrived: Vec::new(),
             })
             .collect();
-        let report = SequentialEngine::run(cfg, machines).unwrap();
+        let report = Runner::new(cfg).run(machines).unwrap();
         let arrived = &report.machines[0].arrived;
         assert_eq!(arrived.len(), (k - 1) * x);
         for src in 1..k {

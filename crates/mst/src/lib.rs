@@ -24,7 +24,8 @@ pub mod sketch;
 
 use km_core::rng::keyed_hash;
 use km_core::{
-    id_bits, Envelope, NetConfig, Outbox, Protocol, RoundCtx, SequentialEngine, Status, WireSize,
+    id_bits, run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx,
+    Runner, Status, WireSize,
 };
 use km_graph::{Edge, Partition, Vertex, WeightedGraph};
 use std::collections::BTreeMap;
@@ -406,24 +407,49 @@ impl Protocol for BoruvkaMst {
     }
 }
 
+/// Distributed Borůvka as a [`KmAlgorithm`]: weighted graph + partition
+/// in, `(sorted forest edges, total weight)` out.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedMst<'a> {
+    /// The weighted input graph.
+    pub g: &'a WeightedGraph,
+    /// The vertex partition (its `k` must match the runner's).
+    pub part: &'a Arc<Partition>,
+}
+
+impl KmAlgorithm for DistributedMst<'_> {
+    type Machine = BoruvkaMst;
+    type Output = (Vec<Edge>, f64);
+
+    fn build(&self, k: usize) -> Vec<BoruvkaMst> {
+        assert_eq!(self.part.k(), k, "partition k must match the network k");
+        BoruvkaMst::build_all(self.g, self.part)
+    }
+
+    fn extract(&self, machines: Vec<BoruvkaMst>, _metrics: &Metrics) -> (Vec<Edge>, f64) {
+        let m0 = &machines[0];
+        let mut edges: Vec<Edge> = m0.forest.iter().map(|&(e, _)| e).collect();
+        edges.sort_unstable();
+        let weight = m0.forest_weight();
+        // All machines agree on the forest (deterministic contraction).
+        for m in &machines[1..] {
+            debug_assert_eq!(m.forest.len(), m0.forest.len());
+        }
+        (edges, weight)
+    }
+}
+
 /// Runs distributed Borůvka and returns `(forest edges, total weight,
-/// metrics)`; the forest is identical on every machine.
+/// metrics)`; the forest is identical on every machine. Thin wrapper
+/// over [`run_algorithm`] with the default engine choice.
 pub fn run_boruvka(
     g: &WeightedGraph,
     part: &Arc<Partition>,
     net: NetConfig,
 ) -> Result<(Vec<Edge>, f64, km_core::Metrics), km_core::EngineError> {
-    let machines = BoruvkaMst::build_all(g, part);
-    let report = SequentialEngine::run(net, machines)?;
-    let m0 = &report.machines[0];
-    let mut edges: Vec<Edge> = m0.forest.iter().map(|&(e, _)| e).collect();
-    edges.sort_unstable();
-    let weight = m0.forest_weight();
-    // All machines agree on the forest (deterministic contraction).
-    for m in &report.machines[1..] {
-        debug_assert_eq!(m.forest.len(), m0.forest.len());
-    }
-    Ok((edges, weight, report.metrics))
+    let outcome = run_algorithm(&DistributedMst { g, part }, Runner::new(net))?;
+    let (edges, weight) = outcome.output;
+    Ok((edges, weight, outcome.metrics))
 }
 
 #[cfg(test)]
@@ -514,7 +540,7 @@ mod tests {
         let g = random_weighted_gnp(n, 0.3, &mut rng);
         let part = Arc::new(Partition::by_hash(n, 4, 9));
         let machines = BoruvkaMst::build_all(&g, &part);
-        let report = SequentialEngine::run(net(4, n, 21), machines).unwrap();
+        let report = Runner::new(net(4, n, 21)).run(machines).unwrap();
         // Components at least halve per phase: ≤ log2(n) + 1 phases
         // (+1 for the final empty phase that detects termination).
         assert!(

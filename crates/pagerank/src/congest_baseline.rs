@@ -16,7 +16,10 @@
 
 use crate::kmachine::{binomial, LocalState, PrMsg, PrOutput, PrPayload};
 use crate::PrConfig;
-use km_core::{Envelope, NetConfig, Outbox, Protocol, RoundCtx, SequentialEngine, Status};
+use km_core::{
+    run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx, Runner,
+    Status,
+};
 use km_graph::{DiGraph, Partition, Vertex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -182,22 +185,47 @@ impl Protocol for CongestPageRank {
     }
 }
 
-/// Runs the baseline end to end (sequential engine).
+/// The conversion-theorem baseline as a [`KmAlgorithm`].
+#[derive(Debug, Clone, Copy)]
+pub struct CongestBaseline<'a> {
+    /// The input digraph.
+    pub g: &'a DiGraph,
+    /// The vertex partition (its `k` must match the runner's).
+    pub part: &'a Arc<Partition>,
+    /// Token parameters.
+    pub cfg: PrConfig,
+}
+
+impl KmAlgorithm for CongestBaseline<'_> {
+    type Machine = CongestPageRank;
+    type Output = Vec<f64>;
+
+    fn build(&self, k: usize) -> Vec<CongestPageRank> {
+        assert_eq!(self.part.k(), k, "partition k must match the network k");
+        CongestPageRank::build_all(self.g, self.part, self.cfg)
+    }
+
+    fn extract(&self, machines: Vec<CongestPageRank>, _metrics: &Metrics) -> Vec<f64> {
+        let mut pr = vec![0.0; self.g.n()];
+        for m in &machines {
+            for (v, est) in m.output().estimates {
+                pr[v as usize] = est;
+            }
+        }
+        pr
+    }
+}
+
+/// Runs the baseline end to end. Thin wrapper over [`run_algorithm`]
+/// with the default engine choice.
 pub fn run_congest_pagerank(
     g: &DiGraph,
     part: &Arc<Partition>,
     cfg: PrConfig,
     net: NetConfig,
 ) -> Result<(Vec<f64>, km_core::Metrics), km_core::EngineError> {
-    let machines = CongestPageRank::build_all(g, part, cfg);
-    let report = SequentialEngine::run(net, machines)?;
-    let mut pr = vec![0.0; g.n()];
-    for m in &report.machines {
-        for (v, est) in m.output().estimates {
-            pr[v as usize] = est;
-        }
-    }
-    Ok((pr, report.metrics))
+    let outcome = run_algorithm(&CongestBaseline { g, part, cfg }, Runner::new(net))?;
+    Ok((outcome.output, outcome.metrics))
 }
 
 #[cfg(test)]

@@ -32,7 +32,8 @@
 
 use crate::PrConfig;
 use km_core::{
-    id_bits, Envelope, NetConfig, Outbox, Protocol, RoundCtx, SequentialEngine, Status, WireSize,
+    id_bits, run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx,
+    Runner, Status, WireSize,
 };
 use km_graph::{DiGraph, Partition, Vertex};
 use rand::Rng;
@@ -457,23 +458,67 @@ pub struct PrOutput {
     pub estimates: Vec<(Vertex, f64)>,
 }
 
-/// Runs Algorithm 1 end to end on the sequential engine and returns the
-/// assembled PageRank vector plus transcript metrics.
+/// Algorithm 1 as a [`KmAlgorithm`]: digraph + partition + `PrConfig`
+/// in, the assembled PageRank vector (indexed by vertex) out.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedPageRank<'a> {
+    /// The input digraph.
+    pub g: &'a DiGraph,
+    /// The vertex partition (its `k` must match the runner's).
+    pub part: &'a Arc<Partition>,
+    /// Token parameters.
+    pub cfg: PrConfig,
+    /// Heavy-path threshold; `None` uses the paper's `k`. (`u64::MAX`
+    /// disables the heavy path — the ablation knob.)
+    pub heavy_threshold: Option<u64>,
+}
+
+impl<'a> DistributedPageRank<'a> {
+    /// An instance with the paper's heavy threshold (`k`).
+    pub fn new(g: &'a DiGraph, part: &'a Arc<Partition>, cfg: PrConfig) -> Self {
+        DistributedPageRank {
+            g,
+            part,
+            cfg,
+            heavy_threshold: None,
+        }
+    }
+}
+
+impl KmAlgorithm for DistributedPageRank<'_> {
+    type Machine = KmPageRank;
+    type Output = Vec<f64>;
+
+    fn build(&self, k: usize) -> Vec<KmPageRank> {
+        assert_eq!(self.part.k(), k, "partition k must match the network k");
+        match self.heavy_threshold {
+            None => KmPageRank::build_all(self.g, self.part, self.cfg),
+            Some(t) => KmPageRank::build_all_with_threshold(self.g, self.part, self.cfg, t),
+        }
+    }
+
+    fn extract(&self, machines: Vec<KmPageRank>, _metrics: &Metrics) -> Vec<f64> {
+        let mut pr = vec![0.0; self.g.n()];
+        for m in &machines {
+            for (v, est) in m.output().estimates {
+                pr[v as usize] = est;
+            }
+        }
+        pr
+    }
+}
+
+/// Runs Algorithm 1 end to end and returns the assembled PageRank vector
+/// plus transcript metrics. Thin wrapper over [`run_algorithm`] with the
+/// default engine choice.
 pub fn run_kmachine_pagerank(
     g: &DiGraph,
     part: &Arc<Partition>,
     cfg: PrConfig,
     net: NetConfig,
 ) -> Result<(Vec<f64>, km_core::Metrics), km_core::EngineError> {
-    let machines = KmPageRank::build_all(g, part, cfg);
-    let report = SequentialEngine::run(net, machines)?;
-    let mut pr = vec![0.0; g.n()];
-    for m in &report.machines {
-        for (v, est) in m.output().estimates {
-            pr[v as usize] = est;
-        }
-    }
-    Ok((pr, report.metrics))
+    let outcome = run_algorithm(&DistributedPageRank::new(g, part, cfg), Runner::new(net))?;
+    Ok((outcome.output, outcome.metrics))
 }
 
 /// Converts an undirected graph to the bidirected digraph all PageRank
@@ -487,7 +532,7 @@ pub fn bidirect(g: &km_graph::CsrGraph) -> DiGraph {
 mod tests {
     use super::*;
     use crate::power_iteration::power_iteration;
-    use km_core::ParallelEngine;
+    use km_core::EngineKind;
     use km_graph::generators::lower_bound_h::LowerBoundGraph;
     use km_graph::generators::{classic, gnp};
     use rand::SeedableRng;
@@ -520,7 +565,7 @@ mod tests {
             tokens_per_vertex: 10,
         };
         let machines = KmPageRank::build_all(&g, &part, cfg);
-        let report = SequentialEngine::run(net(4, 60, 5), machines).unwrap();
+        let report = Runner::new(net(4, 60, 5)).run(machines).unwrap();
         let mut seen = [false; 60];
         for m in &report.machines {
             for (v, psi) in m.visits() {
@@ -598,7 +643,7 @@ mod tests {
             tokens_per_vertex: 40,
         };
         let machines = KmPageRank::build_all(&g, &part, cfg);
-        let report = SequentialEngine::run(net(4, 200, 13), machines).unwrap();
+        let report = Runner::new(net(4, 200, 13)).run(machines).unwrap();
         // The hub's PageRank must dominate (roughly (1-eps) mass + share).
         let mut hub_est = 0.0;
         let mut leaf_est = 0.0;
@@ -625,7 +670,7 @@ mod tests {
             tokens_per_vertex: 2000,
         };
         let machines = KmPageRank::build_all_with_threshold(&g, &part, cfg, u64::MAX);
-        let report = SequentialEngine::run(net(4, 100, 17), machines).unwrap();
+        let report = Runner::new(net(4, 100, 17)).run(machines).unwrap();
         let mut pr = vec![0.0; 100];
         for m in &report.machines {
             assert_eq!(m.held_tokens(), 0);
@@ -663,9 +708,13 @@ mod tests {
             tokens_per_vertex: 25,
         };
         let netc = net(6, 80, 19);
-        let seq = SequentialEngine::run(netc, KmPageRank::build_all(&g, &part, cfg)).unwrap();
-        let par = ParallelEngine::with_threads(3)
-            .run(netc, KmPageRank::build_all(&g, &part, cfg))
+        let seq = Runner::new(netc)
+            .engine(EngineKind::Sequential)
+            .run(KmPageRank::build_all(&g, &part, cfg))
+            .unwrap();
+        let par = Runner::new(netc)
+            .engine(EngineKind::Parallel { threads: 3 })
+            .run(KmPageRank::build_all(&g, &part, cfg))
             .unwrap();
         assert_eq!(seq.metrics, par.metrics);
         for (a, b) in seq.machines.iter().zip(&par.machines) {

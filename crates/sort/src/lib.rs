@@ -26,7 +26,8 @@
 //! would only add a tie-breaking tag).
 
 use km_core::{
-    Envelope, NetConfig, Outbox, Protocol, RoundCtx, SequentialEngine, Status, WireSize,
+    run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx, Runner,
+    Status, WireSize,
 };
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -404,20 +405,52 @@ impl Protocol for SampleSort {
     }
 }
 
+/// The sample-sort pipeline as a [`KmAlgorithm`]: `n` keys dealt over
+/// the machines in, machine `i`'s exact rank range out.
+#[derive(Debug, Clone)]
+pub struct DistributedSort {
+    /// Per-machine input keys (machine order; must be globally distinct).
+    pub inputs: Vec<Vec<u64>>,
+    /// Samples each machine contributes to splitter selection.
+    pub samples_per_machine: usize,
+}
+
+impl DistributedSort {
+    /// An instance with the default sampling rate: `max(32, 2k)` regular
+    /// samples per machine — the coordinator funnel stays `O~(k/B)`
+    /// rounds per link while buckets deviate by only `O(n/k)` keys,
+    /// keeping the phase-4 rebalance at `O~(n/k²)` per link.
+    pub fn new(inputs: Vec<Vec<u64>>) -> Self {
+        let samples_per_machine = (2 * inputs.len()).max(32);
+        DistributedSort {
+            inputs,
+            samples_per_machine,
+        }
+    }
+}
+
+impl KmAlgorithm for DistributedSort {
+    type Machine = SampleSort;
+    type Output = Vec<Vec<u64>>;
+
+    fn build(&self, k: usize) -> Vec<SampleSort> {
+        assert_eq!(self.inputs.len(), k, "one key list per machine");
+        SampleSort::build_all(self.inputs.clone(), self.samples_per_machine)
+    }
+
+    fn extract(&self, machines: Vec<SampleSort>, _metrics: &Metrics) -> Vec<Vec<u64>> {
+        machines.into_iter().map(|m| m.output).collect()
+    }
+}
+
 /// Runs the full pipeline and returns `(per-machine outputs, metrics)`.
+/// Thin wrapper over [`run_algorithm`] with the default engine choice.
 pub fn run_sample_sort(
     local_keys: Vec<Vec<u64>>,
     net: NetConfig,
 ) -> Result<(Vec<Vec<u64>>, km_core::Metrics), km_core::EngineError> {
-    let k = local_keys.len();
-    // max(32, 2k) regular samples per machine: the coordinator funnel
-    // stays O~(k/B) rounds per link while buckets deviate by only
-    // O(n/k) keys, keeping the phase-4 rebalance at O~(n/k²) per link.
-    let samples = (2 * k).max(32);
-    let machines = SampleSort::build_all(local_keys, samples);
-    let report = SequentialEngine::run(net, machines)?;
-    let outputs = report.machines.into_iter().map(|m| m.output).collect();
-    Ok((outputs, report.metrics))
+    let outcome = run_algorithm(&DistributedSort::new(local_keys), Runner::new(net))?;
+    Ok((outcome.output, outcome.metrics))
 }
 
 #[cfg(test)]

@@ -10,7 +10,8 @@
 
 use km_core::rng::keyed_hash;
 use km_core::{
-    id_bits, Envelope, NetConfig, Outbox, Protocol, RoundCtx, SequentialEngine, Status, WireSize,
+    id_bits, run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx,
+    Runner, Status, WireSize,
 };
 use km_graph::ids::Triangle;
 use km_graph::{CsrGraph, Edge, Partition, Vertex};
@@ -138,21 +139,44 @@ impl Protocol for BroadcastTriangle {
     }
 }
 
-/// Runs the broadcast baseline end to end.
+/// The broadcast baseline as a [`KmAlgorithm`]: graph + partition in,
+/// sorted global triangle list out.
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastTriangles<'a> {
+    /// The input graph.
+    pub g: &'a CsrGraph,
+    /// The vertex partition (its `k` must match the runner's).
+    pub part: &'a Arc<Partition>,
+}
+
+impl KmAlgorithm for BroadcastTriangles<'_> {
+    type Machine = BroadcastTriangle;
+    type Output = Vec<Triangle>;
+
+    fn build(&self, k: usize) -> Vec<BroadcastTriangle> {
+        assert_eq!(self.part.k(), k, "partition k must match the network k");
+        BroadcastTriangle::build_all(self.g, self.part)
+    }
+
+    fn extract(&self, machines: Vec<BroadcastTriangle>, _metrics: &Metrics) -> Vec<Triangle> {
+        let mut all: Vec<Triangle> = machines
+            .iter()
+            .flat_map(|m| m.triangles.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+/// Runs the broadcast baseline end to end. Thin wrapper over
+/// [`run_algorithm`] with the default engine choice.
 pub fn run_broadcast_triangles(
     g: &CsrGraph,
     part: &Arc<Partition>,
     net: NetConfig,
 ) -> Result<(Vec<Triangle>, km_core::Metrics), km_core::EngineError> {
-    let machines = BroadcastTriangle::build_all(g, part);
-    let report = SequentialEngine::run(net, machines)?;
-    let mut all: Vec<Triangle> = report
-        .machines
-        .iter()
-        .flat_map(|m| m.triangles.iter().copied())
-        .collect();
-    all.sort_unstable();
-    Ok((all, report.metrics))
+    let outcome = run_algorithm(&BroadcastTriangles { g, part }, Runner::new(net))?;
+    Ok((outcome.output, outcome.metrics))
 }
 
 #[cfg(test)]

@@ -25,7 +25,8 @@
 //! protocol (drift ≤ 1 phase, messages carry their phase tag).
 
 use km_core::{
-    id_bits, Envelope, NetConfig, Outbox, Protocol, RoundCtx, SequentialEngine, Status, WireSize,
+    id_bits, run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx,
+    Runner, Status, WireSize,
 };
 use km_core::{rng::keyed_hash, MachineIdx};
 use km_graph::ids::Triangle;
@@ -541,30 +542,73 @@ pub(crate) fn enumerate_triads_within(
     out
 }
 
+/// The globally assembled output of a [`DistributedTriangles`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriangleOutput {
+    /// All triangles, sorted (each enumerated by exactly one machine).
+    pub triangles: Vec<Triangle>,
+    /// All open triads `(center, a, b)`, sorted (only populated when
+    /// `TriConfig::enumerate_triads` is set).
+    pub open_triads: Vec<(Vertex, Vertex, Vertex)>,
+}
+
+/// The Theorem 5 protocol as a [`KmAlgorithm`]: graph + partition +
+/// `TriConfig` in, the global [`TriangleOutput`] out.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedTriangles<'a> {
+    /// The input graph.
+    pub g: &'a CsrGraph,
+    /// The vertex partition (its `k` must match the runner's).
+    pub part: &'a Arc<Partition>,
+    /// Protocol knobs (designation threshold, triads, proxies).
+    pub cfg: TriConfig,
+}
+
+impl KmAlgorithm for DistributedTriangles<'_> {
+    type Machine = KmTriangle;
+    type Output = TriangleOutput;
+
+    fn build(&self, k: usize) -> Vec<KmTriangle> {
+        assert_eq!(self.part.k(), k, "partition k must match the network k");
+        KmTriangle::build_all(self.g, self.part, self.cfg)
+    }
+
+    fn extract(&self, machines: Vec<KmTriangle>, _metrics: &Metrics) -> TriangleOutput {
+        let mut triangles: Vec<Triangle> = machines
+            .iter()
+            .flat_map(|m| m.triangles.iter().copied())
+            .collect();
+        triangles.sort_unstable();
+        let mut open_triads: Vec<(Vertex, Vertex, Vertex)> = machines
+            .iter()
+            .flat_map(|m| m.open_triads.iter().copied())
+            .collect();
+        open_triads.sort_unstable();
+        TriangleOutput {
+            triangles,
+            open_triads,
+        }
+    }
+}
+
 /// Runs the Theorem 5 protocol end to end and returns the globally
-/// assembled (sorted) triangle list plus transcript metrics.
+/// assembled (sorted) triangle list plus transcript metrics. Thin
+/// wrapper over [`run_algorithm`] with the default engine choice.
 pub fn run_kmachine_triangles(
     g: &CsrGraph,
     part: &Arc<Partition>,
     cfg: TriConfig,
     net: NetConfig,
 ) -> Result<(Vec<Triangle>, km_core::Metrics), km_core::EngineError> {
-    let machines = KmTriangle::build_all(g, part, cfg);
-    let report = SequentialEngine::run(net, machines)?;
-    let mut all: Vec<Triangle> = report
-        .machines
-        .iter()
-        .flat_map(|m| m.triangles.iter().copied())
-        .collect();
-    all.sort_unstable();
-    Ok((all, report.metrics))
+    let outcome = run_algorithm(&DistributedTriangles { g, part, cfg }, Runner::new(net))?;
+    Ok((outcome.output.triangles, outcome.metrics))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::seq::enumerate_triangles;
-    use km_core::ParallelEngine;
+    use km_core::EngineKind;
     use km_graph::generators::{classic, gnp};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -641,7 +685,7 @@ mod tests {
         let k = 11;
         let part = Arc::new(Partition::by_hash(45, k, 5));
         let machines = KmTriangle::build_all(&g, &part, TriConfig::default());
-        let report = SequentialEngine::run(net(k, 45, 5), machines).unwrap();
+        let report = Runner::new(net(k, 45, 5)).run(machines).unwrap();
         let mut seen = BTreeSet::new();
         for m in &report.machines {
             for t in &m.triangles {
@@ -667,7 +711,7 @@ mod tests {
             use_proxies: true,
         };
         let machines = KmTriangle::build_all(&g, &part, cfg);
-        let report = SequentialEngine::run(net(k, 50, 8), machines).unwrap();
+        let report = Runner::new(net(k, 50, 8)).run(machines).unwrap();
         let mut all: Vec<Triangle> = report
             .machines
             .iter()
@@ -693,7 +737,7 @@ mod tests {
             use_proxies: true,
         };
         let machines = KmTriangle::build_all(&g, &part, cfg);
-        let report = SequentialEngine::run(net(k, 25, 6), machines).unwrap();
+        let report = Runner::new(net(k, 25, 6)).run(machines).unwrap();
         let mut got: Vec<(Vertex, Vertex, Vertex)> = report
             .machines
             .iter()
@@ -727,11 +771,13 @@ mod tests {
         let k = 9;
         let part = Arc::new(Partition::by_hash(50, k, 7));
         let netc = net(k, 50, 12);
-        let seq =
-            SequentialEngine::run(netc, KmTriangle::build_all(&g, &part, TriConfig::default()))
-                .unwrap();
-        let par = ParallelEngine::with_threads(4)
-            .run(netc, KmTriangle::build_all(&g, &part, TriConfig::default()))
+        let seq = Runner::new(netc)
+            .engine(EngineKind::Sequential)
+            .run(KmTriangle::build_all(&g, &part, TriConfig::default()))
+            .unwrap();
+        let par = Runner::new(netc)
+            .engine(EngineKind::Parallel { threads: 4 })
+            .run(KmTriangle::build_all(&g, &part, TriConfig::default()))
             .unwrap();
         assert_eq!(seq.metrics, par.metrics);
         for (a, b) in seq.machines.iter().zip(&par.machines) {

@@ -7,11 +7,10 @@
 //! cargo run --release --example social_triangles
 //! ```
 
-use km_repro::core::NetConfig;
-use km_repro::core::SequentialEngine;
+use km_repro::core::{run_algorithm, NetConfig, Runner};
 use km_repro::graph::generators::{chung_lu, power_law_weights};
 use km_repro::graph::Partition;
-use km_repro::triangle::kmachine::{KmTriangle, TriConfig};
+use km_repro::triangle::kmachine::{DistributedTriangles, TriConfig};
 use km_repro::triangle::triads::global_clustering_coefficient;
 use km_repro::triangle::verify::assert_exact_enumeration;
 use rand::SeedableRng;
@@ -40,30 +39,21 @@ fn main() {
         enumerate_triads: true,
         use_proxies: true,
     };
-    let machines = KmTriangle::build_all(&g, &part, cfg);
-    let report = SequentialEngine::run(net, machines).expect("run");
-
-    let triangles: Vec<_> = report
-        .machines
-        .iter()
-        .flat_map(|m| m.triangles.iter().copied())
-        .collect();
-    let triads: Vec<_> = report
-        .machines
-        .iter()
-        .flat_map(|m| m.open_triads.iter().copied())
-        .collect();
-    assert_exact_enumeration(&g, &{
-        let mut t = triangles.clone();
-        t.sort_unstable();
-        t
-    });
+    let alg = DistributedTriangles {
+        g: &g,
+        part: &part,
+        cfg,
+    };
+    let outcome = run_algorithm(&alg, Runner::new(net)).expect("run");
+    let triangles = &outcome.output.triangles;
+    let triads = &outcome.output.open_triads;
+    assert_exact_enumeration(&g, triangles);
 
     println!(
         "\n{} triangles and {} open triads enumerated in {} rounds",
         triangles.len(),
         triads.len(),
-        report.metrics.rounds
+        outcome.metrics.rounds
     );
     println!(
         "global clustering coefficient: {:.4}",
@@ -73,7 +63,7 @@ fn main() {
     // Friend recommendation: the open triad (center, a, b) suggests the
     // a–b edge; rank candidate pairs by how many common friends they share.
     let mut common: HashMap<(u32, u32), usize> = HashMap::new();
-    for &(_, a, b) in &triads {
+    for &(_, a, b) in triads {
         *common.entry((a, b)).or_insert(0) += 1;
     }
     let mut ranked: Vec<((u32, u32), usize)> = common.into_iter().collect();

@@ -16,16 +16,18 @@
 //! See `examples/quickstart.rs` for a five-minute tour, and the top-level
 //! `README.md` for the full paper→code map.
 //!
-//! ## Running a protocol on the sequential engine
+//! ## Running a protocol through the `Runner`
 //!
 //! A distributed algorithm implements [`core::Protocol`] from the point
-//! of view of one machine; the engine runs all `k` machines in
-//! synchronous rounds, charging each link `B` bits per round. Here every
-//! machine greets machine 0 and stops:
+//! of view of one machine; the [`core::Runner`] executes all `k`
+//! machines in synchronous rounds, charging each link `B` bits per
+//! round, on whichever engine [`core::EngineKind`] selects (the
+//! sequential reference and the thread-parallel engine are
+//! transcript-identical). Here every machine greets machine 0 and stops:
 //!
 //! ```
 //! use km_repro::core::{
-//!     Envelope, NetConfig, Outbox, Protocol, RoundCtx, SequentialEngine, Status,
+//!     EngineKind, Envelope, NetConfig, Outbox, Protocol, RoundCtx, Runner, Status,
 //! };
 //!
 //! struct Greeter {
@@ -51,14 +53,31 @@
 //! }
 //!
 //! let k = 4;
-//! let config = NetConfig::with_bandwidth(k, 64, /* seed */ 7);
 //! let machines = (0..k).map(|_| Greeter { heard: 0 }).collect();
-//! let report = SequentialEngine::run(config, machines).unwrap();
+//! let report = Runner::new(NetConfig::with_bandwidth(k, 64, /* seed */ 7))
+//!     .engine(EngineKind::Auto) // or Sequential / Parallel { threads }
+//!     .run(machines)
+//!     .unwrap();
 //!
 //! // Machine 0 heard from the other k-1 machines…
 //! assert_eq!(report.machines[0].heard, k - 1);
 //! // …and the run's round count was accounted by the engine.
 //! assert!(report.metrics.rounds >= 1);
+//! ```
+//!
+//! Full algorithms (sorting, MST, PageRank, triangles) implement
+//! [`core::KmAlgorithm`] — the build → run → extract lifecycle — and run
+//! through [`core::run_algorithm`], which returns a structured
+//! [`core::RunOutcome`] (output + metrics + config echo):
+//!
+//! ```
+//! use km_repro::core::{run_algorithm, NetConfig, Runner};
+//! use km_repro::sort::DistributedSort;
+//!
+//! let alg = DistributedSort::new(vec![vec![5, 1], vec![4, 8], vec![7, 2]]);
+//! let outcome = run_algorithm(&alg, Runner::new(NetConfig::polylog(3, 6, 1))).unwrap();
+//! assert_eq!(outcome.output, vec![vec![1, 2], vec![4, 5], vec![7, 8]]);
+//! assert!(outcome.metrics.rounds > 0);
 //! ```
 //!
 //! ## Generating and partitioning an input graph

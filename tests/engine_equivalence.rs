@@ -1,14 +1,23 @@
-//! Integration: the parallel engine is transcript-equivalent to the
-//! sequential engine across every protocol in the workspace.
+//! Cross-engine equivalence matrix: for every algorithm in the
+//! workspace, the sequential and parallel engines must produce
+//! *identical* `RunOutcome`s (output, metrics, and config echo) through
+//! the `run_algorithm` path — the engines differ only in wall-clock.
+//!
+//! Each algorithm is exercised at several thread counts, including one
+//! that does not divide `k` (uneven worker chunks), and under
+//! `EngineKind::Auto` (whose resolution must never change results,
+//! whatever `KM_ENGINE` says).
 
-use km_core::{NetConfig, ParallelEngine, SequentialEngine};
+use km_core::{run_algorithm, EngineKind, KmAlgorithm, NetConfig, RunOutcome, Runner};
 use km_graph::generators::gnp;
 use km_graph::{Partition, Vertex, WeightedGraph};
-use km_mst::BoruvkaMst;
-use km_pagerank::kmachine::{bidirect, KmPageRank};
+use km_mst::DistributedMst;
+use km_pagerank::congest_baseline::CongestBaseline;
+use km_pagerank::kmachine::{bidirect, DistributedPageRank};
 use km_pagerank::PrConfig;
-use km_sort::SampleSort;
-use km_triangle::kmachine::{KmTriangle, TriConfig};
+use km_sort::DistributedSort;
+use km_triangle::baseline::BroadcastTriangles;
+use km_triangle::kmachine::{DistributedTriangles, TriConfig};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -18,8 +27,64 @@ fn net(k: usize, n: usize, seed: u64) -> NetConfig {
     NetConfig::polylog(k, n, seed).max_rounds(10_000_000)
 }
 
+/// Runs `alg` on the sequential engine, then on the parallel engine at
+/// several thread counts plus `Auto`, asserting every outcome is
+/// identical to the sequential reference. Returns the reference outcome
+/// for algorithm-specific sanity checks.
+fn assert_cross_engine<A>(alg: &A, netc: NetConfig) -> RunOutcome<A::Output>
+where
+    A: KmAlgorithm,
+    A::Output: PartialEq + std::fmt::Debug,
+{
+    let seq = run_algorithm(alg, Runner::new(netc).engine(EngineKind::Sequential))
+        .expect("sequential run");
+    for kind in [
+        EngineKind::Parallel { threads: 2 },
+        EngineKind::Parallel { threads: 3 },
+        EngineKind::Auto,
+    ] {
+        let other = run_algorithm(alg, Runner::new(netc).engine(kind)).expect("run");
+        assert_eq!(seq.output, other.output, "{kind:?} output diverged");
+        assert_eq!(seq.metrics, other.metrics, "{kind:?} metrics diverged");
+        assert_eq!(seq.config, other.config, "{kind:?} config echo diverged");
+    }
+    seq
+}
+
 #[test]
-fn pagerank_parallel_equals_sequential() {
+fn sort_outcomes_identical_across_engines() {
+    let mut rng = ChaCha8Rng::seed_from_u64(302);
+    let (n, k) = (400, 6);
+    let alg = DistributedSort {
+        inputs: km_sort::SampleSort::random_input(n, k, &mut rng),
+        samples_per_machine: 30,
+    };
+    let outcome = assert_cross_engine(&alg, net(k, n, 10));
+    let total: usize = outcome.output.iter().map(Vec::len).sum();
+    assert_eq!(total, n, "all keys accounted for");
+}
+
+#[test]
+fn mst_outcomes_identical_across_engines() {
+    let mut rng = ChaCha8Rng::seed_from_u64(303);
+    let g = gnp(50, 0.2, &mut rng);
+    let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
+    let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let wg = WeightedGraph::from_weighted_edges(50, &edges, &ws);
+    let part = Arc::new(Partition::by_hash(50, 5, 3));
+    let alg = DistributedMst {
+        g: &wg,
+        part: &part,
+    };
+    let outcome = assert_cross_engine(&alg, net(5, 50, 11));
+    let (forest, weight) = outcome.output;
+    let (want_forest, want_weight) = km_mst::kruskal(&wg);
+    assert_eq!(forest, want_forest);
+    assert!((weight - want_weight).abs() < 1e-9);
+}
+
+#[test]
+fn pagerank_outcomes_identical_across_engines() {
     let mut rng = ChaCha8Rng::seed_from_u64(300);
     let g = bidirect(&gnp(70, 0.1, &mut rng));
     let part = Arc::new(Partition::by_hash(g.n(), 7, 1));
@@ -27,64 +92,50 @@ fn pagerank_parallel_equals_sequential() {
         reset_prob: 0.4,
         tokens_per_vertex: 25,
     };
-    let netc = net(7, g.n(), 8);
-    let seq = SequentialEngine::run(netc, KmPageRank::build_all(&g, &part, cfg)).unwrap();
-    let par = ParallelEngine::with_threads(3)
-        .run(netc, KmPageRank::build_all(&g, &part, cfg))
-        .unwrap();
-    assert_eq!(seq.metrics, par.metrics);
-    for (a, b) in seq.machines.iter().zip(&par.machines) {
-        assert_eq!(a.output(), b.output());
-    }
+    let alg = DistributedPageRank::new(&g, &part, cfg);
+    let outcome = assert_cross_engine(&alg, net(7, g.n(), 8));
+    assert!(outcome.output.iter().all(|&x| x >= 0.0));
 }
 
 #[test]
-fn triangle_parallel_equals_sequential() {
+fn congest_baseline_outcomes_identical_across_engines() {
+    let mut rng = ChaCha8Rng::seed_from_u64(304);
+    let g = bidirect(&gnp(60, 0.1, &mut rng));
+    let part = Arc::new(Partition::by_hash(g.n(), 5, 4));
+    let cfg = PrConfig {
+        reset_prob: 0.4,
+        tokens_per_vertex: 20,
+    };
+    let alg = CongestBaseline {
+        g: &g,
+        part: &part,
+        cfg,
+    };
+    assert_cross_engine(&alg, net(5, g.n(), 12));
+}
+
+#[test]
+fn triangle_outcomes_identical_across_engines() {
     let mut rng = ChaCha8Rng::seed_from_u64(301);
     let g = gnp(60, 0.4, &mut rng);
     let part = Arc::new(Partition::by_hash(60, 9, 2));
-    let netc = net(9, 60, 9);
-    let seq = SequentialEngine::run(netc, KmTriangle::build_all(&g, &part, TriConfig::default()))
-        .unwrap();
-    let par = ParallelEngine::with_threads(4)
-        .run(netc, KmTriangle::build_all(&g, &part, TriConfig::default()))
-        .unwrap();
-    assert_eq!(seq.metrics, par.metrics);
-    for (a, b) in seq.machines.iter().zip(&par.machines) {
-        assert_eq!(a.triangles, b.triangles);
-    }
+    let alg = DistributedTriangles {
+        g: &g,
+        part: &part,
+        cfg: TriConfig::default(),
+    };
+    let outcome = assert_cross_engine(&alg, net(9, 60, 9));
+    assert_eq!(
+        outcome.output.triangles,
+        km_triangle::seq::enumerate_triangles(&g)
+    );
 }
 
 #[test]
-fn sort_parallel_equals_sequential() {
-    let mut rng = ChaCha8Rng::seed_from_u64(302);
-    let inputs = SampleSort::random_input(400, 6, &mut rng);
-    let netc = net(6, 400, 10);
-    let seq = SequentialEngine::run(netc, SampleSort::build_all(inputs.clone(), 30)).unwrap();
-    let par = ParallelEngine::with_threads(3)
-        .run(netc, SampleSort::build_all(inputs, 30))
-        .unwrap();
-    assert_eq!(seq.metrics, par.metrics);
-    for (a, b) in seq.machines.iter().zip(&par.machines) {
-        assert_eq!(a.output, b.output);
-    }
-}
-
-#[test]
-fn mst_parallel_equals_sequential() {
-    let mut rng = ChaCha8Rng::seed_from_u64(303);
-    let g = gnp(50, 0.2, &mut rng);
-    let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
-    let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let wg = WeightedGraph::from_weighted_edges(50, &edges, &ws);
-    let part = Arc::new(Partition::by_hash(50, 5, 3));
-    let netc = net(5, 50, 11);
-    let seq = SequentialEngine::run(netc, BoruvkaMst::build_all(&wg, &part)).unwrap();
-    let par = ParallelEngine::with_threads(2)
-        .run(netc, BoruvkaMst::build_all(&wg, &part))
-        .unwrap();
-    assert_eq!(seq.metrics, par.metrics);
-    for (a, b) in seq.machines.iter().zip(&par.machines) {
-        assert_eq!(a.forest, b.forest);
-    }
+fn broadcast_baseline_outcomes_identical_across_engines() {
+    let mut rng = ChaCha8Rng::seed_from_u64(305);
+    let g = gnp(40, 0.4, &mut rng);
+    let part = Arc::new(Partition::by_hash(40, 6, 3));
+    let alg = BroadcastTriangles { g: &g, part: &part };
+    assert_cross_engine(&alg, net(6, 40, 4));
 }

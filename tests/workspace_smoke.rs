@@ -7,7 +7,7 @@
 //! of the full demo sizes.
 
 use km_repro::core::clique::clique_config;
-use km_repro::core::{NetConfig, SequentialEngine};
+use km_repro::core::{run_algorithm, NetConfig, Runner};
 use km_repro::graph::generators::classic::star;
 use km_repro::graph::generators::lower_bound_h::LowerBoundGraph;
 use km_repro::graph::generators::{chung_lu, gnp, power_law_weights};
@@ -18,7 +18,7 @@ use km_repro::pagerank::congest_baseline::run_congest_pagerank;
 use km_repro::pagerank::kmachine::{bidirect, run_kmachine_pagerank};
 use km_repro::pagerank::{power_iteration, PrConfig};
 use km_repro::triangle::clique::run_clique_triangles;
-use km_repro::triangle::kmachine::{run_kmachine_triangles, KmTriangle, TriConfig};
+use km_repro::triangle::kmachine::{run_kmachine_triangles, DistributedTriangles, TriConfig};
 use km_repro::triangle::seq::{count_triangles, enumerate_triangles};
 use km_repro::triangle::verify::assert_exact_enumeration;
 use rand::SeedableRng;
@@ -184,23 +184,18 @@ fn social_triangles_path_tiny() {
         enumerate_triads: true,
         use_proxies: true,
     };
-    let machines = KmTriangle::build_all(&g, &part, cfg);
-    let report = SequentialEngine::run(net, machines).expect("run");
+    let alg = DistributedTriangles {
+        g: &g,
+        part: &part,
+        cfg,
+    };
+    let outcome = run_algorithm(&alg, Runner::new(net)).expect("run");
+    assert_exact_enumeration(&g, &outcome.output.triangles);
 
-    let mut triangles: Vec<_> = report
-        .machines
-        .iter()
-        .flat_map(|m| m.triangles.iter().copied())
-        .collect();
-    triangles.sort_unstable();
-    assert_exact_enumeration(&g, &triangles);
-
-    let triads = report
-        .machines
-        .iter()
-        .map(|m| m.open_triads.len())
-        .sum::<usize>();
     // Triads exist whenever some vertex has degree ≥ 2; with the seeds
     // above this graph comfortably has them.
-    assert!(triads > 0, "expected open triads on a power-law graph");
+    assert!(
+        !outcome.output.open_triads.is_empty(),
+        "expected open triads on a power-law graph"
+    );
 }
