@@ -1,6 +1,10 @@
-//! Criterion benches for the engines and the Lemma 13 scatter.
+//! Criterion benches for the engines and the Lemma 13 scatter, plus the
+//! sparse long-tail family the active-link index exists for: few
+//! messages per round, many rounds, where the pre-index delivery loop
+//! was quadratic in `k` (see `km_bench::workloads`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use km_bench::workloads::{dense_delivery_reference, sparse_ring_machines};
 use km_core::router::UniformScatter;
 use km_core::{EngineKind, NetConfig, Runner};
 
@@ -40,5 +44,31 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines);
+/// Sparse long-tail delivery: 8 tokens circle a ring for 400 rounds, so
+/// 8 of the k² ordered links are active per round. `engine/*` is the
+/// sparse fast path; `dense_reference/*` replays the same traffic
+/// through the pre-index O(k²)-per-round scan for comparison.
+fn bench_sparse_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse");
+    group.sample_size(10);
+    let (tokens, hops) = (8usize, 400u64);
+
+    for k in [64usize, 128, 256] {
+        let cfg = NetConfig::with_bandwidth(k, 64, 7).max_rounds(1_000_000);
+        group.bench_with_input(BenchmarkId::new("engine", k), &k, |b, &k| {
+            b.iter(|| {
+                Runner::new(cfg)
+                    .engine(EngineKind::Sequential)
+                    .run(sparse_ring_machines(k, tokens, hops))
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dense_reference", k), &k, |b, &k| {
+            b.iter(|| black_box(dense_delivery_reference(k, tokens, hops, 64)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_sparse_delivery);
 criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! `perfsnap` — one-command performance snapshot for the perf trajectory.
+//!
+//! Runs a fixed workload matrix (Lemma-13 scatter, Borůvka MST, triangle
+//! enumeration at k ∈ {16, 64, 128}) plus the sparse long-tail delivery
+//! comparison at k = 256, and writes wall-time + rounds + bits to
+//! `BENCH_<date>.json` (or the path given as the first argument) so each
+//! PR can commit a comparable snapshot.
+//!
+//! Usage: `cargo run --release -p km-bench --bin perfsnap [-- out.json]`
+
+use km_bench::workloads::{dense_delivery_reference, sparse_ring_machines};
+use km_core::router::UniformScatter;
+use km_core::{EngineKind, Metrics, NetConfig, Runner};
+use km_graph::generators::gnp;
+use km_graph::{Partition, Vertex, WeightedGraph};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured workload cell.
+#[derive(Serialize)]
+struct Cell {
+    name: String,
+    k: usize,
+    engine: String,
+    /// Best-of-`runs` wall time, milliseconds.
+    wall_ms: f64,
+    runs: u32,
+    rounds: u64,
+    total_msgs: u64,
+    total_bits: u64,
+    /// Links the delivery loop actually visited (active-link index).
+    link_visits: u64,
+}
+
+/// The sparse fast-path headline: new engine vs the preserved pre-index
+/// dense delivery loop on identical traffic.
+#[derive(Serialize)]
+struct SparseComparison {
+    k: usize,
+    tokens: usize,
+    hops: u64,
+    bandwidth_bits: u64,
+    engine_wall_ms: f64,
+    dense_reference_wall_ms: f64,
+    speedup: f64,
+    note: String,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    date: String,
+    host_threads: usize,
+    workloads: Vec<Cell>,
+    sparse_fast_path: SparseComparison,
+}
+
+/// Best-of-`runs` wall time in milliseconds for `f`.
+fn best_ms<T>(runs: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let out = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    (best, last.expect("runs >= 1"))
+}
+
+fn cell(name: &str, k: usize, runs: u32, wall_ms: f64, kind: EngineKind, m: &Metrics) -> Cell {
+    Cell {
+        name: name.to_string(),
+        k,
+        engine: format!("{kind:?}"),
+        wall_ms,
+        runs,
+        rounds: m.rounds,
+        total_msgs: m.total_msgs(),
+        total_bits: m.total_bits(),
+        link_visits: m.link_visits,
+    }
+}
+
+/// Civil date (UTC) from the system clock, `YYYY-MM-DD`.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs() as i64;
+    // Days-to-civil (Howard Hinnant's algorithm).
+    let z = secs.div_euclid(86_400) + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let ks = [16usize, 64, 128];
+    let mut workloads = Vec::new();
+
+    // Lemma-13 uniform scatter: 2048 tokens/machine, 16-bit tokens, B=64.
+    for &k in &ks {
+        let cfg = NetConfig::with_bandwidth(k, 64, 9).max_rounds(50_000_000);
+        let runner = Runner::new(cfg);
+        let kind = runner.resolved_engine();
+        let (ms, report) = best_ms(5, || {
+            let machines: Vec<UniformScatter> = (0..k).map(|_| UniformScatter::new(2048)).collect();
+            runner.run(machines).unwrap()
+        });
+        workloads.push(cell("scatter_x2048", k, 5, ms, kind, &report.metrics));
+        println!("scatter        k={k:<4} {ms:>10.3} ms");
+    }
+
+    // Borůvka MST on G(600, 0.02) with random weights.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let n = 600;
+    let g = gnp(n, 0.02, &mut rng);
+    let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
+    let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let wg = WeightedGraph::from_weighted_edges(n, &edges, &ws);
+    for &k in &ks {
+        let part = Arc::new(Partition::by_hash(n, k, 3));
+        let cfg = NetConfig::polylog(k, n, 11).max_rounds(50_000_000);
+        let runner = Runner::new(cfg);
+        let kind = runner.resolved_engine();
+        let (ms, metrics) = best_ms(3, || km_mst::run_boruvka(&wg, &part, cfg).unwrap().2);
+        workloads.push(cell("mst_n600_p02", k, 3, ms, kind, &metrics));
+        println!("mst            k={k:<4} {ms:>10.3} ms");
+    }
+
+    // Triangle enumeration on G(120, 0.15).
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let tn = 120;
+    let tg = gnp(tn, 0.15, &mut rng);
+    for &k in &ks {
+        let part = Arc::new(Partition::by_hash(tn, k, 5));
+        let cfg = NetConfig::polylog(k, tn, 13).max_rounds(50_000_000);
+        let runner = Runner::new(cfg);
+        let kind = runner.resolved_engine();
+        let (ms, metrics) = best_ms(3, || {
+            km_triangle::kmachine::run_kmachine_triangles(
+                &tg,
+                &part,
+                km_triangle::kmachine::TriConfig::default(),
+                cfg,
+            )
+            .unwrap()
+            .1
+        });
+        workloads.push(cell("triangles_n120_p15", k, 3, ms, kind, &metrics));
+        println!("triangles      k={k:<4} {ms:>10.3} ms");
+    }
+
+    // Sparse long-tail headline: 8 tokens × 400 hops on a k = 256 ring.
+    let (k, tokens, hops, budget) = (256usize, 8usize, 400u64, 64u64);
+    let cfg = NetConfig::with_bandwidth(k, budget, 7).max_rounds(1_000_000);
+    let (engine_ms, _) = best_ms(5, || {
+        Runner::new(cfg)
+            .engine(EngineKind::Sequential)
+            .run(sparse_ring_machines(k, tokens, hops))
+            .unwrap()
+    });
+    let (dense_ms, _) = best_ms(3, || dense_delivery_reference(k, tokens, hops, budget));
+    let sparse = SparseComparison {
+        k,
+        tokens,
+        hops,
+        bandwidth_bits: budget,
+        engine_wall_ms: engine_ms,
+        dense_reference_wall_ms: dense_ms,
+        speedup: dense_ms / engine_ms,
+        note: "dense_reference replays the pre-active-index delivery loop (k^2 link scan \
+               per round) on identical traffic; it is delivery-only, so the true \
+               engine-vs-engine speedup is at least this ratio"
+            .to_string(),
+    };
+    println!(
+        "sparse k=256: engine {engine_ms:.3} ms vs dense reference {dense_ms:.3} ms \
+         => {:.1}x",
+        sparse.speedup
+    );
+
+    let snap = Snapshot {
+        date: today_utc(),
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        workloads,
+        sparse_fast_path: sparse,
+    };
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| format!("BENCH_{}.json", snap.date));
+    let json = serde_json::to_string_pretty(&snap).expect("serialize snapshot");
+    std::fs::write(&out, json + "\n").expect("write snapshot");
+    println!("wrote {out}");
+}

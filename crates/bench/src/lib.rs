@@ -27,5 +27,6 @@
 
 pub mod exp;
 pub mod table;
+pub mod workloads;
 
 pub use table::Table;

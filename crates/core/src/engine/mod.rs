@@ -15,6 +15,33 @@
 //! [`SequentialEngine`] is the reference implementation;
 //! [`ParallelEngine`] distributes step 1 across crossbeam scoped threads
 //! and is transcript-identical (tested in `tests/engine_equivalence.rs`).
+//!
+//! # Sparse delivery
+//!
+//! The paper's algorithms spend most rounds with traffic on a small
+//! fraction of the `k²` ordered links, so the delivery core is built to
+//! cost **O(active traffic) per round, not O(k²)**:
+//!
+//! * `Network` keeps, per destination, a sorted *active-source index* —
+//!   the sources (including the destination itself, for pending
+//!   self-sends) with queued traffic. `Network::stage` inserts a source
+//!   exactly when its link transitions empty → non-empty, and
+//!   `Network::deliver` removes it when the link drains; a link with no
+//!   queued traffic is never visited (every visit increments
+//!   [`crate::Metrics::link_visits`], the observable this invariant is
+//!   unit-tested against).
+//! * Running `queued_msgs` / `queued_bits` counters — incremented at
+//!   staging, decremented at delivery — make `Network::is_drained` and
+//!   `Network::queued` O(1) instead of `k²` scans; the per-round
+//!   quiescence check does no per-link work at all.
+//! * Delivery-side accounting reuses the wire sizes cached in each
+//!   [`Link`] at staging time ([`crate::link::Delivery`]), so
+//!   [`crate::message::WireSize::bits`] runs exactly once per message.
+//!
+//! Ordering is unchanged from the dense loop: each destination's active
+//! sources are walked in increasing machine order (the index is kept
+//! sorted), so inboxes — and therefore transcripts, metrics, and RNG
+//! streams — are bit-for-bit identical to the pre-index engine.
 
 pub mod parallel;
 pub mod sequential;
@@ -30,13 +57,23 @@ use crate::protocol::Status;
 use crate::MachineIdx;
 
 /// Shared network state: the `k × k` ordered link matrix plus free
-/// self-delivery queues, with metrics accounting.
+/// self-delivery queues, with metrics accounting and the active-source
+/// index that keeps delivery O(active traffic).
 pub(crate) struct Network<M> {
     k: usize,
     /// Ordered links, indexed `src * k + dst` (diagonal unused).
     links: Vec<Link<M>>,
     /// Self-sends waiting for next round (no bandwidth charge).
     self_queues: Vec<Vec<Envelope<M>>>,
+    /// Per-destination sorted list of sources with queued traffic
+    /// (`active[dst]` contains `dst` itself iff its self-queue is
+    /// non-empty). Maintained by `stage` (empty → non-empty) and
+    /// `deliver` (drained links drop out).
+    active: Vec<Vec<MachineIdx>>,
+    /// Messages queued anywhere (links + self-queues).
+    queued_msgs: usize,
+    /// Undelivered bits queued on links (self-sends are free).
+    queued_bits: u64,
     pub(crate) metrics: Metrics,
 }
 
@@ -48,62 +85,101 @@ impl<M: WireSize> Network<M> {
             k,
             links,
             self_queues: (0..k).map(|_| Vec::new()).collect(),
+            active: (0..k).map(|_| Vec::new()).collect(),
+            queued_msgs: 0,
+            queued_bits: 0,
             metrics: Metrics::new(k),
         }
+    }
+
+    /// Marks `src` as having queued traffic towards `dst`. Only called on
+    /// an empty → non-empty transition, so `src` is never already present.
+    fn activate(&mut self, dst: MachineIdx, src: MachineIdx) {
+        let list = &mut self.active[dst];
+        let pos = list
+            .binary_search(&src)
+            .expect_err("activated twice without draining");
+        list.insert(pos, src);
     }
 
     /// Stages one message. Link traffic is charged to the sender here
     /// (bits are counted when sent, received when delivered).
     pub(crate) fn stage(&mut self, src: MachineIdx, dst: MachineIdx, msg: M) {
+        self.queued_msgs += 1;
         if src == dst {
+            if self.self_queues[src].is_empty() {
+                self.activate(src, src);
+            }
             self.self_queues[src].push(Envelope { src, msg });
             return;
         }
         let bits = msg.bits().max(1);
         self.metrics.sent_msgs[src] += 1;
         self.metrics.sent_bits[src] += bits;
-        self.links[src * self.k + dst].push(Envelope { src, msg });
+        self.queued_bits += bits;
+        if self.links[src * self.k + dst].is_empty() {
+            self.activate(dst, src);
+        }
+        self.links[src * self.k + dst].push_sized(Envelope { src, msg }, bits);
     }
 
-    /// Runs one delivery phase: every link releases up to `budget` bits.
-    /// Returns `true` if any link transmitted at least one bit.
+    /// Runs one delivery phase: every *active* link releases up to
+    /// `budget` bits; links with nothing queued are not visited. Returns
+    /// `true` if any link transmitted at least one bit.
     pub(crate) fn deliver(&mut self, budget: u64, inboxes: &mut [Vec<Envelope<M>>]) -> bool {
         let mut any = false;
         for (dst, inbox) in inboxes.iter_mut().enumerate().take(self.k) {
-            for src in 0..self.k {
+            if self.active[dst].is_empty() {
+                continue;
+            }
+            // Walk this destination's active sources in machine order
+            // (the list is sorted), retaining only those still queued.
+            let mut sources = std::mem::take(&mut self.active[dst]);
+            sources.retain(|&src| {
                 if src == dst {
+                    self.queued_msgs -= self.self_queues[dst].len();
                     inbox.append(&mut self.self_queues[dst]);
-                    continue;
+                    return false; // self-queues always drain fully
                 }
-                let before = inbox.len();
-                let used = self.links[src * self.k + dst].deliver(budget, inbox);
-                if used > 0 {
+                self.metrics.link_visits += 1;
+                let link = &mut self.links[src * self.k + dst];
+                let d = link.deliver(budget, inbox);
+                if d.bits_used > 0 {
                     any = true;
                 }
-                // Charge received messages and bits from the same slice of
-                // fully delivered messages, so recv_msgs and recv_bits can
-                // never drift apart.
-                let delivered = &inbox[before..];
-                for env in delivered {
-                    debug_assert_eq!(env.src, src);
-                }
-                self.metrics.recv_msgs[dst] += delivered.len() as u64;
-                let bits: u64 = delivered.iter().map(|e| e.msg.bits().max(1)).sum();
-                self.metrics.recv_bits[dst] += bits;
-            }
+                // Received counts come from the sizes cached at staging
+                // time, so recv accounting can never drift from sent and
+                // `WireSize::bits` is not re-called on delivery.
+                self.metrics.recv_msgs[dst] += d.msgs;
+                self.metrics.recv_bits[dst] += d.msg_bits;
+                self.queued_msgs -= d.msgs as usize;
+                self.queued_bits -= d.msg_bits;
+                !link.is_empty()
+            });
+            self.active[dst] = sources;
         }
         any
     }
 
-    /// Whether all links and self-queues are empty.
+    /// Whether all links and self-queues are empty. O(1).
     pub(crate) fn is_drained(&self) -> bool {
-        self.links.iter().all(Link::is_empty) && self.self_queues.iter().all(Vec::is_empty)
+        self.queued_msgs == 0
     }
 
-    /// Number of queued (undelivered) messages.
+    /// Number of queued (undelivered) messages. O(1).
     pub(crate) fn queued(&self) -> usize {
-        self.links.iter().map(Link::queued).sum::<usize>()
-            + self.self_queues.iter().map(Vec::len).sum::<usize>()
+        self.queued_msgs
+    }
+
+    /// Undelivered bits still queued on links. O(1).
+    pub(crate) fn queued_bits(&self) -> u64 {
+        self.queued_bits
+    }
+
+    /// Links the active index currently tracks (with queued traffic).
+    #[cfg(test)]
+    fn active_links(&self) -> usize {
+        self.active.iter().map(Vec::len).sum()
     }
 
     /// Finalizes the max-per-link statistic.
@@ -128,6 +204,7 @@ where
 
 #[cfg(test)]
 mod tests {
+    use super::Network;
     use crate::config::NetConfig;
     use crate::engine::SequentialEngine;
     use crate::message::{Envelope, Outbox};
@@ -146,7 +223,7 @@ mod tests {
         fn round(
             &mut self,
             ctx: &mut RoundCtx<'_>,
-            _inbox: &[Envelope<Vec<u8>>],
+            _inbox: &mut Vec<Envelope<Vec<u8>>>,
             out: &mut Outbox<Vec<u8>>,
         ) -> Status {
             if ctx.round < self.rounds {
@@ -181,5 +258,107 @@ mod tests {
             m.recv_bits.iter().sum::<u64>(),
             "every sent bit is received exactly once after a drain"
         );
+    }
+
+    /// The sparse-delivery contract, observed through the active index
+    /// and `Metrics::link_visits`: `deliver` touches exactly the links
+    /// with queued traffic, never the other `k² − O(1)`.
+    #[test]
+    fn deliver_touches_only_active_links() {
+        let k = 64;
+        let mut net: Network<u32> = Network::new(k);
+        let mut inboxes: Vec<Vec<Envelope<u32>>> = (0..k).map(|_| Vec::new()).collect();
+
+        // Idle network: a delivery phase visits nothing.
+        assert!(!net.deliver(64, &mut inboxes));
+        assert_eq!(net.metrics.link_visits, 0);
+        assert!(net.is_drained());
+
+        // Three link messages on two links + one free self-send.
+        net.stage(3, 7, 1);
+        net.stage(5, 7, 2);
+        net.stage(3, 7, 3);
+        net.stage(9, 9, 4);
+        assert_eq!(net.active_links(), 3, "two link sources + one self");
+        assert_eq!(net.queued(), 4);
+        assert_eq!(net.queued_bits(), 3 * 32);
+        assert!(!net.is_drained());
+
+        // One phase delivers everything and visits exactly the 2 active
+        // links (self-queues are not links); the index empties.
+        assert!(net.deliver(64, &mut inboxes));
+        assert_eq!(net.metrics.link_visits, 2);
+        assert_eq!(net.active_links(), 0);
+        assert!(net.is_drained());
+        assert_eq!(net.queued_bits(), 0);
+        // Inbox 7 is ordered by sender index: 3's FIFO pair, then 5.
+        let got: Vec<(usize, u32)> = inboxes[7].iter().map(|e| (e.src, e.msg)).collect();
+        assert_eq!(got, vec![(3, 1), (3, 3), (5, 2)]);
+        assert_eq!(inboxes[9].len(), 1);
+
+        // Another idle phase still visits nothing.
+        assert!(!net.deliver(64, &mut inboxes));
+        assert_eq!(net.metrics.link_visits, 2);
+    }
+
+    /// A link whose message outlives one round's budget stays in the
+    /// active index (and is re-visited) until fully delivered.
+    #[test]
+    fn partially_delivered_links_stay_active() {
+        let k = 8;
+        let mut net: Network<Vec<u8>> = Network::new(k);
+        let mut inboxes: Vec<Vec<Envelope<Vec<u8>>>> = (0..k).map(|_| Vec::new()).collect();
+        net.stage(1, 2, vec![0u8; 30]); // 32 + 240 bits at 100/round: 3 rounds
+        for round in 0..2 {
+            assert!(net.deliver(100, &mut inboxes));
+            assert!(inboxes[2].is_empty(), "not yet complete at round {round}");
+            assert_eq!(net.active_links(), 1);
+            assert!(!net.is_drained());
+        }
+        assert!(net.deliver(100, &mut inboxes));
+        assert_eq!(inboxes[2].len(), 1);
+        assert_eq!(net.active_links(), 0);
+        assert!(net.is_drained());
+        assert_eq!(net.metrics.link_visits, 3);
+    }
+
+    /// A full sequential run on a ring at k = 32 performs O(rounds) link
+    /// visits — not rounds·k².
+    #[test]
+    fn sparse_run_does_linear_work() {
+        struct Ring {
+            hops: u64,
+        }
+        impl Protocol for Ring {
+            type Msg = u64;
+            fn round(
+                &mut self,
+                ctx: &mut RoundCtx<'_>,
+                inbox: &mut Vec<Envelope<u64>>,
+                out: &mut Outbox<u64>,
+            ) -> Status {
+                if ctx.round == 0 {
+                    if ctx.me == 0 {
+                        out.send(1, self.hops);
+                    }
+                    return Status::Active;
+                }
+                for env in inbox.iter() {
+                    if env.msg > 1 {
+                        out.send((ctx.me + 1) % ctx.k, env.msg - 1);
+                        return Status::Active;
+                    }
+                }
+                Status::Done
+            }
+        }
+        let k = 32;
+        let hops = 100;
+        let cfg = NetConfig::with_bandwidth(k, 64, 0);
+        let machines: Vec<Ring> = (0..k).map(|_| Ring { hops }).collect();
+        let report = SequentialEngine::run(cfg, machines).unwrap();
+        assert_eq!(report.metrics.rounds, hops);
+        // Exactly one link is active per round: one visit per hop.
+        assert_eq!(report.metrics.link_visits, hops);
     }
 }

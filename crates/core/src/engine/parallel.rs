@@ -26,7 +26,14 @@ enum Cmd<M> {
 }
 
 enum Resp<P, M> {
-    Round(Vec<(Vec<(MachineIdx, M)>, Status)>),
+    Round {
+        /// Per-machine `(staged messages, status)`, in chunk order.
+        results: Vec<(Vec<(MachineIdx, M)>, Status)>,
+        /// The (cleared) inbox buffers handed out with `Cmd::Round`,
+        /// returned so the master can reuse their capacity next round
+        /// instead of allocating k fresh `Vec`s per round.
+        buffers: Vec<Vec<Envelope<M>>>,
+    },
     Final(Vec<P>),
 }
 
@@ -123,9 +130,9 @@ impl ParallelEngine {
                     let mut outbox = Outbox::new(k);
                     while let Ok(cmd) = cmd_rx.recv() {
                         match cmd {
-                            Cmd::Round { round, inboxes } => {
+                            Cmd::Round { round, mut inboxes } => {
                                 let mut results = Vec::with_capacity(local.len());
-                                for (j, inbox) in inboxes.into_iter().enumerate() {
+                                for (j, inbox) in inboxes.iter_mut().enumerate() {
                                     let mut ctx = RoundCtx {
                                         round,
                                         me: base + j,
@@ -134,10 +141,16 @@ impl ParallelEngine {
                                         shared_seed: shared,
                                         rng: &mut rngs[j],
                                     };
-                                    let status = local[j].round(&mut ctx, &inbox, &mut outbox);
+                                    let status = local[j].round(&mut ctx, inbox, &mut outbox);
                                     results.push((outbox.drain().collect(), status));
+                                    inbox.clear();
                                 }
-                                resp_tx.send(Resp::Round(results)).expect("master alive");
+                                resp_tx
+                                    .send(Resp::Round {
+                                        results,
+                                        buffers: inboxes,
+                                    })
+                                    .expect("master alive");
                             }
                             Cmd::Stop => {
                                 resp_tx.send(Resp::Final(local)).expect("master alive");
@@ -170,9 +183,14 @@ impl ParallelEngine {
                     })
                     .expect("worker alive");
                 }
+                // Workers answer in worker order with contiguous machine
+                // chunks, so re-extending `inboxes` with the returned
+                // (cleared) buffers restores machine order — and reuses
+                // every buffer's capacity instead of allocating k fresh
+                // `Vec`s per round.
                 for (w, rx) in resp_rxs.iter().enumerate() {
                     match rx.recv().expect("worker alive") {
-                        Resp::Round(results) => {
+                        Resp::Round { results, buffers } => {
                             for (j, (msgs, status)) in results.into_iter().enumerate() {
                                 let me = bases[w] + j;
                                 statuses[me] = status;
@@ -180,11 +198,12 @@ impl ParallelEngine {
                                     net.stage(me, dst, msg);
                                 }
                             }
+                            inboxes.extend(buffers);
                         }
                         Resp::Final(_) => unreachable!("workers only finalize on Stop"),
                     }
                 }
-                inboxes = (0..k).map(|_| Vec::new()).collect();
+                debug_assert_eq!(inboxes.len(), k);
                 if net.deliver(config.bandwidth_bits, &mut inboxes) {
                     comm_rounds += 1;
                 }
@@ -197,6 +216,7 @@ impl ParallelEngine {
                         limit: config.max_rounds,
                         active_machines: statuses.iter().filter(|s| **s == Status::Active).count(),
                         queued_msgs: net.queued(),
+                        queued_bits: net.queued_bits(),
                     });
                 }
             };
@@ -209,7 +229,7 @@ impl ParallelEngine {
             for rx in &resp_rxs {
                 match rx.recv().expect("worker alive") {
                     Resp::Final(ms) => final_machines.extend(ms),
-                    Resp::Round(_) => unreachable!("Stop yields Final"),
+                    Resp::Round { .. } => unreachable!("Stop yields Final"),
                 }
             }
             result.map(|_| {
@@ -242,7 +262,7 @@ mod tests {
         fn round(
             &mut self,
             ctx: &mut RoundCtx<'_>,
-            inbox: &[Envelope<u32>],
+            inbox: &mut Vec<Envelope<u32>>,
             out: &mut Outbox<u32>,
         ) -> Status {
             for env in inbox {
@@ -295,7 +315,7 @@ mod tests {
             fn round(
                 &mut self,
                 ctx: &mut RoundCtx<'_>,
-                _inbox: &[Envelope<u8>],
+                _inbox: &mut Vec<Envelope<u8>>,
                 out: &mut Outbox<u8>,
             ) -> Status {
                 out.send((ctx.me + 1) % ctx.k, 1);

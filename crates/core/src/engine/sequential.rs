@@ -56,7 +56,7 @@ impl SequentialEngine {
                     shared_seed: shared,
                     rng: &mut rngs[i],
                 };
-                statuses[i] = machine.round(&mut ctx, &inboxes[i], &mut outbox);
+                statuses[i] = machine.round(&mut ctx, &mut inboxes[i], &mut outbox);
                 for (dst, msg) in outbox.drain() {
                     net.stage(i, dst, msg);
                 }
@@ -76,6 +76,7 @@ impl SequentialEngine {
                     limit: config.max_rounds,
                     active_machines: statuses.iter().filter(|s| **s == Status::Active).count(),
                     queued_msgs: net.queued(),
+                    queued_bits: net.queued_bits(),
                 });
             }
         }
@@ -113,7 +114,7 @@ mod tests {
         fn round(
             &mut self,
             ctx: &mut RoundCtx<'_>,
-            inbox: &[Env<Unit>],
+            inbox: &mut Vec<Env<Unit>>,
             out: &mut crate::message::Outbox<Unit>,
         ) -> Status {
             self.received += inbox.len() as u64;
@@ -157,7 +158,7 @@ mod tests {
         fn round(
             &mut self,
             ctx: &mut RoundCtx<'_>,
-            inbox: &[Env<u64>],
+            inbox: &mut Vec<Env<u64>>,
             out: &mut crate::message::Outbox<u64>,
         ) -> Status {
             if ctx.round == 0 && ctx.me == 0 {
@@ -196,7 +197,7 @@ mod tests {
         fn round(
             &mut self,
             ctx: &mut RoundCtx<'_>,
-            _inbox: &[Env<u8>],
+            _inbox: &mut Vec<Env<u8>>,
             out: &mut crate::message::Outbox<u8>,
         ) -> Status {
             out.send((ctx.me + 1) % ctx.k, 1);
@@ -237,7 +238,7 @@ mod tests {
         fn round(
             &mut self,
             ctx: &mut RoundCtx<'_>,
-            inbox: &[Env<u64>],
+            inbox: &mut Vec<Env<u64>>,
             out: &mut crate::message::Outbox<u64>,
         ) -> Status {
             if ctx.round == 0 {
@@ -270,7 +271,7 @@ mod tests {
             fn round(
                 &mut self,
                 _ctx: &mut RoundCtx<'_>,
-                _inbox: &[Env<u8>],
+                _inbox: &mut Vec<Env<u8>>,
                 _out: &mut crate::message::Outbox<u8>,
             ) -> Status {
                 Status::Done

@@ -22,6 +22,9 @@ pub enum EngineError {
         active_machines: usize,
         /// Messages still queued on links.
         queued_msgs: usize,
+        /// Undelivered link bits behind those messages (self-sends are
+        /// free and contribute nothing here).
+        queued_bits: u64,
     },
 }
 
@@ -35,10 +38,11 @@ impl fmt::Display for EngineError {
                 limit,
                 active_machines,
                 queued_msgs,
+                queued_bits,
             } => write!(
                 f,
                 "round limit {limit} exceeded with {active_machines} active machine(s) \
-                 and {queued_msgs} queued message(s)"
+                 and {queued_msgs} queued message(s) ({queued_bits} undelivered bits)"
             ),
         }
     }
@@ -56,9 +60,10 @@ mod tests {
             limit: 5,
             active_machines: 2,
             queued_msgs: 7,
+            queued_bits: 96,
         };
         let s = e.to_string();
-        assert!(s.contains('5') && s.contains('2') && s.contains('7'));
+        assert!(s.contains('5') && s.contains('2') && s.contains('7') && s.contains("96"));
     }
 
     #[test]

@@ -32,25 +32,51 @@ impl<M> Default for Link<M> {
     }
 }
 
+/// What one [`Link::deliver`] call accomplished: the bandwidth it
+/// consumed (including partial progress on a message still in flight)
+/// and the count/size of the messages it fully delivered. The sizes are
+/// the ones cached at [`Link::push`] time, so delivery-side accounting
+/// never re-calls [`WireSize::bits`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Bits of the budget consumed this call.
+    pub bits_used: u64,
+    /// Messages fully delivered this call.
+    pub msgs: u64,
+    /// Summed (cached) wire sizes of the fully delivered messages.
+    pub msg_bits: u64,
+}
+
 impl<M: WireSize> Link<M> {
     /// Enqueues a message; its logical size is sampled once (clamped ≥ 1).
     pub fn push(&mut self, env: Envelope<M>) {
         let bits = env.msg.bits().max(1);
+        self.push_sized(env, bits);
+    }
+
+    /// Enqueues a message whose (clamped) wire size the caller already
+    /// computed — the engine's staging path uses this so
+    /// [`WireSize::bits`] runs exactly once per message.
+    pub fn push_sized(&mut self, env: Envelope<M>, bits: u64) {
+        debug_assert_eq!(bits, env.msg.bits().max(1), "size must match the message");
         self.total_bits += bits;
         self.total_msgs += 1;
         self.queue.push_back((env, bits));
     }
 
     /// Delivers up to `budget` bits worth of queued messages, in FIFO
-    /// order, appending them to `out`. Returns the number of bits consumed.
-    pub fn deliver(&mut self, budget: u64, out: &mut Vec<Envelope<M>>) -> u64 {
+    /// order, appending them to `out`.
+    pub fn deliver(&mut self, budget: u64, out: &mut Vec<Envelope<M>>) -> Delivery {
+        let mut d = Delivery::default();
         let mut remaining = budget;
         while let Some((_, bits)) = self.queue.front() {
             let need = bits - self.front_progress;
             if need <= remaining {
                 remaining -= need;
                 self.front_progress = 0;
-                let (env, _) = self.queue.pop_front().expect("front exists");
+                let (env, bits) = self.queue.pop_front().expect("front exists");
+                d.msgs += 1;
+                d.msg_bits += bits;
                 out.push(env);
             } else {
                 self.front_progress += remaining;
@@ -58,7 +84,8 @@ impl<M: WireSize> Link<M> {
                 break;
             }
         }
-        budget - remaining
+        d.bits_used = budget - remaining;
+        d
     }
 
     /// Whether no message is queued or in flight.
@@ -94,9 +121,16 @@ mod tests {
         link.push(env(vec![0; 2])); // 16 bits
         link.push(env(vec![0; 2])); // 16 bits
         let mut out = Vec::new();
-        let used = link.deliver(64, &mut out);
+        let d = link.deliver(64, &mut out);
         assert_eq!(out.len(), 2);
-        assert_eq!(used, 32);
+        assert_eq!(
+            d,
+            Delivery {
+                bits_used: 32,
+                msgs: 2,
+                msg_bits: 32
+            }
+        );
         assert!(link.is_empty());
     }
 
@@ -121,11 +155,14 @@ mod tests {
         link.push(env(vec![0; 32])); // 256 bits
         link.push(env(vec![0; 1])); // 8 bits
         let mut out = Vec::new();
-        assert_eq!(link.deliver(100, &mut out), 100);
-        assert_eq!(link.deliver(100, &mut out), 100);
+        assert_eq!(link.deliver(100, &mut out).bits_used, 100);
+        assert_eq!(link.deliver(100, &mut out).bits_used, 100);
         assert_eq!(out.len(), 0);
-        // Third round: 56 to finish + 8 for the next message.
-        assert_eq!(link.deliver(100, &mut out), 64);
+        // Third round: 56 to finish + 8 for the next message. The
+        // delivered sizes are the full cached message sizes, not the
+        // budget spent this round.
+        let d = link.deliver(100, &mut out);
+        assert_eq!((d.bits_used, d.msgs, d.msg_bits), (64, 2, 264));
         assert_eq!(out.len(), 2);
     }
 

@@ -105,11 +105,13 @@ pub struct Outbox<M> {
 }
 
 impl<M> Outbox<M> {
-    /// Creates an empty outbox for a k-machine network.
+    /// Creates an empty outbox for a k-machine network, pre-sized for
+    /// one message per peer (a broadcast) so the common staging patterns
+    /// start without reallocation.
     pub fn new(k: usize) -> Self {
         Outbox {
             k,
-            staged: Vec::new(),
+            staged: Vec::with_capacity(k.saturating_sub(1)),
         }
     }
 
@@ -132,6 +134,10 @@ impl<M> Outbox<M> {
     where
         M: Clone,
     {
+        // One reservation up front: broadcast-heavy protocols (the
+        // triangle baseline, PageRank fan-outs) otherwise reallocate
+        // log(k) times per round.
+        self.staged.reserve(self.k.saturating_sub(1));
         for dst in 0..self.k {
             if dst != me {
                 self.staged.push((dst, msg.clone()));

@@ -23,6 +23,12 @@ pub struct Metrics {
     pub recv_bits: Vec<u64>,
     /// Maximum bits ever pushed through a single ordered link.
     pub max_link_bits: u64,
+    /// Link visits performed by the delivery loop over the whole run.
+    /// The sparse delivery core only ever visits links with queued
+    /// traffic, so this counts *active* link-rounds — not `k²` per round
+    /// — and is the observable the O(active traffic) invariant is tested
+    /// against (see `engine/mod.rs`).
+    pub link_visits: u64,
 }
 
 impl Metrics {
@@ -35,6 +41,7 @@ impl Metrics {
             recv_msgs: vec![0; k],
             recv_bits: vec![0; k],
             max_link_bits: 0,
+            link_visits: 0,
         }
     }
 

@@ -48,10 +48,16 @@ pub trait Protocol: Send {
     /// Executes one round. `inbox` holds the messages delivered at the
     /// start of this round, grouped by sender in increasing machine order
     /// (FIFO within a sender).
+    ///
+    /// The inbox is handed over `&mut` so protocols that forward or store
+    /// payloads can `drain(..)` and *move* them instead of cloning (see
+    /// [`crate::router::relay_round`]). The engine clears and reuses the
+    /// buffer after the round, so leaving messages behind is fine and
+    /// mutation never affects delivery semantics.
     fn round(
         &mut self,
         ctx: &mut RoundCtx<'_>,
-        inbox: &[Envelope<Self::Msg>],
+        inbox: &mut Vec<Envelope<Self::Msg>>,
         out: &mut Outbox<Self::Msg>,
     ) -> Status;
 }
@@ -67,10 +73,10 @@ mod tests {
         fn round(
             &mut self,
             _ctx: &mut RoundCtx<'_>,
-            inbox: &[Envelope<u32>],
+            inbox: &mut Vec<Envelope<u32>>,
             out: &mut Outbox<u32>,
         ) -> Status {
-            for env in inbox {
+            for env in inbox.iter() {
                 out.send(env.src, env.msg);
             }
             if inbox.is_empty() {

@@ -77,17 +77,23 @@ pub fn send_via_random_relay<M, R: Rng>(
 
 /// One round of relay processing: forwards messages not yet at their
 /// target and returns those that have arrived (as `(origin, payload)`).
-pub fn relay_round<M: Clone>(
+///
+/// Consumes the inbox — forwarded envelopes and arrived payloads are
+/// *moved*, never cloned, so relaying large payloads costs nothing
+/// beyond the send itself (hence no `M: Clone` bound). The inbox is left
+/// empty; capture `inbox.is_empty()` beforehand if a protocol's
+/// termination logic needs to know whether mail arrived this round.
+pub fn relay_round<M>(
     me: MachineIdx,
-    inbox: &[Envelope<Routed<M>>],
+    inbox: &mut Vec<Envelope<Routed<M>>>,
     out: &mut Outbox<Routed<M>>,
 ) -> Vec<(MachineIdx, M)> {
     let mut arrived = Vec::new();
-    for env in inbox {
+    for env in inbox.drain(..) {
         if env.msg.target == me {
-            arrived.push((env.msg.origin, env.msg.inner.clone()));
+            arrived.push((env.msg.origin, env.msg.inner));
         } else {
-            out.send(env.msg.target, env.msg.clone());
+            out.send(env.msg.target, env.msg);
         }
     }
     arrived
@@ -127,7 +133,7 @@ impl crate::protocol::Protocol for UniformScatter {
     fn round(
         &mut self,
         ctx: &mut crate::protocol::RoundCtx<'_>,
-        inbox: &[Envelope<ScatterToken>],
+        inbox: &mut Vec<Envelope<ScatterToken>>,
         out: &mut Outbox<ScatterToken>,
     ) -> crate::protocol::Status {
         self.received += inbox.len();
@@ -212,9 +218,10 @@ mod tests {
         fn round(
             &mut self,
             ctx: &mut RoundCtx<'_>,
-            inbox: &[Envelope<Routed<u32>>],
+            inbox: &mut Vec<Envelope<Routed<u32>>>,
             out: &mut Outbox<Routed<u32>>,
         ) -> Status {
+            let had_mail = !inbox.is_empty();
             let mut got = relay_round(ctx.me, inbox, out);
             self.arrived.append(&mut got);
             if ctx.round == 0 && ctx.me != 0 {
@@ -223,7 +230,7 @@ mod tests {
                 }
                 return Status::Active;
             }
-            if inbox.is_empty() && ctx.round > 0 {
+            if !had_mail && ctx.round > 0 {
                 Status::Done
             } else {
                 Status::Active

@@ -18,7 +18,7 @@
 //!     fn round(
 //!         &mut self,
 //!         ctx: &mut RoundCtx<'_>,
-//!         _inbox: &[Envelope<u8>],
+//!         _inbox: &mut Vec<Envelope<u8>>,
 //!         out: &mut Outbox<u8>,
 //!     ) -> Status {
 //!         if ctx.round == 0 && ctx.me != 0 {
@@ -286,7 +286,7 @@ mod tests {
         fn round(
             &mut self,
             ctx: &mut RoundCtx<'_>,
-            inbox: &[Envelope<u64>],
+            inbox: &mut Vec<Envelope<u64>>,
             out: &mut Outbox<u64>,
         ) -> Status {
             self.total += inbox.iter().map(|e| e.msg).sum::<u64>();

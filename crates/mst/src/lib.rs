@@ -378,7 +378,7 @@ impl Protocol for BoruvkaMst {
     fn round(
         &mut self,
         ctx: &mut RoundCtx<'_>,
-        inbox: &[Envelope<MstMsg>],
+        inbox: &mut Vec<Envelope<MstMsg>>,
         out: &mut Outbox<MstMsg>,
     ) -> Status {
         if ctx.round == 0 {
@@ -390,12 +390,11 @@ impl Protocol for BoruvkaMst {
                 Status::Active
             };
         }
-        for env in inbox {
+        for env in inbox.drain(..) {
             if env.msg.parity == self.parity {
-                let msg = env.msg.clone();
-                self.apply(&msg);
+                self.apply(&env.msg);
             } else {
-                self.pending.push(env.msg.clone());
+                self.pending.push(env.msg);
             }
         }
         self.maybe_advance(ctx, out);

@@ -156,7 +156,7 @@ impl Protocol for CongestPageRank {
     fn round(
         &mut self,
         ctx: &mut RoundCtx<'_>,
-        inbox: &[Envelope<PrMsg>],
+        inbox: &mut Vec<Envelope<PrMsg>>,
         out: &mut Outbox<PrMsg>,
     ) -> Status {
         if ctx.round == 0 {
@@ -168,12 +168,11 @@ impl Protocol for CongestPageRank {
                 Status::Active
             };
         }
-        for env in inbox {
+        for env in inbox.drain(..) {
             if env.msg.parity == self.parity {
-                let msg = env.msg.clone();
-                self.apply(&msg);
+                self.apply(&env.msg);
             } else {
-                self.pending.push(env.msg.clone());
+                self.pending.push(env.msg);
             }
         }
         self.maybe_advance(ctx, out);

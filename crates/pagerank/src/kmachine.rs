@@ -421,7 +421,7 @@ impl Protocol for KmPageRank {
     fn round(
         &mut self,
         ctx: &mut RoundCtx<'_>,
-        inbox: &[Envelope<PrMsg>],
+        inbox: &mut Vec<Envelope<PrMsg>>,
         out: &mut Outbox<PrMsg>,
     ) -> Status {
         if ctx.round == 0 {
@@ -434,12 +434,11 @@ impl Protocol for KmPageRank {
                 Status::Active
             };
         }
-        for env in inbox {
+        for env in inbox.drain(..) {
             if env.msg.parity == self.parity {
-                let msg = env.msg.clone();
-                self.apply(ctx.rng, &msg);
+                self.apply(ctx.rng, &env.msg);
             } else {
-                self.pending.push(env.msg.clone());
+                self.pending.push(env.msg);
             }
         }
         self.maybe_advance(ctx, out);

@@ -376,7 +376,7 @@ impl Protocol for SampleSort {
     fn round(
         &mut self,
         ctx: &mut RoundCtx<'_>,
-        inbox: &[Envelope<SortMsg>],
+        inbox: &mut Vec<Envelope<SortMsg>>,
         out: &mut Outbox<SortMsg>,
     ) -> Status {
         if ctx.round == 0 {
@@ -388,10 +388,9 @@ impl Protocol for SampleSort {
                 Status::Active
             };
         }
-        for env in inbox {
+        for env in inbox.drain(..) {
             if env.msg.phase == self.phase {
-                let msg = env.msg;
-                self.apply(env.src, &msg);
+                self.apply(env.src, &env.msg);
             } else {
                 self.pending.push((env.src, env.msg));
             }

@@ -96,7 +96,7 @@ impl Protocol for BroadcastTriangle {
     fn round(
         &mut self,
         ctx: &mut RoundCtx<'_>,
-        inbox: &[Envelope<BcastMsg>],
+        inbox: &mut Vec<Envelope<BcastMsg>>,
         out: &mut Outbox<BcastMsg>,
     ) -> Status {
         if ctx.round == 0 {
@@ -119,7 +119,7 @@ impl Protocol for BroadcastTriangle {
             }
             return Status::Active;
         }
-        for env in inbox {
+        for env in inbox.iter() {
             match env.msg {
                 BcastMsg::Edge { e, .. } => {
                     self.edges.insert(e);

@@ -439,7 +439,7 @@ impl Protocol for KmTriangle {
     fn round(
         &mut self,
         ctx: &mut RoundCtx<'_>,
-        inbox: &[Envelope<TriMsg>],
+        inbox: &mut Vec<Envelope<TriMsg>>,
         out: &mut Outbox<TriMsg>,
     ) -> Status {
         if ctx.round == 0 {
@@ -451,12 +451,11 @@ impl Protocol for KmTriangle {
                 Status::Active
             };
         }
-        for env in inbox {
+        for env in inbox.drain(..) {
             if env.msg.phase == self.phase {
-                let msg = env.msg.clone();
-                self.apply(&msg);
+                self.apply(&env.msg);
             } else {
-                self.pending.push(env.msg.clone());
+                self.pending.push(env.msg);
             }
         }
         self.maybe_advance(ctx, out);

@@ -67,6 +67,9 @@ impl IntoBenchmarkId for String {
 /// routine.
 pub struct Bencher {
     samples: usize,
+    /// Smoke mode (`cargo bench -- --test`): run the routine once to
+    /// prove it works, skip the timing loop.
+    smoke: bool,
     /// Filled by `iter`: (mean, min) per-iteration time.
     result: Option<(Duration, Duration)>,
 }
@@ -78,6 +81,10 @@ impl Bencher {
         let warm = Instant::now();
         black_box(routine());
         let per_iter = warm.elapsed();
+        if self.smoke {
+            self.result = Some((per_iter, per_iter));
+            return;
+        }
 
         // Keep the whole sample loop near ~1 s even for slow routines.
         let budget = Duration::from_secs(1);
@@ -101,13 +108,15 @@ impl Bencher {
     }
 }
 
-fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+fn run_one(label: &str, samples: usize, smoke: bool, f: impl FnOnce(&mut Bencher)) {
     let mut b = Bencher {
         samples,
+        smoke,
         result: None,
     };
     f(&mut b);
     match b.result {
+        Some(_) if smoke => println!("bench {label:<48} ok (smoke)"),
         Some((mean, min)) => {
             println!("bench {label:<48} mean {mean:>12?}  min {min:>12?}");
         }
@@ -119,6 +128,7 @@ fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    smoke: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -135,7 +145,7 @@ impl BenchmarkGroup<'_> {
         F: FnOnce(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into_name());
-        run_one(&label, self.sample_size, f);
+        run_one(&label, self.sample_size, self.smoke, f);
         self
     }
 
@@ -150,7 +160,7 @@ impl BenchmarkGroup<'_> {
         F: FnOnce(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into_name());
-        run_one(&label, self.sample_size, |b| f(b, input));
+        run_one(&label, self.sample_size, self.smoke, |b| f(b, input));
         self
     }
 
@@ -162,28 +172,38 @@ impl BenchmarkGroup<'_> {
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            smoke: false,
+        }
     }
 }
 
 impl Criterion {
-    /// Accepts (and ignores) CLI arguments, mirroring criterion's
-    /// builder so `criterion_group!`-generated code stays source-
-    /// compatible with the real crate.
-    pub fn configure_from_args(self) -> Self {
+    /// Reads CLI arguments, mirroring criterion's builder so
+    /// `criterion_group!`-generated code stays source-compatible with
+    /// the real crate. `--test` (as passed by `cargo bench -- --test`)
+    /// enables smoke mode: each benchmark routine runs exactly once,
+    /// untimed — CI uses this so benches compile and execute without
+    /// paying for measurements.
+    pub fn configure_from_args(mut self) -> Self {
+        self.smoke = std::env::args().any(|a| a == "--test");
         self
     }
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
+        let smoke = self.smoke;
         BenchmarkGroup {
             name: name.into(),
             sample_size,
+            smoke,
             _criterion: self,
         }
     }
@@ -193,7 +213,7 @@ impl Criterion {
     where
         F: FnOnce(&mut Bencher),
     {
-        run_one(&id.into_name(), self.sample_size, f);
+        run_one(&id.into_name(), self.sample_size, self.smoke, f);
         self
     }
 
@@ -207,7 +227,9 @@ impl Criterion {
     where
         F: FnOnce(&mut Bencher, &I),
     {
-        run_one(&id.into_name(), self.sample_size, |b| f(b, input));
+        run_one(&id.into_name(), self.sample_size, self.smoke, |b| {
+            f(b, input)
+        });
         self
     }
 }

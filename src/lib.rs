@@ -39,7 +39,7 @@
 //!     fn round(
 //!         &mut self,
 //!         ctx: &mut RoundCtx<'_>,
-//!         inbox: &[Envelope<u32>],
+//!         inbox: &mut Vec<Envelope<u32>>,
 //!         out: &mut Outbox<u32>,
 //!     ) -> Status {
 //!         self.heard += inbox.len();
