@@ -1,11 +1,14 @@
-//! Criterion benches for graph generation and CSR construction.
+//! Criterion benches for graph generation, CSR construction, and the
+//! fused per-machine distribution layer (`km_graph::dist`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use km_graph::dist::replicated_scan_reference;
 use km_graph::generators::lower_bound_h::LowerBoundGraph;
 use km_graph::generators::{chung_lu, gnm, gnp, power_law_weights};
-use km_graph::{CsrGraph, Partition};
+use km_graph::{CsrGraph, DistGraphBuilder, Partition};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");
@@ -50,5 +53,26 @@ fn bench_generators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generators);
+/// Fused single-pass `DistGraphBuilder` vs the preserved replicated
+/// per-machine scan (`HashMap` index + `Vec<Vec<_>>` adjacency) on
+/// identical inputs.
+fn bench_graph_dist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_dist");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let n = 10_000;
+    let g = gnm(n, 8 * n, &mut rng);
+    for k in [16usize, 128] {
+        let part = Arc::new(Partition::by_hash(n, k, 5));
+        group.bench_with_input(BenchmarkId::new("fused_build", k), &k, |b, _| {
+            b.iter(|| DistGraphBuilder::new(&part).undirected(&g))
+        });
+        group.bench_with_input(BenchmarkId::new("replicated_scan", k), &k, |b, _| {
+            b.iter(|| replicated_scan_reference(&g, &part))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_graph_dist);
 criterion_main!(benches);

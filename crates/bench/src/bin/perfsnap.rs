@@ -2,17 +2,19 @@
 //!
 //! Runs a fixed workload matrix (Lemma-13 scatter, Borůvka MST, triangle
 //! enumeration at k ∈ {16, 64, 128}) plus the sparse long-tail delivery
-//! comparison at k = 256, and writes wall-time + rounds + bits to
-//! `BENCH_<date>.json` (or the path given as the first argument) so each
-//! PR can commit a comparable snapshot.
+//! comparison at k = 256 and the fused `DistGraphBuilder` build-time
+//! matrix at n ∈ {10k, 100k}, k ∈ {16, 128}, and writes wall-time +
+//! rounds + bits to `BENCH_<date>.json` (or the path given as the first
+//! argument) so each PR can commit a comparable snapshot.
 //!
 //! Usage: `cargo run --release -p km-bench --bin perfsnap [-- out.json]`
 
 use km_bench::workloads::{dense_delivery_reference, sparse_ring_machines};
 use km_core::router::UniformScatter;
 use km_core::{EngineKind, Metrics, NetConfig, Runner};
-use km_graph::generators::gnp;
-use km_graph::{Partition, Vertex, WeightedGraph};
+use km_graph::dist::replicated_scan_reference;
+use km_graph::generators::{gnm, gnp};
+use km_graph::{DistGraphBuilder, LocalGraph, Partition, Vertex, WeightedGraph};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -50,12 +52,25 @@ struct SparseComparison {
     note: String,
 }
 
+/// One cell of the `DistGraphBuilder` build-time matrix: the fused
+/// single-pass build vs the preserved replicated per-machine scan.
+#[derive(Serialize)]
+struct DistBuildCell {
+    n: usize,
+    m: usize,
+    k: usize,
+    fused_wall_ms: f64,
+    replicated_scan_wall_ms: f64,
+    speedup: f64,
+}
+
 #[derive(Serialize)]
 struct Snapshot {
     date: String,
     host_threads: usize,
     workloads: Vec<Cell>,
     sparse_fast_path: SparseComparison,
+    dist_build: Vec<DistBuildCell>,
 }
 
 /// Best-of-`runs` wall time in milliseconds for `f`.
@@ -190,11 +205,45 @@ fn main() {
         sparse.speedup
     );
 
+    // Fused DistGraphBuilder build vs the replicated per-machine scan.
+    let mut dist_build = Vec::new();
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let g = gnm(n, 8 * n, &mut rng);
+        for &k in &[16usize, 128] {
+            let part = Arc::new(Partition::by_hash(n, k, 5));
+            let (fused_ms, d) = best_ms(5, || DistGraphBuilder::new(&part).undirected(&g));
+            let (scan_ms, endpoints) = best_ms(5, || replicated_scan_reference(&g, &part));
+            assert_eq!(
+                d.locals()
+                    .iter()
+                    .map(LocalGraph::edge_endpoints)
+                    .sum::<usize>(),
+                endpoints,
+                "fused and replicated builds must store identical state"
+            );
+            println!(
+                "dist_build     n={n:<7} k={k:<4} fused {fused_ms:>8.3} ms vs scan \
+                 {scan_ms:>8.3} ms => {:.2}x",
+                scan_ms / fused_ms
+            );
+            dist_build.push(DistBuildCell {
+                n,
+                m: g.m(),
+                k,
+                fused_wall_ms: fused_ms,
+                replicated_scan_wall_ms: scan_ms,
+                speedup: scan_ms / fused_ms,
+            });
+        }
+    }
+
     let snap = Snapshot {
         date: today_utc(),
         host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
         workloads,
         sparse_fast_path: sparse,
+        dist_build,
     };
     let out = std::env::args()
         .nth(1)

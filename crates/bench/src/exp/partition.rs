@@ -63,7 +63,7 @@ pub fn rvp_balance(seed: u64) -> Table {
         let part = Partition::random_vertex(n, k, &mut rng);
         let vstats = vertex_balance(&part);
         let gpart = Partition::random_vertex(g.n(), k.min(g.n()), &mut rng);
-        let estats = edge_balance(&g, &gpart);
+        let estats = edge_balance(&g, &gpart).expect("matched graph/partition sizes");
         t.row(vec![
             k.to_string(),
             f(n as f64 / k as f64),

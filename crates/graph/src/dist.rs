@@ -1,0 +1,605 @@
+//! The per-machine graph-state layer: flat CSR-backed local storage for
+//! every k-machine algorithm.
+//!
+//! **Paper mapping (Section 1.1).** Every result in the paper assumes the
+//! *random vertex partition*: each vertex, with its incident edges, is
+//! homed at one of the `k` machines, so machine `i`'s input is the
+//! subgraph "its vertices plus their adjacency lists". Lemma 4.1 of
+//! Klauck et al. (arXiv:1311.6209, quoted in the proof of Theorem 5)
+//! bounds that input's size by `O~(m/k + Δ)` w.h.p. — the per-machine
+//! input shape is a first-class object of the model, and [`LocalGraph`]
+//! is its one shared implementation: a hosted-vertex list, a global↔local
+//! index, flat out-adjacency slices (plus aligned weights for weighted
+//! graphs), and — for digraphs — the precomputed receiver side of
+//! cross-partition traffic ([`LocalGraph::host_targets`]).
+//!
+//! **Fused construction.** [`DistGraphBuilder`] materializes all `k`
+//! locals in **one pass** over the global CSR arrays instead of `k`
+//! independent member scans: a single sweep over `0..n` appends each
+//! vertex's adjacency slice to its home machine's flat arrays (sizes are
+//! precomputed, so nothing reallocates), and the global→local index is
+//! one shared `Arc<[u32]>` rather than `k` hash maps. The resulting
+//! [`DistGraph`] also records the per-machine edge loads, wiring the
+//! `O~(m/k + Δ)` balance lemma into the existing
+//! [`partition::balance`](crate::partition::balance) diagnostics via
+//! [`DistGraph::edge_balance`].
+//!
+//! [`replicated_scan_reference`] preserves the pre-`DistGraph` ingestion
+//! pattern (per-machine `HashMap` vertex index + `Vec<Vec<_>>` adjacency,
+//! built machine by machine) as a measurable artifact so `perfsnap` and
+//! the `graph_dist` bench can keep reporting the fused-build speedup.
+
+use crate::csr::CsrGraph;
+use crate::digraph::DiGraph;
+use crate::ids::{Edge, MachineIdx, Vertex};
+use crate::partition::balance::LoadStats;
+use crate::partition::Partition;
+use crate::weighted::WeightedGraph;
+use std::sync::Arc;
+
+/// One machine's local graph state under the random vertex partition:
+/// the hosted vertices, their adjacency in flat CSR form, and the shared
+/// global↔local index.
+///
+/// Local vertex indices `j ∈ 0..hosted()` correspond to the hosted
+/// vertices in ascending global-id order (the order of
+/// [`Partition::members`]); adjacency slices inherit the global CSR's
+/// sorted order. For directed builds the adjacency is the *out*-edges
+/// (what RVP gives the home machine) and [`Self::host_targets`] holds
+/// the precomputed receiver-side map `u → hosted out-neighbors of u`.
+#[derive(Debug, Clone)]
+pub struct LocalGraph {
+    me: MachineIdx,
+    n: usize,
+    part: Arc<Partition>,
+    /// Shared across all locals: `local_of[v]` is `v`'s index within its
+    /// home machine's hosted-vertex list.
+    local_of: Arc<[u32]>,
+    offsets: Vec<usize>,
+    neighbors: Vec<Vertex>,
+    /// Aligned with `neighbors`; empty unless built from a weighted graph.
+    weights: Vec<f64>,
+    weighted: bool,
+    /// Sorted external sources with hosted out-neighbors (directed builds).
+    host_src: Vec<Vertex>,
+    host_offsets: Vec<usize>,
+    host_tgt: Vec<u32>,
+}
+
+impl LocalGraph {
+    /// The machine this local state belongs to.
+    #[inline]
+    pub fn machine(&self) -> MachineIdx {
+        self.me
+    }
+
+    /// Number of vertices of the *global* graph.
+    #[inline]
+    pub fn global_n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hosted vertices.
+    #[inline]
+    pub fn hosted(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The hosted vertices, ascending (`j`-th entry has local index `j`).
+    #[inline]
+    pub fn vertices(&self) -> &[Vertex] {
+        self.part.members(self.me)
+    }
+
+    /// Global id of the hosted vertex with local index `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= hosted()`.
+    #[inline]
+    pub fn vertex(&self, j: usize) -> Vertex {
+        self.vertices()[j]
+    }
+
+    /// Local index of `v`, or `None` if `v` is not hosted here.
+    #[inline]
+    pub fn local(&self, v: Vertex) -> Option<usize> {
+        if self.part.home(v) == self.me {
+            Some(self.local_of[v as usize] as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Sorted (out-)adjacency of the hosted vertex with local index `j`.
+    #[inline]
+    pub fn neighbors(&self, j: usize) -> &[Vertex] {
+        &self.neighbors[self.offsets[j]..self.offsets[j + 1]]
+    }
+
+    /// Edge weights aligned with [`Self::neighbors`].
+    ///
+    /// # Panics
+    /// Panics if this local was not built from a weighted graph.
+    #[inline]
+    pub fn neighbor_weights(&self, j: usize) -> &[f64] {
+        assert!(self.weighted, "local graph built without weights");
+        &self.weights[self.offsets[j]..self.offsets[j + 1]]
+    }
+
+    /// Whether this local carries edge weights.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Home machine of any global vertex (the shared hash/partition map —
+    /// "if a machine knows a vertex ID, it also knows where it is hashed
+    /// to", Section 1.1).
+    #[inline]
+    pub fn home(&self, v: Vertex) -> MachineIdx {
+        self.part.home(v)
+    }
+
+    /// The shared partition.
+    #[inline]
+    pub fn part(&self) -> &Arc<Partition> {
+        &self.part
+    }
+
+    /// Local indices of the hosted out-neighbors of `u`, or `None` if no
+    /// out-neighbor of `u` lives here. Only populated by directed builds;
+    /// this is the receiver side of heavy cross-partition traffic
+    /// (lines 31–36 of Algorithm 1).
+    #[inline]
+    pub fn host_targets(&self, u: Vertex) -> Option<&[u32]> {
+        let i = self.host_src.binary_search(&u).ok()?;
+        Some(&self.host_tgt[self.host_offsets[i]..self.host_offsets[i + 1]])
+    }
+
+    /// Total adjacency endpoints stored here — machine `i`'s RVP input
+    /// size, the `O~(m/k + Δ)` quantity of Klauck et al.'s Lemma 4.1.
+    #[inline]
+    pub fn edge_endpoints(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Iterator over `(vertex, neighbors)` pairs in local-index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vertex, &[Vertex])> + '_ {
+        self.vertices()
+            .iter()
+            .enumerate()
+            .map(move |(j, &v)| (v, self.neighbors(j)))
+    }
+}
+
+/// All `k` [`LocalGraph`]s of one distributed input, plus the balance
+/// diagnostics recorded during the fused build.
+#[derive(Debug, Clone)]
+pub struct DistGraph {
+    locals: Vec<LocalGraph>,
+    edge_loads: Vec<usize>,
+}
+
+impl DistGraph {
+    /// Number of machines.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// The per-machine locals, indexed by machine.
+    #[inline]
+    pub fn locals(&self) -> &[LocalGraph] {
+        &self.locals
+    }
+
+    /// Consumes the distributed graph, yielding the per-machine locals.
+    #[inline]
+    pub fn into_locals(self) -> Vec<LocalGraph> {
+        self.locals
+    }
+
+    /// Per-machine edge loads recorded during the build: the total
+    /// (out-)degree of each machine's hosted vertices — full degree for
+    /// undirected/weighted builds, out-degree for directed builds (the
+    /// stored adjacency; the in-edge-derived `host_targets` index is not
+    /// counted).
+    #[inline]
+    pub fn edge_loads(&self) -> &[usize] {
+        &self.edge_loads
+    }
+
+    /// Vertex-load statistics (the `Θ~(n/k)` claim of Section 1.1).
+    pub fn vertex_balance(&self) -> LoadStats {
+        let loads = self.locals[0].part.loads();
+        LoadStats::from_loads(&loads).expect("Partition guarantees k >= 1")
+    }
+
+    /// Edge-load statistics (the `O~(m/k + Δ)` input bound of Klauck et
+    /// al.'s Lemma 4.1) over [`Self::edge_loads`] — no second scan of the
+    /// global graph. For directed builds this is an *out-degree* load
+    /// (see `edge_loads`), not the undirected total degree.
+    pub fn edge_balance(&self) -> LoadStats {
+        LoadStats::from_loads(&self.edge_loads).expect("Partition guarantees k >= 1")
+    }
+}
+
+/// Builds all `k` [`LocalGraph`]s of a partitioned input in one fused
+/// pass over the global graph.
+#[derive(Debug, Clone, Copy)]
+pub struct DistGraphBuilder<'a> {
+    part: &'a Arc<Partition>,
+}
+
+impl<'a> DistGraphBuilder<'a> {
+    /// A builder distributing over `part`'s machines.
+    pub fn new(part: &'a Arc<Partition>) -> Self {
+        DistGraphBuilder { part }
+    }
+
+    /// Empty per-machine shells plus the shared global→local index
+    /// (one `Arc<[u32]>` for all machines, not `k` hash maps).
+    fn shells(&self, n: usize) -> Vec<LocalGraph> {
+        let part = self.part;
+        let k = part.k();
+        let mut local_of = vec![0u32; n];
+        let mut counts = vec![0u32; k];
+        for (v, slot) in local_of.iter_mut().enumerate() {
+            let h = part.home(v as Vertex);
+            *slot = counts[h];
+            counts[h] += 1;
+        }
+        let local_of: Arc<[u32]> = local_of.into();
+        (0..k)
+            .map(|i| LocalGraph {
+                me: i,
+                n,
+                part: Arc::clone(part),
+                local_of: Arc::clone(&local_of),
+                offsets: vec![0],
+                neighbors: Vec::new(),
+                weights: Vec::new(),
+                weighted: false,
+                host_src: Vec::new(),
+                host_offsets: Vec::new(),
+                host_tgt: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Distributes an undirected graph: machine `i` receives its hosted
+    /// vertices with their full adjacency lists.
+    ///
+    /// # Panics
+    /// Panics if `g.n() != part.n()`.
+    pub fn undirected(&self, g: &CsrGraph) -> DistGraph {
+        assert_eq!(g.n(), self.part.n(), "partition size mismatch");
+        let mut locals = self.shells(g.n());
+        let edge_loads = self.presize(&mut locals, |v| g.degree(v));
+        for v in g.vertices() {
+            let l = &mut locals[self.part.home(v)];
+            l.neighbors.extend_from_slice(g.neighbors(v));
+            l.offsets.push(l.neighbors.len());
+        }
+        DistGraph { locals, edge_loads }
+    }
+
+    /// Distributes a weighted graph: adjacency plus aligned weights.
+    ///
+    /// # Panics
+    /// Panics if `g.n() != part.n()`.
+    pub fn weighted(&self, g: &WeightedGraph) -> DistGraph {
+        assert_eq!(g.n(), self.part.n(), "partition size mismatch");
+        let mut locals = self.shells(g.n());
+        let edge_loads = self.presize(&mut locals, |v| g.degree(v));
+        for (i, l) in locals.iter_mut().enumerate() {
+            l.weighted = true;
+            l.weights.reserve(edge_loads[i]);
+        }
+        for v in 0..g.n() as Vertex {
+            let l = &mut locals[self.part.home(v)];
+            l.neighbors.extend_from_slice(g.neighbors(v));
+            l.weights.extend_from_slice(g.neighbor_weights(v));
+            l.offsets.push(l.neighbors.len());
+        }
+        DistGraph { locals, edge_loads }
+    }
+
+    /// Distributes a digraph: machine `i` receives its hosted vertices
+    /// with their *out*-adjacency (what RVP grants the home machine) plus
+    /// the precomputed [`LocalGraph::host_targets`] receiver map derived
+    /// from the hosted vertices' in-edges.
+    ///
+    /// # Panics
+    /// Panics if `g.n() != part.n()`.
+    pub fn directed(&self, g: &DiGraph) -> DistGraph {
+        assert_eq!(g.n(), self.part.n(), "partition size mismatch");
+        let k = self.part.k();
+        let mut locals = self.shells(g.n());
+        let edge_loads = self.presize(&mut locals, |v| g.out_degree(v));
+        // `(external source, hosted local target)` pairs per machine.
+        let mut pairs: Vec<Vec<(Vertex, u32)>> = vec![Vec::new(); k];
+        for v in g.vertices() {
+            let h = self.part.home(v);
+            let l = &mut locals[h];
+            l.neighbors.extend_from_slice(g.out_neighbors(v));
+            l.offsets.push(l.neighbors.len());
+            let j = l.local_of[v as usize];
+            for &u in g.in_neighbors(v) {
+                pairs[h].push((u, j));
+            }
+        }
+        for (l, mut p) in locals.iter_mut().zip(pairs) {
+            // Group by source; within a source, targets stay in ascending
+            // local-index (= ascending hosted vertex id) order.
+            p.sort_unstable();
+            for (u, j) in p {
+                if l.host_src.last() != Some(&u) {
+                    l.host_src.push(u);
+                    l.host_offsets.push(l.host_tgt.len());
+                }
+                l.host_tgt.push(j);
+            }
+            l.host_offsets.push(l.host_tgt.len());
+        }
+        DistGraph { locals, edge_loads }
+    }
+
+    /// Computes per-machine edge loads and reserves each shell's flat
+    /// arrays so the fill sweep never reallocates.
+    fn presize(
+        &self,
+        locals: &mut [LocalGraph],
+        degree_of: impl Fn(Vertex) -> usize,
+    ) -> Vec<usize> {
+        let part = self.part;
+        let mut edge_loads = vec![0usize; part.k()];
+        for v in 0..part.n() as Vertex {
+            edge_loads[part.home(v)] += degree_of(v);
+        }
+        for (i, l) in locals.iter_mut().enumerate() {
+            l.offsets.reserve(part.members(i).len());
+            l.neighbors.reserve(edge_loads[i]);
+        }
+        edge_loads
+    }
+}
+
+/// A flat sorted-adjacency view over an arbitrary edge set — the shared
+/// helper behind the subgraph enumerators (triangles, open triads), which
+/// each used to build their own `HashMap<Vertex, Vec<Vertex>>` copy.
+///
+/// Vertices are the edge endpoints in ascending order; adjacency slices
+/// are sorted. Lookup is a binary search over the touched vertices only,
+/// so the view stays proportional to the edge set, not to `n`.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeListAdjacency {
+    keys: Vec<Vertex>,
+    offsets: Vec<usize>,
+    neighbors: Vec<Vertex>,
+}
+
+impl EdgeListAdjacency {
+    /// Builds the view from simple undirected edges (duplicates collapse).
+    pub fn from_edges<I: IntoIterator<Item = Edge>>(edges: I) -> Self {
+        let mut pairs: Vec<(Vertex, Vertex)> = Vec::new();
+        for e in edges {
+            pairs.push((e.u, e.v));
+            pairs.push((e.v, e.u));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut keys = Vec::new();
+        let mut offsets = vec![0usize];
+        let mut neighbors = Vec::with_capacity(pairs.len());
+        for (u, v) in pairs {
+            if keys.last() != Some(&u) {
+                if !keys.is_empty() {
+                    offsets.push(neighbors.len());
+                }
+                keys.push(u);
+            }
+            neighbors.push(v);
+        }
+        offsets.push(neighbors.len());
+        if keys.is_empty() {
+            offsets = vec![0];
+        }
+        EdgeListAdjacency {
+            keys,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// The touched vertices, ascending.
+    #[inline]
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.keys
+    }
+
+    /// Sorted neighbors of `v` within the edge set (empty if untouched).
+    #[inline]
+    pub fn neighbors_of(&self, v: Vertex) -> &[Vertex] {
+        match self.keys.binary_search(&v) {
+            Ok(i) => &self.neighbors[self.offsets[i]..self.offsets[i + 1]],
+            Err(_) => &[],
+        }
+    }
+}
+
+/// The pre-`DistGraph` ingestion path, preserved as a measurable
+/// artifact: `k` independent member scans, each allocating a
+/// `HashMap` vertex index and a `Vec<Vec<_>>` adjacency — the pattern
+/// every algorithm crate used to hand-roll. Returns the total stored
+/// endpoints as an optimization barrier; `perfsnap` and the
+/// `graph_dist` bench time it against [`DistGraphBuilder::undirected`]
+/// on identical inputs.
+pub fn replicated_scan_reference(g: &CsrGraph, part: &Partition) -> usize {
+    use std::collections::HashMap;
+    assert_eq!(g.n(), part.n(), "partition size mismatch");
+    let mut total = 0usize;
+    for i in 0..part.k() {
+        let vertices: Vec<Vertex> = part.members(i).to_vec();
+        let index: HashMap<Vertex, usize> =
+            vertices.iter().enumerate().map(|(j, &v)| (v, j)).collect();
+        let adjacency: Vec<Vec<Vertex>> =
+            vertices.iter().map(|&v| g.neighbors(v).to_vec()).collect();
+        total += adjacency.iter().map(Vec::len).sum::<usize>();
+        std::hint::black_box(&index);
+        std::hint::black_box(&adjacency);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic, gnp};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn star_dist(k: usize) -> DistGraph {
+        let g = classic::star(10);
+        let part = Arc::new(Partition::by_hash(10, k, 3));
+        DistGraphBuilder::new(&part).undirected(&g)
+    }
+
+    #[test]
+    fn locals_cover_vertices_and_endpoints() {
+        let d = star_dist(4);
+        let hosted: usize = d.locals().iter().map(LocalGraph::hosted).sum();
+        assert_eq!(hosted, 10);
+        let endpoints: usize = d.locals().iter().map(LocalGraph::edge_endpoints).sum();
+        assert_eq!(endpoints, 2 * 9);
+        assert_eq!(d.edge_loads().iter().sum::<usize>(), 2 * 9);
+    }
+
+    #[test]
+    fn local_index_roundtrips() {
+        let d = star_dist(3);
+        for l in d.locals() {
+            for (j, &v) in l.vertices().iter().enumerate() {
+                assert_eq!(l.local(v), Some(j));
+                assert_eq!(l.vertex(j), v);
+            }
+            // Vertices hosted elsewhere resolve to None.
+            for v in 0..10 {
+                if l.home(v) != l.machine() {
+                    assert_eq!(l.local(v), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_matches_global_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = gnp(60, 0.2, &mut rng);
+        let part = Arc::new(Partition::by_hash(60, 7, 1));
+        let d = DistGraphBuilder::new(&part).undirected(&g);
+        for l in d.locals() {
+            for (v, ns) in l.iter() {
+                assert_eq!(ns, g.neighbors(v));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_build_aligns_weights() {
+        let g = WeightedGraph::from_weighted_edges(
+            4,
+            &[(0, 1), (1, 2), (2, 3), (0, 3)],
+            &[1.0, 2.0, 3.0, 4.0],
+        );
+        let part = Arc::new(Partition::from_assignment(2, vec![0, 1, 0, 1]));
+        let d = DistGraphBuilder::new(&part).weighted(&g);
+        for l in d.locals() {
+            assert!(l.is_weighted());
+            for (j, &v) in l.vertices().iter().enumerate() {
+                assert_eq!(l.neighbors(j), g.neighbors(v));
+                assert_eq!(l.neighbor_weights(j), g.neighbor_weights(v));
+            }
+        }
+    }
+
+    #[test]
+    fn directed_build_out_edges_and_host_targets() {
+        // 0 -> 1, 0 -> 2, 3 -> 0, 1 -> 2
+        let g = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (3, 0), (1, 2)]);
+        let part = Arc::new(Partition::from_assignment(2, vec![0, 1, 1, 0]));
+        let d = DistGraphBuilder::new(&part).directed(&g);
+        let m0 = &d.locals()[0];
+        assert_eq!(m0.vertices(), &[0, 3]);
+        assert_eq!(m0.neighbors(0), &[1, 2]); // out-edges of 0
+        assert_eq!(m0.neighbors(1), &[0]); // out-edges of 3
+                                           // Machine 0 hosts 0 (local 0): its only in-neighbor is 3.
+        assert_eq!(m0.host_targets(3), Some(&[0u32][..]));
+        assert_eq!(m0.host_targets(1), None);
+        // Machine 1 hosts 1 (local 0) and 2 (local 1): sources 0 and 1.
+        let m1 = &d.locals()[1];
+        assert_eq!(m1.host_targets(0), Some(&[0u32, 1][..]));
+        assert_eq!(m1.host_targets(1), Some(&[1u32][..]));
+        assert_eq!(m1.host_targets(2), None);
+    }
+
+    #[test]
+    fn balance_stats_match_partition_diagnostics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = gnp(200, 0.1, &mut rng);
+        let part = Arc::new(Partition::by_hash(200, 8, 2));
+        let d = DistGraphBuilder::new(&part).undirected(&g);
+        let want_v = crate::partition::balance::vertex_balance(&part);
+        let want_e = crate::partition::balance::edge_balance(&g, &part).unwrap();
+        assert_eq!(d.vertex_balance(), want_v);
+        assert_eq!(d.edge_balance(), want_e);
+    }
+
+    #[test]
+    fn fused_and_replicated_scans_store_the_same_endpoints() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g = gnp(120, 0.1, &mut rng);
+        let part = Arc::new(Partition::by_hash(120, 16, 4));
+        let d = DistGraphBuilder::new(&part).undirected(&g);
+        let fused: usize = d.locals().iter().map(LocalGraph::edge_endpoints).sum();
+        assert_eq!(fused, replicated_scan_reference(&g, &part));
+    }
+
+    #[test]
+    fn empty_graph_and_single_machine() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let part = Arc::new(Partition::from_assignment(3, vec![]));
+        let d = DistGraphBuilder::new(&part).undirected(&g);
+        assert_eq!(d.k(), 3);
+        for l in d.locals() {
+            assert_eq!(l.hosted(), 0);
+            assert_eq!(l.edge_endpoints(), 0);
+        }
+        let g1 = classic::complete(5);
+        let part1 = Arc::new(Partition::round_robin(5, 1));
+        let d1 = DistGraphBuilder::new(&part1).undirected(&g1);
+        assert_eq!(d1.locals()[0].hosted(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition size mismatch")]
+    fn rejects_mismatched_partition() {
+        let g = classic::path(4);
+        let part = Arc::new(Partition::by_hash(5, 2, 1));
+        let _ = DistGraphBuilder::new(&part).undirected(&g);
+    }
+
+    #[test]
+    fn edge_list_adjacency_sorted_and_complete() {
+        let edges = [Edge::new(5, 2), Edge::new(2, 9), Edge::new(5, 9)];
+        let adj = EdgeListAdjacency::from_edges(edges);
+        assert_eq!(adj.vertices(), &[2, 5, 9]);
+        assert_eq!(adj.neighbors_of(2), &[5, 9]);
+        assert_eq!(adj.neighbors_of(5), &[2, 9]);
+        assert_eq!(adj.neighbors_of(9), &[2, 5]);
+        assert_eq!(adj.neighbors_of(7), &[] as &[Vertex]);
+        let empty = EdgeListAdjacency::from_edges([]);
+        assert_eq!(empty.vertices(), &[] as &[Vertex]);
+        assert_eq!(empty.neighbors_of(0), &[] as &[Vertex]);
+    }
+}

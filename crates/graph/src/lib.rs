@@ -17,7 +17,10 @@
 //! * the input partition models of Section 1.1: the random vertex partition
 //!   ([`partition::rvp`]) that all results assume, the random edge partition
 //!   ([`partition::rep`]) of footnote 3, and balance diagnostics
-//!   ([`partition::balance`]).
+//!   ([`partition::balance`]);
+//! * the per-machine graph-state layer ([`dist`]): the flat CSR-backed
+//!   [`LocalGraph`] every k-machine algorithm runs on, built for all `k`
+//!   machines in one fused pass by [`DistGraphBuilder`].
 //!
 //! All randomized constructions take explicit seeds and are deterministic
 //! given the seed, so distributed executions built on top are replayable.
@@ -25,6 +28,7 @@
 pub mod builder;
 pub mod csr;
 pub mod digraph;
+pub mod dist;
 pub mod generators;
 pub mod ids;
 pub mod partition;
@@ -35,6 +39,7 @@ pub mod weighted;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use digraph::DiGraph;
+pub use dist::{DistGraph, DistGraphBuilder, LocalGraph};
 pub use ids::{Edge, MachineIdx, Triangle, Vertex};
 pub use partition::{Partition, PartitionModel};
 pub use weighted::WeightedGraph;

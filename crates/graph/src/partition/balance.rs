@@ -4,9 +4,44 @@
 //! vertices with high probability". These statistics make that claim (and
 //! the corresponding edge balance used in Lemma 4.1 of Klauck et al.)
 //! measurable; the `RVP` experiment in EXPERIMENTS.md sweeps them.
+//!
+//! Invalid inputs are reported as [`BalanceError`]s, not panics — the
+//! same error-not-panic policy as `NetConfig::validate` in `km-core`.
 
 use crate::csr::CsrGraph;
 use crate::partition::Partition;
+
+/// Invalid input to a balance diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceError {
+    /// An empty load vector has no statistics.
+    NoMachines,
+    /// Graph and partition disagree on the vertex count.
+    SizeMismatch {
+        /// Vertices in the graph.
+        graph_n: usize,
+        /// Vertices in the partition.
+        partition_n: usize,
+    },
+}
+
+impl std::fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BalanceError::NoMachines => write!(f, "no machines: empty load vector"),
+            BalanceError::SizeMismatch {
+                graph_n,
+                partition_n,
+            } => write!(
+                f,
+                "partition size mismatch: graph has {graph_n} vertices, \
+                 partition covers {partition_n}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BalanceError {}
 
 /// Load statistics across machines.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,31 +58,44 @@ pub struct LoadStats {
 
 impl LoadStats {
     /// Computes stats from raw per-machine loads.
-    pub fn from_loads(loads: &[usize]) -> Self {
-        assert!(!loads.is_empty(), "no machines");
+    ///
+    /// Returns [`BalanceError::NoMachines`] for an empty slice.
+    pub fn from_loads(loads: &[usize]) -> Result<Self, BalanceError> {
+        if loads.is_empty() {
+            return Err(BalanceError::NoMachines);
+        }
         let max = *loads.iter().max().unwrap();
         let min = *loads.iter().min().unwrap();
         let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
         let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
-        LoadStats {
+        Ok(LoadStats {
             max,
             min,
             mean,
             imbalance,
-        }
+        })
     }
 }
 
-/// Vertex-load statistics of a partition.
+/// Vertex-load statistics of a partition. Infallible: [`Partition`]
+/// guarantees `k >= 1`.
 pub fn vertex_balance(part: &Partition) -> LoadStats {
-    LoadStats::from_loads(&part.loads())
+    LoadStats::from_loads(&part.loads()).expect("Partition guarantees k >= 1")
 }
 
 /// Edge-load statistics: machine `i`'s load is the total degree of its
 /// hosted vertices (the size of its RVP input, `O~(m/k + Δ)` w.h.p. per
 /// Lemma 4.1 of Klauck et al., quoted in the proof of Theorem 5).
-pub fn edge_balance(g: &CsrGraph, part: &Partition) -> LoadStats {
-    assert_eq!(g.n(), part.n(), "partition size mismatch");
+///
+/// Returns [`BalanceError::SizeMismatch`] if `g` and `part` disagree on
+/// the vertex count.
+pub fn edge_balance(g: &CsrGraph, part: &Partition) -> Result<LoadStats, BalanceError> {
+    if g.n() != part.n() {
+        return Err(BalanceError::SizeMismatch {
+            graph_n: g.n(),
+            partition_n: part.n(),
+        });
+    }
     let mut loads = vec![0usize; part.k()];
     for v in g.vertices() {
         loads[part.home(v)] += g.degree(v);
@@ -72,11 +120,32 @@ mod tests {
 
     #[test]
     fn stats_basics() {
-        let s = LoadStats::from_loads(&[4, 6, 5]);
+        let s = LoadStats::from_loads(&[4, 6, 5]).unwrap();
         assert_eq!(s.max, 6);
         assert_eq!(s.min, 4);
         assert!((s.mean - 5.0).abs() < 1e-12);
         assert!((s.imbalance - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_loads_are_an_error_not_a_panic() {
+        assert_eq!(LoadStats::from_loads(&[]), Err(BalanceError::NoMachines));
+    }
+
+    #[test]
+    fn size_mismatch_is_an_error_not_a_panic() {
+        let g = star(10);
+        let p = Partition::by_hash(12, 3, 1);
+        assert_eq!(
+            edge_balance(&g, &p),
+            Err(BalanceError::SizeMismatch {
+                graph_n: 10,
+                partition_n: 12
+            })
+        );
+        // Errors render a readable message.
+        let msg = BalanceError::NoMachines.to_string();
+        assert!(msg.contains("no machines"));
     }
 
     #[test]
@@ -92,7 +161,7 @@ mod tests {
     fn star_edge_load_concentrates_at_hub_machine() {
         let g = star(1000);
         let p = Partition::by_hash(1000, 10, 3);
-        let s = edge_balance(&g, &p);
+        let s = edge_balance(&g, &p).unwrap();
         // Hub machine holds ~n-1 endpoints, others ~n/k.
         assert!(s.max >= 999);
         assert!(s.imbalance > 2.0);
@@ -103,7 +172,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let g = gnp(800, 0.05, &mut rng);
         let p = Partition::random_vertex(800, 8, &mut rng);
-        let s = edge_balance(&g, &p);
+        let s = edge_balance(&g, &p).unwrap();
         assert!(s.imbalance < 1.5, "imbalance={}", s.imbalance);
     }
 }

@@ -1,66 +1,29 @@
 //! Random-vertex-partition helpers: distributing a concrete graph.
 //!
 //! Under RVP the home machine of `v` learns `v`'s full incident edge list
-//! (for digraphs: the out-edges; Section 1.1). These helpers materialize
-//! exactly that local knowledge, which is what the simulator hands to each
-//! machine as its input `p_i`.
+//! (for digraphs: the out-edges; Section 1.1). The materialization of that
+//! local knowledge is the [`crate::dist`] layer — [`distribute_undirected`]
+//! and [`distribute_directed`] are thin convenience wrappers over
+//! [`DistGraphBuilder`] for callers that want just the locals; algorithms
+//! should use the builder directly to also get the balance diagnostics.
 
 use crate::csr::CsrGraph;
 use crate::digraph::DiGraph;
-use crate::ids::{Edge, MachineIdx, Vertex};
+use crate::dist::{DistGraphBuilder, LocalGraph};
+use crate::ids::{Edge, MachineIdx};
 use crate::partition::Partition;
-
-/// The local input of one machine under RVP: its vertices and, for each,
-/// the incident (out-)edges.
-#[derive(Debug, Clone, Default)]
-pub struct LocalGraph {
-    /// Vertices homed at this machine, ascending.
-    pub vertices: Vec<Vertex>,
-    /// `adjacency[i]` = neighbors (or out-neighbors) of `vertices[i]`.
-    pub adjacency: Vec<Vec<Vertex>>,
-}
-
-impl LocalGraph {
-    /// Total number of incident edge endpoints stored here.
-    pub fn edge_endpoints(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).sum()
-    }
-
-    /// Iterator over `(v, neighbors)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (Vertex, &[Vertex])> + '_ {
-        self.vertices
-            .iter()
-            .zip(&self.adjacency)
-            .map(|(&v, ns)| (v, ns.as_slice()))
-    }
-}
+use std::sync::Arc;
 
 /// Splits an undirected graph per the partition: machine `i` receives its
 /// vertices with their full adjacency lists.
-pub fn distribute_undirected(g: &CsrGraph, part: &Partition) -> Vec<LocalGraph> {
-    assert_eq!(g.n(), part.n(), "partition size mismatch");
-    let mut locals = vec![LocalGraph::default(); part.k()];
-    for (i, local) in locals.iter_mut().enumerate() {
-        for &v in part.members(i) {
-            local.vertices.push(v);
-            local.adjacency.push(g.neighbors(v).to_vec());
-        }
-    }
-    locals
+pub fn distribute_undirected(g: &CsrGraph, part: &Arc<Partition>) -> Vec<LocalGraph> {
+    DistGraphBuilder::new(part).undirected(g).into_locals()
 }
 
 /// Splits a digraph per the partition: machine `i` receives its vertices
 /// with their out-adjacency lists.
-pub fn distribute_directed(g: &DiGraph, part: &Partition) -> Vec<LocalGraph> {
-    assert_eq!(g.n(), part.n(), "partition size mismatch");
-    let mut locals = vec![LocalGraph::default(); part.k()];
-    for (i, local) in locals.iter_mut().enumerate() {
-        for &v in part.members(i) {
-            local.vertices.push(v);
-            local.adjacency.push(g.out_neighbors(v).to_vec());
-        }
-    }
-    locals
+pub fn distribute_directed(g: &DiGraph, part: &Arc<Partition>) -> Vec<LocalGraph> {
+    DistGraphBuilder::new(part).directed(g).into_locals()
 }
 
 /// The set of undirected edges *known* to machine `i` under RVP (an edge is
@@ -84,23 +47,23 @@ mod tests {
     #[test]
     fn locals_cover_graph_exactly_once() {
         let g = star(8);
-        let part = Partition::by_hash(8, 3, 7);
+        let part = Arc::new(Partition::by_hash(8, 3, 7));
         let locals = distribute_undirected(&g, &part);
-        let total_vertices: usize = locals.iter().map(|l| l.vertices.len()).sum();
+        let total_vertices: usize = locals.iter().map(LocalGraph::hosted).sum();
         assert_eq!(total_vertices, 8);
-        let total_endpoints: usize = locals.iter().map(|l| l.edge_endpoints()).sum();
+        let total_endpoints: usize = locals.iter().map(LocalGraph::edge_endpoints).sum();
         assert_eq!(total_endpoints, 2 * g.m());
     }
 
     #[test]
     fn directed_locals_hold_out_edges() {
         let g = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (3, 0)]);
-        let part = Partition::from_assignment(2, vec![0, 1, 1, 0]);
+        let part = Arc::new(Partition::from_assignment(2, vec![0, 1, 1, 0]));
         let locals = distribute_directed(&g, &part);
         let m0 = &locals[0];
-        assert_eq!(m0.vertices, vec![0, 3]);
-        assert_eq!(m0.adjacency[0], vec![1, 2]);
-        assert_eq!(m0.adjacency[1], vec![0]);
+        assert_eq!(m0.vertices(), &[0, 3]);
+        assert_eq!(m0.neighbors(0), &[1, 2]);
+        assert_eq!(m0.neighbors(1), &[0]);
         assert_eq!(locals[1].edge_endpoints(), 0);
     }
 

@@ -1,0 +1,169 @@
+//! Property tests for the `km_graph::dist` layer: the union of all
+//! `LocalGraph`s must reconstruct the global graph exactly — every edge
+//! endpoint conserved, nothing duplicated — across partition models and
+//! undirected / directed / weighted inputs.
+
+use km_graph::dist::{DistGraph, DistGraphBuilder, LocalGraph};
+use km_graph::partition::PartitionModel;
+use km_graph::{CsrGraph, DiGraph, Partition, Vertex, WeightedGraph};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+const N: usize = 30;
+
+/// Builds a partition of the requested model from a test-chosen selector.
+fn partition(model: u8, n: usize, k: usize, seed: u64) -> Arc<Partition> {
+    let part = match model % 3 {
+        0 => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            Partition::random_vertex(n, k, &mut rng)
+        }
+        1 => Partition::by_hash(n, k, seed),
+        _ => Partition::round_robin(n, k),
+    };
+    Arc::new(part)
+}
+
+/// Every hosted vertex appears on exactly one machine, in partition order,
+/// and the recorded edge loads match the stored endpoints.
+fn check_shell(d: &DistGraph, part: &Partition) {
+    let mut hosted_total = 0;
+    for (i, l) in d.locals().iter().enumerate() {
+        assert_eq!(l.machine(), i);
+        assert_eq!(l.vertices(), part.members(i));
+        assert_eq!(l.hosted(), part.members(i).len());
+        assert_eq!(l.edge_endpoints(), d.edge_loads()[i]);
+        for (j, &v) in l.vertices().iter().enumerate() {
+            assert_eq!(l.local(v), Some(j));
+        }
+        hosted_total += l.hosted();
+    }
+    assert_eq!(hosted_total, part.n());
+}
+
+/// All `(v, neighbor)` pairs stored across machines, in sorted order.
+fn union_pairs(d: &DistGraph) -> Vec<(Vertex, Vertex)> {
+    let mut pairs: Vec<(Vertex, Vertex)> = d
+        .locals()
+        .iter()
+        .flat_map(|l| l.iter().flat_map(|(v, ns)| ns.iter().map(move |&w| (v, w))))
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+proptest! {
+    /// Undirected: the union of local adjacency equals the global CSR
+    /// exactly (each endpoint once — conservation and no duplication).
+    #[test]
+    fn undirected_reconstructs_exactly(
+        edges in proptest::collection::vec((0u32..N as u32, 0u32..N as u32), 0..150),
+        k in 1usize..9,
+        model in 0u8..3,
+        seed in 0u64..1_000,
+    ) {
+        let g = CsrGraph::from_edges(N, &edges);
+        let part = partition(model, N, k, seed);
+        let d = DistGraphBuilder::new(&part).undirected(&g);
+        check_shell(&d, &part);
+        let mut want: Vec<(Vertex, Vertex)> = g
+            .vertices()
+            .flat_map(|v| g.neighbors(v).iter().map(move |&w| (v, w)))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(union_pairs(&d), want);
+        // Balance stats agree with the partition-level diagnostics.
+        let want_e = km_graph::partition::balance::edge_balance(&g, &part).unwrap();
+        prop_assert_eq!(d.edge_balance(), want_e);
+    }
+
+    /// Directed: the union of local out-adjacency equals the arc set, and
+    /// `host_targets` is exactly the receiver side of every arc.
+    #[test]
+    fn directed_reconstructs_exactly(
+        arcs in proptest::collection::vec((0u32..N as u32, 0u32..N as u32), 0..150),
+        k in 1usize..9,
+        model in 0u8..3,
+        seed in 0u64..1_000,
+    ) {
+        let g = DiGraph::from_arcs(N, &arcs);
+        let part = partition(model, N, k, seed);
+        let d = DistGraphBuilder::new(&part).directed(&g);
+        check_shell(&d, &part);
+        let mut want: Vec<(Vertex, Vertex)> = g.arcs().collect();
+        want.sort_unstable();
+        prop_assert_eq!(union_pairs(&d), want);
+        // host_targets: for every arc u -> v, v's home machine must list
+        // v's local index under source u...
+        let mut host_pairs = 0usize;
+        for (u, v) in g.arcs() {
+            let l = &d.locals()[part.home(v)];
+            let j = l.local(v).unwrap() as u32;
+            let targets = l.host_targets(u).expect("arc receiver must be indexed");
+            prop_assert!(targets.contains(&j), "arc ({u},{v}) missing from host_targets");
+        }
+        // ...and nothing else is listed (total entries == arc count).
+        for l in d.locals() {
+            for v in 0..N as Vertex {
+                if let Some(ts) = l.host_targets(v) {
+                    host_pairs += ts.len();
+                    // Each listed target really is an out-neighbor of v.
+                    for &j in ts {
+                        let w = l.vertex(j as usize);
+                        prop_assert!(g.has_arc(v, w));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(host_pairs, g.m());
+    }
+
+    /// Weighted: adjacency and weights reconstruct the global weighted
+    /// graph exactly.
+    #[test]
+    fn weighted_reconstructs_exactly(
+        edges in proptest::collection::vec(((0u32..N as u32, 0u32..N as u32), 0.0f64..10.0), 0..120),
+        k in 1usize..9,
+        model in 0u8..3,
+        seed in 0u64..1_000,
+    ) {
+        let (pairs, ws): (Vec<_>, Vec<_>) = edges.into_iter().unzip();
+        let g = WeightedGraph::from_weighted_edges(N, &pairs, &ws);
+        let part = partition(model, N, k, seed);
+        let d = DistGraphBuilder::new(&part).weighted(&g);
+        check_shell(&d, &part);
+        let mut got: Vec<(Vertex, Vertex, f64)> = d
+            .locals()
+            .iter()
+            .flat_map(|l: &LocalGraph| {
+                l.vertices().iter().enumerate().flat_map(move |(j, &v)| {
+                    l.neighbors(j)
+                        .iter()
+                        .zip(l.neighbor_weights(j))
+                        .map(move |(&w, &wt)| (v, w, wt))
+                })
+            })
+            .collect();
+        got.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut want: Vec<(Vertex, Vertex, f64)> = (0..g.n() as Vertex)
+            .flat_map(|v| {
+                g.neighbors(v)
+                    .iter()
+                    .zip(g.neighbor_weights(v))
+                    .map(move |(&w, &wt)| (v, w, wt))
+            })
+            .collect();
+        want.sort_unstable_by_key(|a| (a.0, a.1));
+        prop_assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn partition_models_cover_all_three() {
+    // The selector really exercises all three models.
+    assert_eq!(partition(0, 10, 2, 1).model(), PartitionModel::RandomVertex);
+    assert_eq!(partition(1, 10, 2, 1).model(), PartitionModel::Hashed);
+    assert_eq!(partition(2, 10, 2, 1).model(), PartitionModel::RoundRobin);
+}

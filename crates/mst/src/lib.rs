@@ -27,7 +27,7 @@ use km_core::{
     id_bits, run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx,
     Runner, Status, WireSize,
 };
-use km_graph::{Edge, Partition, Vertex, WeightedGraph};
+use km_graph::{DistGraphBuilder, Edge, LocalGraph, Partition, Vertex, WeightedGraph};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -164,8 +164,8 @@ enum Half {
 #[derive(Debug)]
 pub struct BoruvkaMst {
     n: usize,
-    vertices: Vec<Vertex>,
-    adjacency: Vec<Vec<(Vertex, f64)>>,
+    /// This machine's RVP input (hosted vertices + weighted adjacency).
+    lg: LocalGraph,
     /// Component label of every vertex (identical on all machines: it is
     /// a deterministic function of the broadcast choice sets).
     labels: Vec<Vertex>,
@@ -188,39 +188,29 @@ pub struct BoruvkaMst {
 }
 
 impl BoruvkaMst {
-    /// Builds one protocol instance per machine.
+    /// Builds one protocol instance per machine (one fused pass over the
+    /// global graph via [`DistGraphBuilder`]).
     pub fn build_all(g: &WeightedGraph, part: &Arc<Partition>) -> Vec<BoruvkaMst> {
-        assert_eq!(g.n(), part.n(), "partition size mismatch");
-        (0..part.k())
-            .map(|i| {
-                let vertices: Vec<Vertex> = part.members(i).to_vec();
-                let adjacency = vertices
-                    .iter()
-                    .map(|&v| {
-                        g.neighbors(v)
-                            .iter()
-                            .copied()
-                            .zip(g.neighbor_weights(v).iter().copied())
-                            .collect()
-                    })
-                    .collect();
-                BoruvkaMst {
-                    n: g.n(),
-                    vertices,
-                    adjacency,
-                    labels: (0..g.n() as Vertex).collect(),
-                    proxy_best: BTreeMap::new(),
-                    phase_chosen: Vec::new(),
-                    half: Half::Gather,
-                    parity: false,
-                    flushes: 0,
-                    flush_produced: 0,
-                    my_produced: 0,
-                    pending: Vec::new(),
-                    finished: false,
-                    forest: Vec::new(),
-                    phases: 0,
-                }
+        let n = g.n();
+        DistGraphBuilder::new(part)
+            .weighted(g)
+            .into_locals()
+            .into_iter()
+            .map(|lg| BoruvkaMst {
+                n,
+                lg,
+                labels: (0..n as Vertex).collect(),
+                proxy_best: BTreeMap::new(),
+                phase_chosen: Vec::new(),
+                half: Half::Gather,
+                parity: false,
+                flushes: 0,
+                flush_produced: 0,
+                my_produced: 0,
+                pending: Vec::new(),
+                finished: false,
+                forest: Vec::new(),
+                phases: 0,
             })
             .collect()
     }
@@ -229,9 +219,9 @@ impl BoruvkaMst {
     /// vertices and route them to the components' proxy machines.
     fn gather(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<MstMsg>) {
         let mut best: BTreeMap<Vertex, Cand> = BTreeMap::new();
-        for (j, &v) in self.vertices.iter().enumerate() {
+        for (j, &v) in self.lg.vertices().iter().enumerate() {
             let lv = self.labels[v as usize];
-            for &(u, w) in &self.adjacency[j] {
+            for (&u, &w) in self.lg.neighbors(j).iter().zip(self.lg.neighbor_weights(j)) {
                 if self.labels[u as usize] == lv {
                     continue;
                 }

@@ -60,12 +60,14 @@ impl CongestPageRank {
 
     /// This machine's output.
     pub fn output(&self) -> PrOutput {
+        let n = self.st.g.global_n();
         let estimates = self
             .st
-            .vertices
+            .g
+            .vertices()
             .iter()
             .zip(&self.st.visits)
-            .map(|(&v, &psi)| (v, self.cfg.estimate(self.st.n, psi)))
+            .map(|(&v, &psi)| (v, self.cfg.estimate(n, psi)))
             .collect();
         PrOutput { estimates }
     }
@@ -83,12 +85,12 @@ impl CongestPageRank {
 
     fn step(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<PrMsg>) {
         let me = ctx.me;
-        let n = self.st.n;
+        let n = self.st.g.global_n();
         let eps = self.cfg.reset_prob;
         let mut survivors_total = 0;
         let mut staged_local: Vec<(usize, u64)> = Vec::new();
 
-        for j in 0..self.st.vertices.len() {
+        for j in 0..self.st.g.hosted() {
             let t = std::mem::take(&mut self.st.tokens[j]);
             if t == 0 {
                 continue;
@@ -98,7 +100,7 @@ impl CongestPageRank {
             if live == 0 {
                 continue;
             }
-            let outs = &self.st.out_adj[j];
+            let outs = self.st.g.neighbors(j);
             if outs.is_empty() {
                 continue;
             }
@@ -110,9 +112,9 @@ impl CongestPageRank {
                 *alpha_u.entry(v).or_insert(0) += 1;
             }
             for (v, c) in alpha_u {
-                let home = self.st.part.home(v);
+                let home = self.st.g.home(v);
                 if home == me {
-                    let lj = self.st.index[&v];
+                    let lj = self.st.g.local(v).expect("home(v) == me implies hosted");
                     staged_local.push((lj, c));
                 } else {
                     // One message per (u, v) edge — no cross-vertex merge.

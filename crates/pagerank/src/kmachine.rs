@@ -35,9 +35,9 @@ use km_core::{
     id_bits, run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx,
     Runner, Status, WireSize,
 };
-use km_graph::{DiGraph, Partition, Vertex};
+use km_graph::{DiGraph, DistGraphBuilder, LocalGraph, Partition, Vertex};
 use rand::Rng;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Message payload of Algorithm 1.
@@ -123,21 +123,14 @@ pub(crate) fn binomial<R: Rng>(rng: &mut R, trials: u64, p: f64) -> u64 {
     hits
 }
 
-/// The per-machine state shared by Algorithm 1 and the CONGEST baseline.
+/// The per-machine state shared by Algorithm 1 and the CONGEST baseline:
+/// the shared graph-state layer ([`LocalGraph`]: hosted vertices,
+/// global↔local index, out-adjacency, receiver-side `host_targets`) plus
+/// the token and visit counters.
 #[derive(Debug)]
 pub(crate) struct LocalState {
-    pub n: usize,
-    /// Hosted vertices (ascending).
-    pub vertices: Vec<Vertex>,
-    /// Global id → local index.
-    pub index: HashMap<Vertex, usize>,
-    /// Out-adjacency per local vertex.
-    pub out_adj: Vec<Vec<Vertex>>,
-    /// `u → hosted out-neighbors of u` (receiver side of the heavy path;
-    /// derivable from the hosted vertices' in-edges).
-    pub host_targets: HashMap<Vertex, Vec<usize>>,
-    /// The shared vertex→machine map (the public hash function).
-    pub part: Arc<Partition>,
+    /// This machine's RVP input.
+    pub g: LocalGraph,
     /// Current tokens per local vertex.
     pub tokens: Vec<u64>,
     /// Visit counts ψ per local vertex.
@@ -147,35 +140,19 @@ pub(crate) struct LocalState {
 impl LocalState {
     /// Builds the local state of every machine from the global input —
     /// machine `i` sees only what RVP gives it (its vertices, their
-    /// out-edges and in-edges) plus the shared hash function.
+    /// out-edges and in-edges) plus the shared hash function. One fused
+    /// pass over the global graph via [`DistGraphBuilder`].
     pub fn build_all(g: &DiGraph, part: &Arc<Partition>, cfg: &PrConfig) -> Vec<LocalState> {
-        assert_eq!(g.n(), part.n(), "partition size mismatch");
-        (0..part.k())
-            .map(|i| {
-                let vertices: Vec<Vertex> = part.members(i).to_vec();
-                let index: HashMap<Vertex, usize> =
-                    vertices.iter().enumerate().map(|(j, &v)| (v, j)).collect();
-                let out_adj: Vec<Vec<Vertex>> = vertices
-                    .iter()
-                    .map(|&v| g.out_neighbors(v).to_vec())
-                    .collect();
-                let mut host_targets: HashMap<Vertex, Vec<usize>> = HashMap::new();
-                for (j, &v) in vertices.iter().enumerate() {
-                    for &u in g.in_neighbors(v) {
-                        host_targets.entry(u).or_default().push(j);
-                    }
-                }
-                let tokens = vec![cfg.tokens_per_vertex; vertices.len()];
-                let visits = vec![cfg.tokens_per_vertex; vertices.len()];
+        DistGraphBuilder::new(part)
+            .directed(g)
+            .into_locals()
+            .into_iter()
+            .map(|lg| {
+                let hosted = lg.hosted();
                 LocalState {
-                    n: g.n(),
-                    vertices,
-                    index,
-                    out_adj,
-                    host_targets,
-                    part: Arc::clone(part),
-                    tokens,
-                    visits,
+                    g: lg,
+                    tokens: vec![cfg.tokens_per_vertex; hosted],
+                    visits: vec![cfg.tokens_per_vertex; hosted],
                 }
             })
             .collect()
@@ -183,9 +160,9 @@ impl LocalState {
 
     /// Receives `count` tokens addressed to vertex `v` (must be hosted).
     pub fn arrive_at_vertex(&mut self, v: Vertex, count: u64) {
-        let j = *self
-            .index
-            .get(&v)
+        let j = self
+            .g
+            .local(v)
             .expect("Count message for a non-hosted vertex");
         self.tokens[j] += count;
         self.visits[j] += count;
@@ -195,12 +172,12 @@ impl LocalState {
     /// uniform hosted out-neighbor of `u` (lines 31–36 of Algorithm 1).
     pub fn arrive_from_heavy<R: Rng>(&mut self, rng: &mut R, u: Vertex, count: u64) {
         let targets = self
-            .host_targets
-            .get(&u)
+            .g
+            .host_targets(u)
             .expect("Heavy message but no hosted out-neighbor of u");
         debug_assert!(!targets.is_empty());
         for _ in 0..count {
-            let j = targets[rng.gen_range(0..targets.len())];
+            let j = targets[rng.gen_range(0..targets.len())] as usize;
             self.tokens[j] += 1;
             self.visits[j] += 1;
         }
@@ -265,12 +242,14 @@ impl KmPageRank {
     /// This machine's output: `(vertex, PageRank estimate)` for every
     /// hosted vertex.
     pub fn output(&self) -> PrOutput {
+        let n = self.st.g.global_n();
         let estimates = self
             .st
-            .vertices
+            .g
+            .vertices()
             .iter()
             .zip(&self.st.visits)
-            .map(|(&v, &psi)| (v, self.cfg.estimate(self.st.n, psi)))
+            .map(|(&v, &psi)| (v, self.cfg.estimate(n, psi)))
             .collect();
         PrOutput { estimates }
     }
@@ -278,7 +257,8 @@ impl KmPageRank {
     /// Raw visit counters (for conservation tests).
     pub fn visits(&self) -> impl Iterator<Item = (Vertex, u64)> + '_ {
         self.st
-            .vertices
+            .g
+            .vertices()
             .iter()
             .copied()
             .zip(self.st.visits.iter().copied())
@@ -305,7 +285,7 @@ impl KmPageRank {
     fn step(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<PrMsg>) {
         let k = ctx.k;
         let me = ctx.me;
-        let n = self.st.n;
+        let n = self.st.g.global_n();
         let eps = self.cfg.reset_prob;
         let mut survivors_total: u64 = 0;
         // α aggregated across all light vertices (BTreeMap: deterministic
@@ -314,7 +294,7 @@ impl KmPageRank {
         // Locally-arriving tokens are staged so a token moves once per step.
         let mut staged_local: Vec<(usize, u64)> = Vec::new();
 
-        for j in 0..self.st.vertices.len() {
+        for j in 0..self.st.g.hosted() {
             let t = std::mem::take(&mut self.st.tokens[j]);
             if t == 0 {
                 continue;
@@ -324,7 +304,7 @@ impl KmPageRank {
             if live == 0 {
                 continue;
             }
-            let outs = &self.st.out_adj[j];
+            let outs = self.st.g.neighbors(j);
             if outs.is_empty() {
                 continue; // dangling vertex: survivors terminate too
             }
@@ -338,11 +318,11 @@ impl KmPageRank {
                 }
             } else {
                 // Heavy: sample a machine per token ∝ n_{j,u}/d_u.
-                let u = self.st.vertices[j];
+                let u = self.st.g.vertex(j);
                 let mut cum: Vec<(u64, usize)> = Vec::new(); // (cumulative, machine)
                 let mut machine_counts: BTreeMap<usize, u64> = BTreeMap::new();
                 for &v in outs {
-                    *machine_counts.entry(self.st.part.home(v)).or_insert(0) += 1;
+                    *machine_counts.entry(self.st.g.home(v)).or_insert(0) += 1;
                 }
                 let mut acc = 0;
                 for (&m, &c) in &machine_counts {
@@ -359,9 +339,13 @@ impl KmPageRank {
                 for (&j_m, &c) in &beta {
                     if j_m == me {
                         // Our own share: forward to uniform hosted neighbors.
-                        let targets = &self.st.host_targets[&u];
+                        let targets = self
+                            .st
+                            .g
+                            .host_targets(u)
+                            .expect("heavy vertex with no hosted out-neighbor here");
                         for _ in 0..c {
-                            let tj = targets[ctx.rng.gen_range(0..targets.len())];
+                            let tj = targets[ctx.rng.gen_range(0..targets.len())] as usize;
                             staged_local.push((tj, 1));
                         }
                     } else {
@@ -373,9 +357,9 @@ impl KmPageRank {
 
         // Emit α messages (or deliver locally).
         for (v, c) in alpha {
-            let home = self.st.part.home(v);
+            let home = self.st.g.home(v);
             if home == me {
-                let j = self.st.index[&v];
+                let j = self.st.g.local(v).expect("home(v) == me implies hosted");
                 staged_local.push((j, c));
             } else {
                 out.send(home, PrMsg::count(n, self.parity, v, c));

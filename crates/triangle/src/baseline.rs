@@ -14,7 +14,7 @@ use km_core::{
     Runner, Status, WireSize,
 };
 use km_graph::ids::Triangle;
-use km_graph::{CsrGraph, Edge, Partition, Vertex};
+use km_graph::{CsrGraph, DistGraphBuilder, Edge, LocalGraph, Partition, Vertex};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -45,9 +45,8 @@ impl WireSize for BcastMsg {
 #[derive(Debug)]
 pub struct BroadcastTriangle {
     n: usize,
-    vertices: Vec<Vertex>,
-    adjacency: Vec<Vec<Vertex>>,
-    part: Arc<Partition>,
+    /// This machine's RVP input (hosted vertices + adjacency + partition).
+    lg: LocalGraph,
     edges: BTreeSet<Edge>,
     flushes: usize,
     finished: bool,
@@ -56,23 +55,21 @@ pub struct BroadcastTriangle {
 }
 
 impl BroadcastTriangle {
-    /// Builds one protocol instance per machine.
+    /// Builds one protocol instance per machine (one fused pass via
+    /// [`DistGraphBuilder`]).
     pub fn build_all(g: &CsrGraph, part: &Arc<Partition>) -> Vec<BroadcastTriangle> {
-        assert_eq!(g.n(), part.n(), "partition size mismatch");
-        (0..part.k())
-            .map(|i| {
-                let vertices: Vec<Vertex> = part.members(i).to_vec();
-                let adjacency = vertices.iter().map(|&v| g.neighbors(v).to_vec()).collect();
-                BroadcastTriangle {
-                    n: g.n(),
-                    vertices,
-                    adjacency,
-                    part: Arc::clone(part),
-                    edges: BTreeSet::new(),
-                    flushes: 0,
-                    finished: false,
-                    triangles: Vec::new(),
-                }
+        let n = g.n();
+        DistGraphBuilder::new(part)
+            .undirected(g)
+            .into_locals()
+            .into_iter()
+            .map(|lg| BroadcastTriangle {
+                n,
+                lg,
+                edges: BTreeSet::new(),
+                flushes: 0,
+                finished: false,
+                triangles: Vec::new(),
             })
             .collect()
     }
@@ -101,11 +98,12 @@ impl Protocol for BroadcastTriangle {
     ) -> Status {
         if ctx.round == 0 {
             let bits = (2 * id_bits(self.n)) as u32;
-            for (j, &v) in self.vertices.iter().enumerate() {
-                for &w in &self.adjacency[j] {
+            for j in 0..self.lg.hosted() {
+                let v = self.lg.vertex(j);
+                for &w in self.lg.neighbors(j) {
                     // Canonical owner: the home of the smaller endpoint.
                     let e = Edge::new(v, w);
-                    if self.part.home(e.u) == ctx.me && v == e.u {
+                    if self.lg.home(e.u) == ctx.me && v == e.u {
                         self.edges.insert(e);
                         out.broadcast(ctx.me, BcastMsg::Edge { e, bits });
                     }

@@ -29,8 +29,9 @@ use km_core::{
     Runner, Status, WireSize,
 };
 use km_core::{rng::keyed_hash, MachineIdx};
+use km_graph::dist::EdgeListAdjacency;
 use km_graph::ids::Triangle;
-use km_graph::{CsrGraph, Edge, Partition, Vertex};
+use km_graph::{CsrGraph, DistGraphBuilder, Edge, LocalGraph, Partition, Vertex};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -223,9 +224,8 @@ impl Default for TriConfig {
 #[derive(Debug)]
 pub struct KmTriangle {
     n: usize,
-    vertices: Vec<Vertex>,
-    adjacency: Vec<Vec<Vertex>>,
-    part: Arc<Partition>,
+    /// This machine's RVP input (hosted vertices + adjacency + partition).
+    lg: LocalGraph,
     scheme: ColorScheme,
     threshold: usize,
     cfg: TriConfig,
@@ -248,36 +248,34 @@ pub struct KmTriangle {
 }
 
 impl KmTriangle {
-    /// Builds one protocol instance per machine from the global input.
+    /// Builds one protocol instance per machine from the global input
+    /// (one fused pass via [`DistGraphBuilder`]).
     pub fn build_all(g: &CsrGraph, part: &Arc<Partition>, cfg: TriConfig) -> Vec<KmTriangle> {
-        assert_eq!(g.n(), part.n(), "partition size mismatch");
         let k = part.k();
         let scheme = ColorScheme::for_machines(k);
         let threshold = cfg
             .degree_threshold
             .unwrap_or_else(|| (2.0 * k as f64 * (g.n().max(2) as f64).log2()).ceil() as usize);
-        (0..k)
-            .map(|i| {
-                let vertices: Vec<Vertex> = part.members(i).to_vec();
-                let adjacency = vertices.iter().map(|&v| g.neighbors(v).to_vec()).collect();
-                KmTriangle {
-                    n: g.n(),
-                    vertices,
-                    adjacency,
-                    part: Arc::clone(part),
-                    scheme: scheme.clone(),
-                    threshold,
-                    cfg,
-                    hd: BTreeSet::new(),
-                    proxy_edges: Vec::new(),
-                    recv_edges: BTreeSet::new(),
-                    phase: 0,
-                    flushes: 0,
-                    pending: Vec::new(),
-                    finished: false,
-                    triangles: Vec::new(),
-                    open_triads: Vec::new(),
-                }
+        let n = g.n();
+        DistGraphBuilder::new(part)
+            .undirected(g)
+            .into_locals()
+            .into_iter()
+            .map(|lg| KmTriangle {
+                n,
+                lg,
+                scheme: scheme.clone(),
+                threshold,
+                cfg,
+                hd: BTreeSet::new(),
+                proxy_edges: Vec::new(),
+                recv_edges: BTreeSet::new(),
+                phase: 0,
+                flushes: 0,
+                pending: Vec::new(),
+                finished: false,
+                triangles: Vec::new(),
+                open_triads: Vec::new(),
             })
             .collect()
     }
@@ -302,8 +300,8 @@ impl KmTriangle {
 
     /// Phase 0: broadcast designation requests for high-degree vertices.
     fn phase0(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<TriMsg>) {
-        for (j, &v) in self.vertices.iter().enumerate() {
-            if self.adjacency[j].len() >= self.threshold {
+        for (j, &v) in self.lg.vertices().iter().enumerate() {
+            if self.lg.neighbors(j).len() >= self.threshold {
                 self.hd.insert(v);
                 out.broadcast(ctx.me, TriMsg::hd(self.n, 0, v));
             }
@@ -319,18 +317,18 @@ impl KmTriangle {
         let v_hd = self.hd.contains(&e.v);
         match (u_hd, v_hd) {
             // v's request honored: u's home ships (and vice versa).
-            (false, true) => self.part.home(e.u),
-            (true, false) => self.part.home(e.v),
+            (false, true) => self.lg.home(e.u),
+            (true, false) => self.lg.home(e.v),
             // Tie: a shared coin picks which request wins.
             (true, true) => {
                 if keyed_hash(shared ^ TIE_SALT, edge_key(e)) & 1 == 0 {
-                    self.part.home(e.v)
+                    self.lg.home(e.v)
                 } else {
-                    self.part.home(e.u)
+                    self.lg.home(e.u)
                 }
             }
             // No high-degree endpoint: the lower endpoint's home ships.
-            (false, false) => self.part.home(e.u),
+            (false, false) => self.lg.home(e.u),
         }
     }
 
@@ -339,8 +337,8 @@ impl KmTriangle {
     fn phase1(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Outbox<TriMsg>) {
         let shared = ctx.shared_seed;
         let mut known: BTreeSet<Edge> = BTreeSet::new();
-        for (j, &v) in self.vertices.iter().enumerate() {
-            for &w in &self.adjacency[j] {
+        for (v, ns) in self.lg.iter() {
+            for &w in ns {
                 known.insert(Edge::new(v, w));
             }
         }
@@ -468,24 +466,18 @@ impl Protocol for KmTriangle {
 }
 
 /// Enumerates all triangles within an edge set, filtered by `accept`
-/// (each triangle reported once, canonical order).
+/// (each triangle reported once, canonical order). The adjacency view
+/// is the shared [`EdgeListAdjacency`] from the graph-state layer.
 pub(crate) fn enumerate_within(
     edges: &BTreeSet<Edge>,
     accept: impl Fn(Vertex, Vertex, Vertex) -> bool,
 ) -> Vec<Triangle> {
-    let mut adj: HashMap<Vertex, Vec<Vertex>> = HashMap::new();
-    for e in edges {
-        adj.entry(e.u).or_default().push(e.v);
-        adj.entry(e.v).or_default().push(e.u);
-    }
-    for list in adj.values_mut() {
-        list.sort_unstable();
-    }
+    let adj = EdgeListAdjacency::from_edges(edges.iter().copied());
     let mut out = Vec::new();
     for e in edges {
         let (u, v) = (e.u, e.v);
-        let nu = &adj[&u];
-        let nv = &adj[&v];
+        let nu = adj.neighbors_of(u);
+        let nv = adj.neighbors_of(v);
         let mut i = nu.partition_point(|&w| w <= v);
         let mut j = nv.partition_point(|&w| w <= v);
         while i < nu.len() && j < nv.len() {
@@ -516,19 +508,10 @@ pub(crate) fn enumerate_triads_within(
     edges: &BTreeSet<Edge>,
     accept: impl Fn(Vertex, Vertex, Vertex) -> bool,
 ) -> Vec<(Vertex, Vertex, Vertex)> {
-    let mut adj: HashMap<Vertex, Vec<Vertex>> = HashMap::new();
-    for e in edges {
-        adj.entry(e.u).or_default().push(e.v);
-        adj.entry(e.v).or_default().push(e.u);
-    }
-    let mut keys: Vec<Vertex> = adj.keys().copied().collect();
-    keys.sort_unstable();
-    for list in adj.values_mut() {
-        list.sort_unstable();
-    }
+    let adj = EdgeListAdjacency::from_edges(edges.iter().copied());
     let mut out = Vec::new();
-    for &center in &keys {
-        let ns = &adj[&center];
+    for &center in adj.vertices() {
+        let ns = adj.neighbors_of(center);
         for (i, &a) in ns.iter().enumerate() {
             for &b in &ns[i + 1..] {
                 if !edges.contains(&Edge::new(a, b)) && accept(center, a, b) {
