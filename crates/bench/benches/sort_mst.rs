@@ -1,10 +1,12 @@
-//! Criterion benches for the sorting and MST applications.
+//! Criterion benches for the sorting, MST, and sketch-connectivity
+//! applications.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use km_core::NetConfig;
 use km_graph::generators::classic::complete_weighted_random;
+use km_graph::generators::gnp;
 use km_graph::Partition;
-use km_mst::{kruskal, run_boruvka};
+use km_mst::{kruskal, run_boruvka, run_sketch_connectivity, sketch::sketch_spanning_forest};
 use km_sort::{run_sample_sort, SampleSort};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -42,5 +44,25 @@ fn bench_mst(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sort, bench_mst);
+fn bench_sketch_cc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_cc");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let n = 600;
+    let g = gnp(n, 0.01, &mut rng);
+
+    group.bench_function("sequential_driver/G600", |b| {
+        b.iter(|| sketch_spanning_forest(&g, 13))
+    });
+    for k in [4usize, 16] {
+        let part = Arc::new(Partition::by_hash(n, k, 2));
+        let net = NetConfig::polylog(k, n, 3).max_rounds(50_000_000);
+        group.bench_with_input(BenchmarkId::new("distributed/G600", k), &k, |b, _| {
+            b.iter(|| run_sketch_connectivity(&g, &part, net).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort, bench_mst, bench_sketch_cc);
 criterion_main!(benches);

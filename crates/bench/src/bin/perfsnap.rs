@@ -7,6 +7,12 @@
 //! rounds + bits to `BENCH_<date>.json` (or the path given as the first
 //! argument) so each PR can commit a comparable snapshot.
 //!
+//! It additionally runs the `sketch_cc` matrix — sketch connectivity vs
+//! the Borůvka broadcast baseline at n ∈ {10k, 100k} × k ∈ {16, 64, 128}
+//! — into a second file `BENCH_<date>_sketch.json` (or `<out>` with
+//! `_sketch` inserted before the extension), recording each run's
+//! per-machine and per-link received bits next to the `n/k²` prediction.
+//!
 //! Usage: `cargo run --release -p km-bench --bin perfsnap [-- out.json]`
 
 use km_bench::workloads::{dense_delivery_reference, sparse_ring_machines};
@@ -71,6 +77,36 @@ struct Snapshot {
     workloads: Vec<Cell>,
     sparse_fast_path: SparseComparison,
     dist_build: Vec<DistBuildCell>,
+}
+
+/// One cell of the `sketch_cc` matrix: one algorithm on one `(n, k)`.
+#[derive(Serialize)]
+struct SketchCcCell {
+    n: usize,
+    m: usize,
+    k: usize,
+    /// `"sketch"` (`SketchConnectivity`) or `"boruvka"` (`BoruvkaMst`).
+    algo: String,
+    wall_ms: f64,
+    rounds: u64,
+    /// `max_i recv_bits[i]` — the transcript size Lemma 3 bounds.
+    max_recv_bits: u64,
+    /// `max_recv_bits / (k − 1)`: the per-link load that divides into
+    /// rounds; the sketch protocol's falls like `n/k²·polylog`.
+    recv_bits_per_link: u64,
+    /// `Metrics::round_floor` — the Lemma 3 round lower bound implied by
+    /// the transcript.
+    round_floor: u64,
+    /// The GLBT shape `n/k²` this cell is compared against.
+    nk2_prediction: f64,
+}
+
+#[derive(Serialize)]
+struct SketchSnapshot {
+    date: String,
+    host_threads: usize,
+    sketch_cc: Vec<SketchCcCell>,
+    note: String,
 }
 
 /// Best-of-`runs` wall time in milliseconds for `f`.
@@ -142,7 +178,7 @@ fn main() {
     let g = gnp(n, 0.02, &mut rng);
     let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
     let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let wg = WeightedGraph::from_weighted_edges(n, &edges, &ws);
+    let wg = WeightedGraph::from_weighted_edges(n, &edges, &ws).unwrap();
     for &k in &ks {
         let part = Arc::new(Partition::by_hash(n, k, 3));
         let cfg = NetConfig::polylog(k, n, 11).max_rounds(50_000_000);
@@ -238,6 +274,57 @@ fn main() {
         }
     }
 
+    // sketch_cc matrix: the O~(n/k²) sketch protocol vs the Borůvka
+    // broadcast baseline on identical topology.
+    let mut sketch_cc = Vec::new();
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64 + 1);
+        let g = gnm(n, 4 * n, &mut rng);
+        let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
+        let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let wg = WeightedGraph::from_weighted_edges(n, &edges, &ws).unwrap();
+        let runs = if n >= 100_000 { 1 } else { 2 };
+        for &k in &[16usize, 64, 128] {
+            let part = Arc::new(Partition::by_hash(n, k, 5));
+            let cfg = NetConfig::polylog(k, n, 17).max_rounds(500_000_000);
+            let (sketch_ms, (cc, sm)) = best_ms(runs, || {
+                km_mst::run_sketch_connectivity(&g, &part, cfg).unwrap()
+            });
+            let (boruvka_ms, (forest, _, bm)) =
+                best_ms(runs, || km_mst::run_boruvka(&wg, &part, cfg).unwrap());
+            assert_eq!(
+                cc.forest.len(),
+                forest.len(),
+                "both spanning forests cover the same components"
+            );
+            let links = (k - 1) as u64;
+            let nk2 = n as f64 / (k * k) as f64;
+            for (algo, ms, m) in [("sketch", sketch_ms, &sm), ("boruvka", boruvka_ms, &bm)] {
+                sketch_cc.push(SketchCcCell {
+                    n,
+                    m: g.m(),
+                    k,
+                    algo: algo.to_string(),
+                    wall_ms: ms,
+                    rounds: m.rounds,
+                    max_recv_bits: m.max_recv_bits(),
+                    recv_bits_per_link: m.max_recv_bits() / links,
+                    round_floor: m.round_floor(cfg.bandwidth_bits),
+                    nk2_prediction: nk2,
+                });
+            }
+            println!(
+                "sketch_cc      n={n:<7} k={k:<4} sketch {sketch_ms:>9.1} ms \
+                 ({:>12} recv bits, {:>9}/link) vs boruvka {boruvka_ms:>9.1} ms \
+                 ({:>12} recv bits, {:>9}/link)",
+                sm.max_recv_bits(),
+                sm.max_recv_bits() / links,
+                bm.max_recv_bits(),
+                bm.max_recv_bits() / links,
+            );
+        }
+    }
+
     let snap = Snapshot {
         date: today_utc(),
         host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
@@ -251,4 +338,21 @@ fn main() {
     let json = serde_json::to_string_pretty(&snap).expect("serialize snapshot");
     std::fs::write(&out, json + "\n").expect("write snapshot");
     println!("wrote {out}");
+
+    let sketch_snap = SketchSnapshot {
+        date: snap.date.clone(),
+        host_threads: snap.host_threads,
+        sketch_cc,
+        note: "max per-machine recv_bits: the sketch protocol's fall with k (no broadcast; \
+               O~(n/k) total, n/k^2*polylog per link) while boruvka's stay ~flat at Theta~(n); \
+               compare recv_bits_per_link against nk2_prediction across k at fixed n"
+            .to_string(),
+    };
+    let sketch_out = match out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_sketch.json"),
+        None => format!("{out}_sketch.json"),
+    };
+    let json = serde_json::to_string_pretty(&sketch_snap).expect("serialize sketch snapshot");
+    std::fs::write(&sketch_out, json + "\n").expect("write sketch snapshot");
+    println!("wrote {sketch_out}");
 }

@@ -1,6 +1,7 @@
 //! Experiment implementations, grouped by subsystem.
 
 pub mod ablation;
+pub mod conn;
 pub mod glbt;
 pub mod pagerank;
 pub mod partition;
@@ -31,6 +32,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("REP", partition::rep_conversion),
         ("S1", sortmst::s1_sorting),
         ("M1", sortmst::m1_mst),
+        ("CC-UB", conn::cc_sketch_scaling),
         ("GLBT", glbt::glbt_chain),
         ("ABL", ablation::ablations),
     ]

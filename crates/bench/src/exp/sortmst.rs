@@ -62,7 +62,7 @@ pub fn m1_mst(seed: u64) -> Table {
         let g = gnp(1000, 0.01, &mut rng);
         let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
         let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
-        WeightedGraph::from_weighted_edges(1000, &edges, &ws)
+        WeightedGraph::from_weighted_edges(1000, &edges, &ws).unwrap()
     };
     let dense = complete_weighted_random(200, &mut rng);
     let mut rounds_by_k = Vec::new();
@@ -88,7 +88,8 @@ pub fn m1_mst(seed: u64) -> Table {
     let slope = log_log_slope(&xs, &rounds_by_k).unwrap_or(f64::NAN);
     t.note(format!(
         "fitted slope (sparse) {slope:.2}; this Boruvka is O~(n/k) — the optimal O~(n/k^2) of [51] \
-         needs AGM sketches (see DESIGN.md); the paper's contribution here is the Omega~(n/k^2) LB"
+         is the sketch-based km_mst::SketchConnectivity, measured against it in CC-UB \
+         (see DESIGN.md, \"MST and connectivity\")"
     ));
     t
 }

@@ -23,6 +23,7 @@
 //! | REP | REP→RVP conversion `O~(m/k²+n/k)` |
 //! | S1 | sorting `Θ~(n/k²)` |
 //! | M1 | MST correctness + scaling |
+//! | CC-UB | sketch connectivity `O~(n/k²)` vs Borůvka broadcast |
 //! | GLBT | Theorem 1 chain `IC ≤ maxΠ ≤ (B+1)(k−1)T` |
 
 pub mod exp;

@@ -14,7 +14,7 @@
 //! (source → random relay → destination) for raw traffic.
 
 use crate::message::{Envelope, Outbox, WireSize};
-use crate::rng::keyed_hash;
+use crate::rng::{keyed_hash, splitmix64};
 use crate::MachineIdx;
 use rand::Rng;
 
@@ -33,6 +33,91 @@ pub fn lemma13_bound(x: f64, k: usize) -> f64 {
 #[inline]
 pub fn proxy_of(shared_seed: u64, key: u64, k: usize) -> MachineIdx {
     (keyed_hash(shared_seed, key) % k as u64) as MachineIdx
+}
+
+/// [`proxy_of`] re-salted per protocol phase: proxy duty for long-lived
+/// objects (component labels, vertex groups) is reshuffled every phase so
+/// no machine stays the proxy of a heavy object for the whole run. Used
+/// by the sketch-connectivity label service (`km-mst`).
+#[inline]
+pub fn phase_proxy_of(shared_seed: u64, phase: u64, key: u64, k: usize) -> MachineIdx {
+    proxy_of(
+        splitmix64(shared_seed ^ phase.wrapping_mul(0xA24B_AED4_963E_E407)),
+        key,
+        k,
+    )
+}
+
+/// Flush-barrier bookkeeping for multi-stage phase protocols.
+///
+/// The pattern (used by `BoruvkaMst` and the sketch-connectivity label
+/// service in `km-mst`): on entering a stage, a machine sends the stage's
+/// payload messages and then **broadcasts a flush** carrying small
+/// counters. Links are FIFO, so once a machine has collected `k − 1`
+/// flushes of the current parity, every payload message of the stage has
+/// been delivered to it — a full barrier without global coordination.
+/// Messages of the *next* stage can arrive one stage early (the sender
+/// advanced first); callers park them and replay at the flip. Drift can
+/// never exceed one stage, because advancing twice would require the
+/// slow machine's own flush in between.
+///
+/// `PhaseBarrier` tracks the parity, the flush count, and the
+/// element-wise sum of the flush counters; [`PhaseBarrier::ready`] says
+/// when the barrier is complete and [`PhaseBarrier::flip`] returns the
+/// aggregated counters and re-arms for the next stage.
+#[derive(Debug, Clone)]
+pub struct PhaseBarrier<const C: usize> {
+    parity: bool,
+    flushes: usize,
+    agg: [u64; C],
+}
+
+impl<const C: usize> Default for PhaseBarrier<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const C: usize> PhaseBarrier<C> {
+    /// A fresh barrier at parity `false` with zeroed counters.
+    pub fn new() -> Self {
+        PhaseBarrier {
+            parity: false,
+            flushes: 0,
+            agg: [0; C],
+        }
+    }
+
+    /// The current stage parity; outgoing messages (including flushes)
+    /// must be tagged with it, and an incoming message whose parity
+    /// differs belongs to the next stage (park it, replay after `flip`).
+    #[inline]
+    pub fn parity(&self) -> bool {
+        self.parity
+    }
+
+    /// Absorbs one received flush carrying `counts`.
+    pub fn absorb(&mut self, counts: [u64; C]) {
+        self.flushes += 1;
+        for (a, c) in self.agg.iter_mut().zip(counts) {
+            *a += c;
+        }
+    }
+
+    /// Whether all `k − 1` peer flushes of the current stage are in.
+    #[inline]
+    pub fn ready(&self, k: usize) -> bool {
+        self.flushes == k - 1
+    }
+
+    /// Completes the stage: returns the aggregated peer counters and
+    /// re-arms the barrier with flipped parity.
+    pub fn flip(&mut self) -> [u64; C] {
+        let agg = std::mem::replace(&mut self.agg, [0; C]);
+        self.flushes = 0;
+        self.parity = !self.parity;
+        agg
+    }
 }
 
 /// A message travelling via at most one random relay (Valiant routing).
@@ -171,6 +256,45 @@ mod tests {
         for &c in &counts {
             assert!((c as f64) > 700.0 && (c as f64) < 1300.0, "count {c}");
         }
+    }
+
+    #[test]
+    fn phase_proxy_reshuffles_between_phases() {
+        let k = 16;
+        // Deterministic per (seed, phase, key)…
+        assert_eq!(phase_proxy_of(7, 3, 42, k), phase_proxy_of(7, 3, 42, k));
+        // …but the map differs between phases for at least some keys.
+        let moved = (0..1000u64)
+            .filter(|&key| phase_proxy_of(7, 0, key, k) != phase_proxy_of(7, 1, key, k))
+            .count();
+        assert!(moved > 500, "only {moved}/1000 keys moved");
+        // Still roughly uniform within a phase.
+        let mut counts = vec![0usize; k];
+        for key in 0..8000u64 {
+            counts[phase_proxy_of(7, 5, key, k)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 300 && c < 700, "count {c}");
+        }
+    }
+
+    #[test]
+    fn phase_barrier_aggregates_and_flips() {
+        let mut b: PhaseBarrier<2> = PhaseBarrier::new();
+        assert!(!b.parity());
+        assert!(b.ready(1), "k = 1 needs no peer flushes");
+        b.absorb([3, 1]);
+        assert!(!b.ready(3));
+        b.absorb([4, 0]);
+        assert!(b.ready(3));
+        assert_eq!(b.flip(), [7, 1]);
+        // Re-armed: counters cleared, parity flipped.
+        assert!(b.parity());
+        assert!(!b.ready(3));
+        b.absorb([1, 1]);
+        b.absorb([1, 1]);
+        assert_eq!(b.flip(), [2, 2]);
+        assert!(!b.parity());
     }
 
     #[test]

@@ -76,9 +76,13 @@ impl GraphBuilder {
 
     /// Finalizes into a weighted undirected graph.
     ///
+    /// # Errors
+    /// [`crate::error::GraphError::NonFiniteWeight`] if any accumulated
+    /// weight is NaN or ±∞.
+    ///
     /// # Panics
     /// Panics if any edge was added without a weight.
-    pub fn build_weighted(&self) -> WeightedGraph {
+    pub fn build_weighted(&self) -> Result<WeightedGraph, crate::error::GraphError> {
         assert_eq!(
             self.edges.len(),
             self.weights.len(),
@@ -120,9 +124,11 @@ mod tests {
     fn builds_weighted() {
         let mut b = GraphBuilder::new(3);
         b.add_weighted_edge(0, 1, 2.5).add_weighted_edge(1, 2, 0.5);
-        let g = b.build_weighted();
+        let g = b.build_weighted().unwrap();
         assert_eq!(g.m(), 2);
         assert_eq!(g.weight(0, 1), Some(2.5));
+        b.add_weighted_edge(0, 2, f64::NAN);
+        assert!(b.build_weighted().is_err());
     }
 
     #[test]

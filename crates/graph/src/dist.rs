@@ -511,7 +511,8 @@ mod tests {
             4,
             &[(0, 1), (1, 2), (2, 3), (0, 3)],
             &[1.0, 2.0, 3.0, 4.0],
-        );
+        )
+        .unwrap();
         let part = Arc::new(Partition::from_assignment(2, vec![0, 1, 0, 1]));
         let d = DistGraphBuilder::new(&part).weighted(&g);
         for l in d.locals() {

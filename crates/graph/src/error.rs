@@ -1,0 +1,54 @@
+//! Graph-construction errors.
+//!
+//! Policy (shared with `km_core::NetConfig::validate` and
+//! `partition::balance::BalanceError`): conditions reachable from user or
+//! deserialized *input* are `Result`s, not panics; only programmer errors
+//! at call sites (index out of range, mismatched slice lengths) stay
+//! `assert!`s.
+
+use crate::ids::Vertex;
+
+/// Why a graph could not be constructed from the given input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge weight was NaN or ±∞. Weighted-graph invariants (total
+    /// ordering via `f64::total_cmp`, summable forest weights) require
+    /// finite weights, so the constructor rejects the input instead of
+    /// letting a NaN poison comparisons deep inside an algorithm.
+    NonFiniteWeight {
+        /// First endpoint of the offending edge.
+        u: Vertex,
+        /// Second endpoint of the offending edge.
+        v: Vertex,
+        /// The rejected weight (NaN or ±∞).
+        w: f64,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NonFiniteWeight { u, v, w } => {
+                write!(f, "edge ({u},{v}) has non-finite weight {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_edge() {
+        let e = GraphError::NonFiniteWeight {
+            u: 3,
+            v: 7,
+            w: f64::NAN,
+        };
+        let s = e.to_string();
+        assert!(s.contains("(3,7)") && s.contains("non-finite"), "{s}");
+    }
+}

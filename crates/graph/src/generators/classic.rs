@@ -85,6 +85,7 @@ pub fn complete_weighted_random<R: Rng>(n: usize, rng: &mut R) -> WeightedGraph 
         }
     }
     WeightedGraph::from_weighted_edges(n, &edges, &weights)
+        .expect("gen_range(0.0..1.0) weights are finite by construction")
 }
 
 #[cfg(test)]

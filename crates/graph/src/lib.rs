@@ -29,6 +29,7 @@ pub mod builder;
 pub mod csr;
 pub mod digraph;
 pub mod dist;
+pub mod error;
 pub mod generators;
 pub mod ids;
 pub mod partition;
@@ -40,6 +41,7 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use digraph::DiGraph;
 pub use dist::{DistGraph, DistGraphBuilder, LocalGraph};
+pub use error::GraphError;
 pub use ids::{Edge, MachineIdx, Triangle, Vertex};
 pub use partition::{Partition, PartitionModel};
 pub use weighted::WeightedGraph;

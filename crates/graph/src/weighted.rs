@@ -4,13 +4,17 @@
 //! lower bound via the General Lower Bound Theorem on complete graphs with
 //! random edge weights; `km-mst` provides the matching upper bound).
 
+use crate::error::GraphError;
 use crate::ids::{Edge, Vertex};
 
 /// An immutable simple undirected graph with `f64` edge weights.
 ///
-/// Weights are stored once per adjacency entry, aligned with the neighbor
-/// array. Duplicate edges keep the *minimum* weight (the natural semantics
-/// for MST inputs).
+/// Weights are guaranteed **finite** (construction rejects NaN/±∞ with
+/// [`GraphError::NonFiniteWeight`]), so consumers may order them with
+/// `f64::total_cmp` and sum them without poisoning checks. They are
+/// stored once per adjacency entry, aligned with the neighbor array.
+/// Duplicate edges keep the *minimum* weight (the natural semantics for
+/// MST inputs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeightedGraph {
     offsets: Vec<usize>,
@@ -21,10 +25,20 @@ pub struct WeightedGraph {
 impl WeightedGraph {
     /// Builds a weighted graph from parallel edge and weight slices.
     ///
+    /// # Errors
+    /// [`GraphError::NonFiniteWeight`] if any weight is NaN or ±∞ —
+    /// weights typically arrive from user or deserialized input, so this
+    /// is an error, not a panic (the same policy as
+    /// `km_core::NetConfig::validate` and `balance::BalanceError`).
+    ///
     /// # Panics
-    /// Panics if slice lengths differ, endpoints are out of range, or any
-    /// weight is not finite.
-    pub fn from_weighted_edges(n: usize, edges: &[(Vertex, Vertex)], weights: &[f64]) -> Self {
+    /// Panics if slice lengths differ or endpoints are out of range
+    /// (programmer errors at the call site).
+    pub fn from_weighted_edges(
+        n: usize,
+        edges: &[(Vertex, Vertex)],
+        weights: &[f64],
+    ) -> Result<Self, GraphError> {
         assert_eq!(edges.len(), weights.len(), "edges/weights length mismatch");
         let mut clean: Vec<(Vertex, Vertex, f64)> = Vec::with_capacity(edges.len());
         for (&(u, v), &w) in edges.iter().zip(weights) {
@@ -32,18 +46,17 @@ impl WeightedGraph {
                 (u as usize) < n && (v as usize) < n,
                 "edge ({u},{v}) out of range for n={n}"
             );
-            assert!(w.is_finite(), "edge weight must be finite");
+            if !w.is_finite() {
+                return Err(GraphError::NonFiniteWeight { u, v, w });
+            }
             if u != v {
                 let (a, b) = if u < v { (u, v) } else { (v, u) };
                 clean.push((a, b, w));
             }
         }
-        // Sort by endpoints then weight so dedup keeps the minimum weight.
-        clean.sort_unstable_by(|x, y| {
-            (x.0, x.1)
-                .cmp(&(y.0, y.1))
-                .then(x.2.partial_cmp(&y.2).expect("finite weights"))
-        });
+        // Sort by endpoints then weight so dedup keeps the minimum weight
+        // (total_cmp is a genuine total order on the now-finite weights).
+        clean.sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)).then(x.2.total_cmp(&y.2)));
         clean.dedup_by_key(|e| (e.0, e.1));
 
         let mut deg = vec![0usize; n];
@@ -80,11 +93,11 @@ impl WeightedGraph {
             neighbors[lo..hi].copy_from_slice(&nb);
             wts[lo..hi].copy_from_slice(&ww);
         }
-        WeightedGraph {
+        Ok(WeightedGraph {
             offsets,
             neighbors,
             weights: wts,
-        }
+        })
     }
 
     /// Number of vertices.
@@ -157,7 +170,7 @@ mod tests {
 
     #[test]
     fn basic_weights() {
-        let g = WeightedGraph::from_weighted_edges(3, &[(0, 1), (1, 2)], &[1.5, 2.5]);
+        let g = WeightedGraph::from_weighted_edges(3, &[(0, 1), (1, 2)], &[1.5, 2.5]).unwrap();
         assert_eq!(g.weight(0, 1), Some(1.5));
         assert_eq!(g.weight(1, 0), Some(1.5));
         assert_eq!(g.weight(0, 2), None);
@@ -166,15 +179,22 @@ mod tests {
 
     #[test]
     fn duplicate_keeps_minimum() {
-        let g = WeightedGraph::from_weighted_edges(2, &[(0, 1), (1, 0), (0, 1)], &[3.0, 1.0, 2.0]);
+        let g = WeightedGraph::from_weighted_edges(2, &[(0, 1), (1, 0), (0, 1)], &[3.0, 1.0, 2.0])
+            .unwrap();
         assert_eq!(g.m(), 1);
         assert_eq!(g.weight(0, 1), Some(1.0));
     }
 
     #[test]
-    #[should_panic(expected = "finite")]
-    fn rejects_nan() {
-        let _ = WeightedGraph::from_weighted_edges(2, &[(0, 1)], &[f64::NAN]);
+    fn rejects_non_finite_weights_as_errors_not_panics() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err =
+                WeightedGraph::from_weighted_edges(3, &[(0, 1), (1, 2)], &[1.0, bad]).unwrap_err();
+            assert!(
+                matches!(err, GraphError::NonFiniteWeight { u: 1, v: 2, .. }),
+                "{err}"
+            );
+        }
     }
 
     proptest! {
@@ -184,7 +204,7 @@ mod tests {
             edges in proptest::collection::vec(((0u32..20, 0u32..20), 0.0f64..100.0), 0..100)
         ) {
             let (pairs, ws): (Vec<_>, Vec<_>) = edges.into_iter().unzip();
-            let g = WeightedGraph::from_weighted_edges(20, &pairs, &ws);
+            let g = WeightedGraph::from_weighted_edges(20, &pairs, &ws).unwrap();
             for (e, w) in g.weighted_edges() {
                 prop_assert_eq!(g.weight(e.u, e.v), Some(w));
                 prop_assert_eq!(g.weight(e.v, e.u), Some(w));

@@ -130,7 +130,7 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let (pairs, ws): (Vec<_>, Vec<_>) = edges.into_iter().unzip();
-        let g = WeightedGraph::from_weighted_edges(N, &pairs, &ws);
+        let g = WeightedGraph::from_weighted_edges(N, &pairs, &ws).unwrap();
         let part = partition(model, N, k, seed);
         let d = DistGraphBuilder::new(&part).weighted(&g);
         check_shell(&d, &part);

@@ -13,47 +13,102 @@
 //! from it whp. Fresh independent sketch copies per Borůvka phase keep
 //! the randomness sound (sketches are one-shot).
 //!
-//! This module provides the data structure with full tests plus
-//! [`sketch_spanning_forest`], a phase-by-phase connectivity driver that
-//! exercises exactly the per-phase logic the distributed protocol of \[51\]
-//! runs (local XOR per label → component XOR → decode → merge), so the
-//! sketch machinery is validated end to end. (The remaining distributed
-//! plumbing — the pointer-jumping label service — is inventoried in
-//! DESIGN.md as future work.)
+//! This module provides the data structure itself, sized by
+//! [`SketchParams`] (depth and repetition count tuned to the input via
+//! [`SketchParams::for_graph`]), with honest wire accounting
+//! ([`WireSize`]: `reps · levels · (64 + 32 + 1)` bits) and an
+//! XOR-mergeable word serialization ([`L0Sketch::to_words`]) so partial
+//! sketches can be combined on the wire exactly like in memory.
+//! [`sketch_spanning_forest`] is the *sequential* phase-by-phase driver
+//! that validates the per-phase logic; the real distributed protocol —
+//! partial sketches to proxies, decode, and the pointer-jumping label
+//! service — is [`crate::conn::SketchConnectivity`]. (See DESIGN.md
+//! § "MST and connectivity" for the two-algorithm story.)
 
 use km_core::rng::{keyed_hash, splitmix64};
+use km_core::WireSize;
 use km_graph::{CsrGraph, Edge, Vertex};
 
-/// Levels per basic sampler: edge `e` participates in level `ℓ` with
-/// probability `2^{-ℓ}` (level 0 holds every edge).
+/// Default levels per basic sampler: edge `e` participates in level `ℓ`
+/// with probability `2^{-ℓ}` (level 0 holds every edge). 40 levels cover
+/// any edge set this simulator can hold.
 const LEVELS: usize = 40;
 
-/// Independent basic samplers per sketch. One sampler isolates a single
-/// boundary edge at *some* level only with constant probability; `REPS`
-/// independent repetitions drive the failure rate to `O(c^{REPS})` —
-/// this is the standard AGM amplification.
+/// Default number of independent basic samplers per sketch. One sampler
+/// isolates a single boundary edge at *some* level only with constant
+/// probability; `REPS` independent repetitions drive the failure rate to
+/// `O(c^{REPS})` — the standard AGM amplification.
 const REPS: usize = 8;
+
+/// Shape of an [`L0Sketch`]: sampler depth and repetition count.
+///
+/// The defaults (`levels = 40`, `reps = 8`) are failure-proof for any
+/// graph the simulator can hold; [`SketchParams::for_graph`] picks the
+/// smallest honest size for a concrete input, which is what the
+/// distributed protocol ships (its wire cost is
+/// `reps · levels · (64 + 32 + 1)` bits, see [`WireSize`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchParams {
+    /// Geometric sampling depth; must exceed `log₂(boundary size)`.
+    pub levels: usize,
+    /// Independent sampler repetitions (failure rate `O(c^{reps})`).
+    pub reps: usize,
+}
+
+impl Default for SketchParams {
+    fn default() -> Self {
+        SketchParams {
+            levels: LEVELS,
+            reps: REPS,
+        }
+    }
+}
+
+impl SketchParams {
+    /// The smallest honest shape for an `n`-vertex, `m`-edge input: a
+    /// boundary holds at most `m` edges, so `log₂ m + O(1)` levels give
+    /// every boundary a level with ~1 expected survivor, and 4 samplers
+    /// make the per-component per-phase decode failure a small constant
+    /// (failures only defer a merge to the next phase's fresh sketch).
+    pub fn for_graph(n: usize, m: usize) -> Self {
+        let span = (2 * m.max(1)).max(n.max(2));
+        let levels = ((span as f64).log2().ceil() as usize + 6).clamp(12, LEVELS);
+        SketchParams { levels, reps: 4 }
+    }
+
+    /// Logical wire size in bits of one sketch of this shape: per level
+    /// and repetition, a 64-bit key XOR, a 32-bit checksum, and a parity
+    /// bit. `O(polylog n)` — the property that makes `O~(n/k²)`
+    /// connectivity possible.
+    pub fn sketch_bits(&self) -> u64 {
+        (self.reps as u64) * (self.levels as u64) * (64 + 32 + 1)
+    }
+}
 
 /// One basic ℓ₀ sampler: per level, the XOR of the sampled edges'
 /// 64-bit keys plus an independent checksum and a parity bit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct BasicSketch {
-    key_xor: [u64; LEVELS],
-    check_xor: [u32; LEVELS],
-    parity: [u8; LEVELS],
+    key_xor: Vec<u64>,
+    check_xor: Vec<u32>,
+    parity: Vec<u8>,
 }
 
 impl BasicSketch {
-    fn empty() -> Self {
+    fn empty(levels: usize) -> Self {
         BasicSketch {
-            key_xor: [0; LEVELS],
-            check_xor: [0; LEVELS],
-            parity: [0; LEVELS],
+            key_xor: vec![0; levels],
+            check_xor: vec![0; levels],
+            parity: vec![0; levels],
         }
     }
 
+    fn levels(&self) -> usize {
+        self.key_xor.len()
+    }
+
     fn toggle_edge(&mut self, key: u64, seed: u64) {
-        let top = edge_level(seed, key);
+        let top = edge_level(seed, key, self.levels());
         let check = edge_check(seed, key);
         // An edge at level ℓ participates in all levels 0..=ℓ.
         for l in 0..=top {
@@ -64,7 +119,8 @@ impl BasicSketch {
     }
 
     fn xor_in(&mut self, other: &Self) {
-        for l in 0..LEVELS {
+        debug_assert_eq!(self.levels(), other.levels(), "sketch shape mismatch");
+        for l in 0..self.levels() {
             self.key_xor[l] ^= other.key_xor[l];
             self.check_xor[l] ^= other.check_xor[l];
             self.parity[l] ^= other.parity[l];
@@ -75,11 +131,11 @@ impl BasicSketch {
     /// matching checksum (several XOR-ed edges masquerading as one edge
     /// survive the checksum with probability `2^{-32}` per level).
     fn decode(&self, seed: u64) -> Option<Edge> {
-        for l in (0..LEVELS).rev() {
+        for l in (0..self.levels()).rev() {
             if self.parity[l] == 1 && self.key_xor[l] != 0 {
                 let key = self.key_xor[l];
                 if edge_check(seed, key) == self.check_xor[l]
-                    && edge_level(seed, key) >= l
+                    && edge_level(seed, key, self.levels()) >= l
                     && (key >> 32) != (key & 0xFFFF_FFFF)
                 {
                     return Some(key_to_edge(key));
@@ -94,7 +150,8 @@ impl BasicSketch {
     }
 }
 
-/// An AGM ℓ₀-sampling sketch: `REPS` independent basic samplers.
+/// An AGM ℓ₀-sampling sketch: independent basic samplers per
+/// [`SketchParams`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct L0Sketch {
     reps: Vec<BasicSketch>,
@@ -114,8 +171,8 @@ fn key_to_edge(key: u64) -> Edge {
 /// The level assignment of an edge under a given sketch seed: the number
 /// of leading one-bits of its keyed hash (geometric with ratio 1/2).
 #[inline]
-fn edge_level(seed: u64, key: u64) -> usize {
-    (keyed_hash(seed, key).leading_ones() as usize).min(LEVELS - 1)
+fn edge_level(seed: u64, key: u64, levels: usize) -> usize {
+    (keyed_hash(seed, key).leading_ones() as usize).min(levels - 1)
 }
 
 #[inline]
@@ -124,10 +181,25 @@ fn edge_check(seed: u64, key: u64) -> u32 {
 }
 
 impl L0Sketch {
-    /// The empty sketch (identity of XOR).
+    /// The empty sketch (identity of XOR) of the default shape.
     pub fn empty() -> Self {
+        Self::empty_with(SketchParams::default())
+    }
+
+    /// The empty sketch of an explicit shape.
+    pub fn empty_with(params: SketchParams) -> Self {
         L0Sketch {
-            reps: (0..REPS).map(|_| BasicSketch::empty()).collect(),
+            reps: (0..params.reps)
+                .map(|_| BasicSketch::empty(params.levels))
+                .collect(),
+        }
+    }
+
+    /// The shape of this sketch.
+    pub fn params(&self) -> SketchParams {
+        SketchParams {
+            levels: self.reps.first().map_or(0, BasicSketch::levels),
+            reps: self.reps.len(),
         }
     }
 
@@ -140,8 +212,25 @@ impl L0Sketch {
     /// `seed` must be shared by all participants of one phase and *fresh*
     /// across phases.
     pub fn for_vertex(g: &CsrGraph, v: Vertex, seed: u64) -> Self {
-        let mut s = Self::empty();
-        for &w in g.neighbors(v) {
+        Self::for_vertex_with(SketchParams::default(), g, v, seed)
+    }
+
+    /// [`Self::for_vertex`] with an explicit shape.
+    pub fn for_vertex_with(params: SketchParams, g: &CsrGraph, v: Vertex, seed: u64) -> Self {
+        Self::from_neighbors(params, v, g.neighbors(v), seed)
+    }
+
+    /// The sketch of a vertex given its adjacency slice — what a machine
+    /// computes from its `LocalGraph` rows in the distributed protocol,
+    /// with no access to the global graph.
+    pub fn from_neighbors(
+        params: SketchParams,
+        v: Vertex,
+        neighbors: &[Vertex],
+        seed: u64,
+    ) -> Self {
+        let mut s = Self::empty_with(params);
+        for &w in neighbors {
             s.toggle_edge(Edge::new(v, w), seed);
         }
         s
@@ -155,8 +244,10 @@ impl L0Sketch {
         }
     }
 
-    /// Merges another sketch into this one (GF(2) linearity).
+    /// Merges another sketch into this one (GF(2) linearity). Both
+    /// sketches must have the same shape.
     pub fn xor_in(&mut self, other: &Self) {
+        debug_assert_eq!(self.reps.len(), other.reps.len(), "sketch shape mismatch");
         for (a, b) in self.reps.iter_mut().zip(&other.reps) {
             a.xor_in(b);
         }
@@ -164,7 +255,7 @@ impl L0Sketch {
 
     /// Attempts to decode one boundary edge: each repetition is an
     /// independent constant-success-probability sampler, so the first hit
-    /// wins and overall failure is `O(c^{REPS})`.
+    /// wins and overall failure is `O(c^{reps})`.
     pub fn decode(&self, seed: u64) -> Option<Edge> {
         self.reps
             .iter()
@@ -177,12 +268,86 @@ impl L0Sketch {
         self.reps.iter().all(BasicSketch::is_empty)
     }
 
-    /// Logical wire size in bits (what the distributed protocol would
-    /// ship per partial sketch): `REPS · LEVELS · (64 + 32 + 1)` —
-    /// `O(polylog n)`, the property that makes `O~(n/k²)` connectivity
-    /// possible.
+    /// Logical wire size in bits of a default-shape sketch (see
+    /// [`SketchParams::sketch_bits`] for explicit shapes and the
+    /// [`WireSize`] impl for what the engine charges).
     pub fn wire_bits() -> u64 {
-        (REPS as u64) * (LEVELS as u64) * (64 + 32 + 1)
+        SketchParams::default().sketch_bits()
+    }
+
+    /// Serializes into 64-bit words such that the encoding is
+    /// **XOR-mergeable**: `words(a ⊕ b) = words(a) ^ words(b)`
+    /// elementwise. A relay can therefore combine partial sketches
+    /// without deserializing. Layout per repetition: `levels` key words,
+    /// then the 32-bit checksums packed two per word, then the parity
+    /// bits packed 64 per word.
+    pub fn to_words(&self) -> Vec<u64> {
+        let p = self.params();
+        let mut out = Vec::with_capacity(self.reps.len() * words_per_rep(p.levels));
+        for basic in &self.reps {
+            out.extend_from_slice(&basic.key_xor);
+            for pair in basic.check_xor.chunks(2) {
+                let hi = pair.get(1).copied().unwrap_or(0) as u64;
+                out.push((hi << 32) | pair[0] as u64);
+            }
+            for bits in basic.parity.chunks(64) {
+                let mut w = 0u64;
+                for (i, &b) in bits.iter().enumerate() {
+                    w |= (b as u64 & 1) << i;
+                }
+                out.push(w);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Self::to_words`] for a known shape. Returns `None`
+    /// if the word count does not match the shape.
+    pub fn from_words(params: SketchParams, words: &[u64]) -> Option<Self> {
+        if words.len() != params.reps * words_per_rep(params.levels) {
+            return None;
+        }
+        let mut reps = Vec::with_capacity(params.reps);
+        let mut it = words.iter().copied();
+        for _ in 0..params.reps {
+            let key_xor: Vec<u64> = it.by_ref().take(params.levels).collect();
+            let mut check_xor = Vec::with_capacity(params.levels);
+            for _ in 0..params.levels.div_ceil(2) {
+                let w = it.next()?;
+                check_xor.push(w as u32);
+                if check_xor.len() < params.levels {
+                    check_xor.push((w >> 32) as u32);
+                }
+            }
+            let mut parity = Vec::with_capacity(params.levels);
+            for _ in 0..params.levels.div_ceil(64) {
+                let w = it.next()?;
+                for i in 0..64 {
+                    if parity.len() < params.levels {
+                        parity.push(((w >> i) & 1) as u8);
+                    }
+                }
+            }
+            reps.push(BasicSketch {
+                key_xor,
+                check_xor,
+                parity,
+            });
+        }
+        Some(L0Sketch { reps })
+    }
+}
+
+fn words_per_rep(levels: usize) -> usize {
+    levels + levels.div_ceil(2) + levels.div_ceil(64)
+}
+
+/// The honest per-sketch wire cost the engine charges when a sketch
+/// crosses a link: `reps · levels · (64 + 32 + 1)` bits — key, checksum,
+/// and parity per level per repetition, nothing amortized away.
+impl WireSize for L0Sketch {
+    fn bits(&self) -> u64 {
+        self.params().sketch_bits()
     }
 }
 
@@ -198,9 +363,12 @@ pub fn phase_seed(base: u64, phase: usize) -> u64 {
 /// This mirrors the distributed per-phase dataflow of \[51\] (each XOR
 /// grouping is exactly what machines/proxies would compute); failures to
 /// decode (probability `O(2^{-Ω(levels)})` per component per phase) only
-/// delay a merge to the next phase with fresh randomness.
+/// delay a merge to the next phase with fresh randomness. The fully
+/// distributed version, including the label service this sequential
+/// driver gets for free, is [`crate::conn::SketchConnectivity`].
 pub fn sketch_spanning_forest(g: &CsrGraph, base_seed: u64) -> Vec<Edge> {
     let n = g.n();
+    let params = SketchParams::for_graph(n, g.m());
     let mut label: Vec<Vertex> = (0..n as Vertex).collect();
     let mut forest: Vec<Edge> = Vec::new();
     // ≤ log2(n) productive phases; a few spares cover decode failures.
@@ -212,10 +380,10 @@ pub fn sketch_spanning_forest(g: &CsrGraph, base_seed: u64) -> Vec<Edge> {
         let mut comp_sketch: std::collections::BTreeMap<Vertex, L0Sketch> =
             std::collections::BTreeMap::new();
         for v in 0..n as Vertex {
-            let s = L0Sketch::for_vertex(g, v, seed);
+            let s = L0Sketch::for_vertex_with(params, g, v, seed);
             comp_sketch
                 .entry(label[v as usize])
-                .or_insert_with(L0Sketch::empty)
+                .or_insert_with(|| L0Sketch::empty_with(params))
                 .xor_in(&s);
         }
         // Decode one outgoing edge per component.
@@ -323,6 +491,48 @@ mod tests {
     fn wire_size_is_polylog() {
         // The whole point: a component's connectivity summary in ~4.7 kbit.
         assert_eq!(L0Sketch::wire_bits(), 8 * 40 * 97);
+        assert_eq!(L0Sketch::empty().bits(), 8 * 40 * 97);
+        // A tuned shape is smaller but still polylog in n.
+        let p = SketchParams::for_graph(10_000, 80_000);
+        assert!(p.levels < 40 && p.levels >= 12);
+        assert_eq!(
+            L0Sketch::empty_with(p).bits(),
+            (p.reps * p.levels * 97) as u64
+        );
+    }
+
+    #[test]
+    fn tuned_params_scale_with_input_and_stay_clamped() {
+        let small = SketchParams::for_graph(4, 2);
+        assert_eq!(small.levels, 12);
+        let big = SketchParams::for_graph(1 << 30, 1 << 40);
+        assert_eq!(big.levels, LEVELS);
+        let mid = SketchParams::for_graph(1000, 8000);
+        assert!(mid.levels > small.levels && mid.levels < big.levels);
+    }
+
+    #[test]
+    fn words_roundtrip_and_merge() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = gnp(40, 0.2, &mut rng);
+        let p = SketchParams::for_graph(g.n(), g.m());
+        let a = L0Sketch::for_vertex_with(p, &g, 3, 99);
+        let b = L0Sketch::for_vertex_with(p, &g, 17, 99);
+        // Round trip.
+        assert_eq!(L0Sketch::from_words(p, &a.to_words()), Some(a.clone()));
+        // XOR-mergeable: words(a ⊕ b) == words(a) ^ words(b).
+        let mut ab = a.clone();
+        ab.xor_in(&b);
+        let merged: Vec<u64> = a
+            .to_words()
+            .iter()
+            .zip(b.to_words())
+            .map(|(x, y)| x ^ y)
+            .collect();
+        assert_eq!(ab.to_words(), merged);
+        assert_eq!(L0Sketch::from_words(p, &merged), Some(ab));
+        // Shape mismatch is rejected, not mis-decoded.
+        assert_eq!(L0Sketch::from_words(SketchParams::default(), &merged), None);
     }
 
     #[test]
@@ -356,6 +566,50 @@ mod tests {
         }
     }
 
+    /// The wire cost the engine actually charges for a shipped sketch is
+    /// exactly the honest `reps · levels · 97` accounting (plus nothing:
+    /// the protocol header is the sender's business).
+    #[test]
+    fn staged_sketch_bits_match_engine_metrics() {
+        use km_core::{Envelope, NetConfig, Outbox, Protocol, RoundCtx, Runner, Status};
+
+        struct OneShot {
+            sketch: Option<L0Sketch>,
+        }
+        impl Protocol for OneShot {
+            type Msg = L0Sketch;
+            fn round(
+                &mut self,
+                ctx: &mut RoundCtx<'_>,
+                _inbox: &mut Vec<Envelope<L0Sketch>>,
+                out: &mut Outbox<L0Sketch>,
+            ) -> Status {
+                if ctx.round == 0 && ctx.me == 0 {
+                    out.send(1, self.sketch.take().expect("round 0 runs once"));
+                    return Status::Active;
+                }
+                Status::Done
+            }
+        }
+
+        let g = classic::path(6);
+        let p = SketchParams::for_graph(g.n(), g.m());
+        let sketch = L0Sketch::for_vertex_with(p, &g, 2, 7);
+        let want_bits = sketch.bits();
+        let machines = vec![
+            OneShot {
+                sketch: Some(sketch),
+            },
+            OneShot { sketch: None },
+        ];
+        let report = Runner::new(NetConfig::with_bandwidth(2, 64, 1).max_rounds(100_000))
+            .run(machines)
+            .unwrap();
+        assert_eq!(report.metrics.sent_bits[0], want_bits);
+        assert_eq!(report.metrics.recv_bits[1], want_bits);
+        assert_eq!(want_bits, p.sketch_bits());
+    }
+
     proptest! {
         /// Sketch linearity: sketch(S ∪ T) = sketch(S) ⊕ sketch(T) for
         /// disjoint S, T, and decoding a 1-edge boundary is exact.
@@ -375,6 +629,56 @@ mod tests {
             prop_assert_eq!(&combined, &whole);
             // The whole graph has no boundary: must be empty.
             prop_assert!(whole.is_empty());
+        }
+
+        /// Soundness on adversarial subsets: whatever `S` and seed, a
+        /// successful decode is a *true* boundary edge of `∂S` — never a
+        /// phantom. This is the whp guarantee the distributed protocol's
+        /// correctness rests on (a phantom edge would corrupt the forest;
+        /// a miss only defers a merge).
+        #[test]
+        fn decode_soundness_on_adversarial_subsets(
+            edges in proptest::collection::vec((0u32..32, 0u32..32), 0..160),
+            subset_bits in proptest::collection::vec(0u32..2, 32),
+            seed in 0u64..10_000,
+        ) {
+            let subset: Vec<bool> = subset_bits.iter().map(|&b| b == 1).collect();
+            let g = CsrGraph::from_edges(32, &edges);
+            let params = SketchParams::for_graph(g.n(), g.m());
+            let mut s = L0Sketch::empty_with(params);
+            for v in 0..32u32 {
+                if subset[v as usize] {
+                    s.xor_in(&L0Sketch::for_vertex_with(params, &g, v, seed));
+                }
+            }
+            let boundary: Vec<Edge> = g
+                .edges()
+                .filter(|e| subset[e.u as usize] != subset[e.v as usize])
+                .collect();
+            if boundary.is_empty() {
+                prop_assert!(s.is_empty(), "no boundary ⇒ sketch must cancel to zero");
+            }
+            if let Some(e) = s.decode(seed) {
+                prop_assert!(boundary.contains(&e), "decoded {e:?} outside ∂S");
+            }
+        }
+
+        /// Serialization: round trip and XOR-mergeability on random data.
+        #[test]
+        fn words_are_xor_mergeable(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 1..60),
+            seed in 0u64..500,
+        ) {
+            let g = CsrGraph::from_edges(20, &edges);
+            let p = SketchParams::for_graph(g.n(), g.m());
+            let a = L0Sketch::for_vertex_with(p, &g, 1, seed);
+            let b = L0Sketch::for_vertex_with(p, &g, 2, seed);
+            prop_assert_eq!(L0Sketch::from_words(p, &a.to_words()), Some(a.clone()));
+            let mut ab = a.clone();
+            ab.xor_in(&b);
+            let merged: Vec<u64> =
+                a.to_words().iter().zip(b.to_words()).map(|(x, y)| x ^ y).collect();
+            prop_assert_eq!(ab.to_words(), merged);
         }
 
         /// The forest size equals n − #components on arbitrary graphs.

@@ -10,8 +10,8 @@
 
 use km_core::{run_algorithm, EngineKind, KmAlgorithm, NetConfig, RunOutcome, Runner};
 use km_graph::generators::gnp;
-use km_graph::{Partition, Vertex, WeightedGraph};
-use km_mst::DistributedMst;
+use km_graph::{CsrGraph, Partition, Vertex, WeightedGraph};
+use km_mst::{DistributedMst, DistributedSketchConnectivity};
 use km_pagerank::congest_baseline::CongestBaseline;
 use km_pagerank::kmachine::{bidirect, DistributedPageRank};
 use km_pagerank::PrConfig;
@@ -70,7 +70,7 @@ fn mst_outcomes_identical_across_engines() {
     let g = gnp(50, 0.2, &mut rng);
     let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
     let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let wg = WeightedGraph::from_weighted_edges(50, &edges, &ws);
+    let wg = WeightedGraph::from_weighted_edges(50, &edges, &ws).unwrap();
     let part = Arc::new(Partition::by_hash(50, 5, 3));
     let alg = DistributedMst {
         g: &wg,
@@ -81,6 +81,55 @@ fn mst_outcomes_identical_across_engines() {
     let (want_forest, want_weight) = km_mst::kruskal(&wg);
     assert_eq!(forest, want_forest);
     assert!((weight - want_weight).abs() < 1e-9);
+}
+
+#[test]
+fn sketch_connectivity_outcomes_identical_across_engines() {
+    let mut rng = ChaCha8Rng::seed_from_u64(306);
+    // Sparse enough for several components plus isolated vertices.
+    let g = gnp(90, 0.025, &mut rng);
+    let part = Arc::new(Partition::by_hash(90, 6, 2));
+    let alg = DistributedSketchConnectivity { g: &g, part: &part };
+    let outcome = assert_cross_engine(&alg, net(6, 90, 14));
+
+    // Union-find oracle: the forest must induce exactly the graph's
+    // component structure.
+    let mut parent: Vec<Vertex> = (0..90).collect();
+    fn find(parent: &mut [Vertex], mut x: Vertex) -> Vertex {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut components = 90usize;
+    for e in g.edges() {
+        let (ru, rv) = (find(&mut parent, e.u), find(&mut parent, e.v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+            components -= 1;
+        }
+    }
+    assert_eq!(outcome.output.components, components);
+    assert_eq!(outcome.output.forest.len(), 90 - components);
+    for e in &outcome.output.forest {
+        assert!(g.has_edge(e.u, e.v), "{e:?} not a graph edge");
+    }
+    // Forest reachability equals graph reachability.
+    let pairs: Vec<(Vertex, Vertex)> = outcome.output.forest.iter().map(|e| (e.u, e.v)).collect();
+    let f = CsrGraph::from_edges(90, &pairs);
+    let roots = |g: &CsrGraph| {
+        let mut p: Vec<Vertex> = (0..90).collect();
+        for e in g.edges() {
+            let (ru, rv) = (find(&mut p, e.u), find(&mut p, e.v));
+            if ru != rv {
+                let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                p[hi as usize] = lo;
+            }
+        }
+        (0..90u32).map(|v| find(&mut p, v)).collect::<Vec<_>>()
+    };
+    assert_eq!(roots(&f), roots(&g));
 }
 
 #[test]

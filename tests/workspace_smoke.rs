@@ -199,3 +199,28 @@ fn social_triangles_path_tiny() {
         "expected open triads on a power-law graph"
     );
 }
+
+/// `examples/sketch_connectivity.rs` path: the O~(n/k²) sketch protocol
+/// and the Borůvka baseline on the same topology, with matching forest
+/// sizes and the no-broadcast recv-bits gap.
+#[test]
+fn sketch_connectivity_path_tiny() {
+    use km_repro::graph::WeightedGraph;
+    use km_repro::mst::{run_boruvka, run_sketch_connectivity};
+    use rand::Rng;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let (n, k) = (64, 4);
+    let g = gnp(n, 0.06, &mut rng);
+    let edges: Vec<(u32, u32)> = g.edges().map(|e| (e.u, e.v)).collect();
+    let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let wg = WeightedGraph::from_weighted_edges(n, &edges, &ws).expect("finite weights");
+
+    let part = Arc::new(Partition::by_hash(n, k, 7));
+    let net = NetConfig::polylog(k, n, 5).max_rounds(50_000_000);
+    let (cc, sm) = run_sketch_connectivity(&g, &part, net).expect("sketch run");
+    let (forest, _, bm) = run_boruvka(&wg, &part, net).expect("boruvka run");
+    assert_eq!(cc.forest.len(), forest.len(), "same spanning forest size");
+    assert_eq!(cc.components, n - forest.len());
+    assert!(sm.rounds > 0 && bm.rounds > 0);
+}
