@@ -8,7 +8,7 @@
 //! cargo run --release -p km-bench --bin experiments -- --engine par S1
 //! ```
 //!
-//! `--engine {seq,par,auto}` selects the execution engine for every run
+//! `--engine {seq,par,dist,auto}` selects the execution engine for every run
 //! (transcript-identical engines, so tables are engine-independent); it
 //! is wired through `km_core::EngineKind` via the `KM_ENGINE` variable
 //! that `EngineKind::Auto` resolution honors.
@@ -37,9 +37,10 @@ fn main() {
             }
             "--engine" => {
                 i += 1;
-                let name = args.get(i).expect("--engine needs {seq,par,auto}");
-                let kind = EngineKind::parse(name)
-                    .unwrap_or_else(|| panic!("unknown engine `{name}`; try seq, par, or auto"));
+                let name = args.get(i).expect("--engine needs {seq,par,dist,auto}");
+                let kind = EngineKind::parse(name).unwrap_or_else(|| {
+                    panic!("unknown engine `{name}`; try seq, par, dist, or auto")
+                });
                 // Every experiment runs through Runner's Auto resolution,
                 // which reads this variable — one switch flips them all.
                 std::env::set_var(ENGINE_ENV, name);

@@ -13,6 +13,11 @@
 //! `_sketch` inserted before the extension), recording each run's
 //! per-machine and per-link received bits next to the `n/k²` prediction.
 //!
+//! Finally it re-runs scatter, Borůvka MST, and sketch connectivity on
+//! the *distributed* engine (real byte channels, one serialized frame
+//! per link message) and writes `BENCH_<date>_wire.json`, pairing each
+//! run's measured frame bits with its logical `WireSize` bits.
+//!
 //! Usage: `cargo run --release -p km-bench --bin perfsnap [-- out.json]`
 
 use km_bench::workloads::{dense_delivery_reference, sparse_ring_machines};
@@ -109,6 +114,69 @@ struct SketchSnapshot {
     note: String,
 }
 
+/// One cell of the wire matrix: one workload run on the distributed
+/// engine, with the measured frame traffic next to the logical
+/// [`km_core::WireSize`] accounting the theory charges.
+#[derive(Serialize)]
+struct WireCell {
+    name: String,
+    n: usize,
+    k: usize,
+    engine: String,
+    wall_ms: f64,
+    rounds: u64,
+    /// `Metrics::total_bits()` — the logical transcript the paper counts.
+    logical_bits: u64,
+    /// Frame bytes × 8 actually shipped over the byte channels.
+    measured_bits: u64,
+    /// Frames shipped (one per link message).
+    frames: u64,
+    /// Bits spent on 12-byte frame headers.
+    header_bits: u64,
+    /// Bits lost to byte-aligning each payload.
+    padding_bits: u64,
+    /// `measured_bits / logical_bits` — framing overhead only, since the
+    /// codec layer asserts payload bits == logical bits per message.
+    wire_vs_logical: f64,
+}
+
+#[derive(Serialize)]
+struct WireSnapshot {
+    date: String,
+    host_threads: usize,
+    wire: Vec<WireCell>,
+    note: String,
+}
+
+fn wire_cell(
+    name: &str,
+    n: usize,
+    k: usize,
+    wall_ms: f64,
+    metrics: &Metrics,
+    wire: &km_core::WireReport,
+) -> WireCell {
+    assert_eq!(
+        wire.logical_bits,
+        metrics.total_bits(),
+        "framed logical bits must match the metrics transcript"
+    );
+    WireCell {
+        name: name.to_string(),
+        n,
+        k,
+        engine: format!("{:?}", EngineKind::Distributed),
+        wall_ms,
+        rounds: metrics.rounds,
+        logical_bits: wire.logical_bits,
+        measured_bits: wire.measured_bits(),
+        frames: wire.frames,
+        header_bits: wire.header_bits(),
+        padding_bits: wire.padding_bits(),
+        wire_vs_logical: wire.wire_vs_logical(),
+    }
+}
+
 /// Best-of-`runs` wall time in milliseconds for `f`.
 fn best_ms<T>(runs: u32, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
@@ -163,7 +231,7 @@ fn main() {
     for &k in &ks {
         let cfg = NetConfig::with_bandwidth(k, 64, 9).max_rounds(50_000_000);
         let runner = Runner::new(cfg);
-        let kind = runner.resolved_engine();
+        let kind = runner.resolved_engine().expect("engine resolves");
         let (ms, report) = best_ms(5, || {
             let machines: Vec<UniformScatter> = (0..k).map(|_| UniformScatter::new(2048)).collect();
             runner.run(machines).unwrap()
@@ -183,7 +251,7 @@ fn main() {
         let part = Arc::new(Partition::by_hash(n, k, 3));
         let cfg = NetConfig::polylog(k, n, 11).max_rounds(50_000_000);
         let runner = Runner::new(cfg);
-        let kind = runner.resolved_engine();
+        let kind = runner.resolved_engine().expect("engine resolves");
         let (ms, metrics) = best_ms(3, || km_mst::run_boruvka(&wg, &part, cfg).unwrap().2);
         workloads.push(cell("mst_n600_p02", k, 3, ms, kind, &metrics));
         println!("mst            k={k:<4} {ms:>10.3} ms");
@@ -197,7 +265,7 @@ fn main() {
         let part = Arc::new(Partition::by_hash(tn, k, 5));
         let cfg = NetConfig::polylog(k, tn, 13).max_rounds(50_000_000);
         let runner = Runner::new(cfg);
-        let kind = runner.resolved_engine();
+        let kind = runner.resolved_engine().expect("engine resolves");
         let (ms, metrics) = best_ms(3, || {
             km_triangle::kmachine::run_kmachine_triangles(
                 &tg,
@@ -355,4 +423,91 @@ fn main() {
     let json = serde_json::to_string_pretty(&sketch_snap).expect("serialize sketch snapshot");
     std::fs::write(&sketch_out, json + "\n").expect("write sketch snapshot");
     println!("wrote {sketch_out}");
+
+    // Wire matrix: the same protocols on the distributed engine, where
+    // every message crosses a real byte channel, so measured frame bits
+    // can be reported next to the logical WireSize accounting.
+    let mut wire = Vec::new();
+    for &k in &[16usize, 64] {
+        // Lemma-13 scatter: 512 tokens/machine.
+        let cfg = NetConfig::with_bandwidth(k, 64, 9).max_rounds(50_000_000);
+        let runner = Runner::new(cfg).engine(EngineKind::Distributed);
+        let (ms, report) = best_ms(1, || {
+            let machines: Vec<UniformScatter> = (0..k).map(|_| UniformScatter::new(512)).collect();
+            runner.run(machines).unwrap()
+        });
+        let w = report.wire.as_ref().expect("distributed runs report wire");
+        wire.push(wire_cell("scatter_x512", 0, k, ms, &report.metrics, w));
+        println!(
+            "wire scatter   k={k:<4} {:>12} logical bits vs {:>12} measured ({:.2}x)",
+            w.logical_bits,
+            w.measured_bits(),
+            w.wire_vs_logical()
+        );
+
+        // Borůvka MST on G(600, 0.02), same instance as the wall matrix.
+        let part = Arc::new(Partition::by_hash(n, k, 3));
+        let cfg = NetConfig::polylog(k, n, 11).max_rounds(50_000_000);
+        let (ms, outcome) = best_ms(1, || {
+            km_core::run_algorithm(
+                &km_mst::DistributedMst {
+                    g: &wg,
+                    part: &part,
+                },
+                Runner::new(cfg).engine(EngineKind::Distributed),
+            )
+            .unwrap()
+        });
+        let w = outcome.wire.as_ref().expect("distributed runs report wire");
+        wire.push(wire_cell("mst_n600_p02", n, k, ms, &outcome.metrics, w));
+        println!(
+            "wire mst       k={k:<4} {:>12} logical bits vs {:>12} measured ({:.2}x)",
+            w.logical_bits,
+            w.measured_bits(),
+            w.wire_vs_logical()
+        );
+
+        // Sketch connectivity on G(n = 10k, m = 4n).
+        let cn = 10_000usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(cn as u64 + 1);
+        let cg = gnm(cn, 4 * cn, &mut rng);
+        let part = Arc::new(Partition::by_hash(cn, k, 5));
+        let cfg = NetConfig::polylog(k, cn, 17).max_rounds(500_000_000);
+        let (ms, outcome) = best_ms(1, || {
+            km_core::run_algorithm(
+                &km_mst::DistributedSketchConnectivity {
+                    g: &cg,
+                    part: &part,
+                },
+                Runner::new(cfg).engine(EngineKind::Distributed),
+            )
+            .unwrap()
+        });
+        let w = outcome.wire.as_ref().expect("distributed runs report wire");
+        wire.push(wire_cell("sketch_cc_n10k", cn, k, ms, &outcome.metrics, w));
+        println!(
+            "wire sketch_cc k={k:<4} {:>12} logical bits vs {:>12} measured ({:.2}x)",
+            w.logical_bits,
+            w.measured_bits(),
+            w.wire_vs_logical()
+        );
+    }
+    let wire_snap = WireSnapshot {
+        date: snap.date.clone(),
+        host_threads: snap.host_threads,
+        wire,
+        note: "distributed-engine runs: every link message is serialized to a \
+               length-prefixed byte frame and crosses a real channel; measured_bits \
+               counts those frame bytes while logical_bits is the WireSize transcript \
+               the theory charges, so wire_vs_logical isolates pure framing overhead \
+               (12-byte headers + byte padding)"
+            .to_string(),
+    };
+    let wire_out = match out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_wire.json"),
+        None => format!("{out}_wire.json"),
+    };
+    let json = serde_json::to_string_pretty(&wire_snap).expect("serialize wire snapshot");
+    std::fs::write(&wire_out, json + "\n").expect("write wire snapshot");
+    println!("wrote {wire_out}");
 }

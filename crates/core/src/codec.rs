@@ -1,0 +1,585 @@
+//! Bit-exact message serialization for the distributed engine.
+//!
+//! [`WireSize`] declares how many bits a message *logically* occupies;
+//! [`WireCodec`] makes that claim executable: `encode` must write
+//! **exactly** `bits()` bits (clamped ≥ 1, like the engine's bandwidth
+//! accounting), and `decode` must reconstruct the message from them.
+//! [`WireCodec::encode_frame`] packs the bits into a length-prefixed
+//! byte frame of exactly `⌈bits/8⌉` payload bytes, asserting the
+//! size claim on every message that crosses a link — so a `WireSize`
+//! implementation that under- or over-counts its own encoding fails
+//! loudly the first time the distributed engine ships it.
+//!
+//! # Decoding variable-width fields
+//!
+//! Protocol messages size their id fields with [`crate::id_bits`]`(n)`,
+//! but a decoder has no `n`. Instead of widening every frame with an
+//! explicit width, decoders recover variable widths *arithmetically*
+//! from [`BitReader::remaining`]: the frame header carries the exact
+//! logical bit count, fixed-width fields are subtracted, and whatever
+//! remains determines the id width (each message type documents its
+//! layout). This keeps wire frames exactly as large as the theory
+//! charges for them.
+//!
+//! Bits are packed LSB-first within each byte; multi-field messages are
+//! concatenated in field order with no padding. Unused trailing bits of
+//! the last payload byte are zero.
+
+use crate::message::{Raw, WireSize};
+use std::fmt;
+
+/// Why a frame could not be decoded. Frames are produced by
+/// [`WireCodec::encode`] in the same process, so any of these indicates
+/// a codec/`WireSize` bug (or a corrupted frame), not a runtime
+/// condition a protocol should handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The decoder asked for more bits than the frame holds.
+    OutOfBits {
+        /// Bits requested by the failing read.
+        needed: u64,
+        /// Bits left in the frame.
+        remaining: u64,
+    },
+    /// Decoding finished with bits left over.
+    Trailing {
+        /// Undecoded bits at the end of the frame.
+        remaining: u64,
+    },
+    /// A field held a value no encoder produces (bad tag, impossible
+    /// width, inconsistent length).
+    Invalid {
+        /// Which field or invariant was violated.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// The byte frame itself is malformed (header/length mismatch).
+    Frame {
+        /// What was wrong with the frame.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::OutOfBits { needed, remaining } => {
+                write!(f, "decoder needs {needed} bits but only {remaining} remain")
+            }
+            CodecError::Trailing { remaining } => {
+                write!(f, "{remaining} undecoded bits left in frame")
+            }
+            CodecError::Invalid { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            CodecError::Frame { reason } => write!(f, "malformed frame: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Accumulates bits LSB-first into a byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    len_bits: u64,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value` (LSB-first).
+    ///
+    /// # Panics
+    /// If `width > 64` or `value` has bits above `width` set — an encoder
+    /// writing a value that does not fit its declared field is exactly
+    /// the dishonesty this layer exists to catch.
+    pub fn put(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "field width {width} > 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        let mut v = value;
+        let mut w = width;
+        while w > 0 {
+            let bit_off = (self.len_bits % 8) as u32;
+            if bit_off == 0 {
+                self.buf.push(0);
+            }
+            let take = (8 - bit_off).min(w);
+            let mask = (1u64 << take) - 1;
+            *self.buf.last_mut().expect("pushed above") |= ((v & mask) as u8) << bit_off;
+            v >>= take;
+            self.len_bits += u64::from(take);
+            w -= take;
+        }
+    }
+
+    /// Bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// The packed bytes (`⌈bit_len/8⌉` of them, trailing bits zero).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads bits LSB-first from a byte slice with an exact bit length.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+    len_bits: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader over `bytes` holding exactly `len_bits` bits.
+    ///
+    /// # Errors
+    /// [`CodecError::Frame`] if `bytes.len() != ⌈len_bits/8⌉`.
+    pub fn new(bytes: &'a [u8], len_bits: u64) -> Result<Self, CodecError> {
+        let want = len_bits.div_ceil(8);
+        if bytes.len() as u64 != want {
+            return Err(CodecError::Frame {
+                reason: format!(
+                    "payload is {} bytes but {len_bits} bits need {want}",
+                    bytes.len()
+                ),
+            });
+        }
+        Ok(BitReader {
+            bytes,
+            pos: 0,
+            len_bits,
+        })
+    }
+
+    /// Reads the next `width` bits as an LSB-first value.
+    ///
+    /// # Errors
+    /// [`CodecError::OutOfBits`] if fewer than `width` bits remain.
+    pub fn take(&mut self, width: u32) -> Result<u64, CodecError> {
+        assert!(width <= 64, "field width {width} > 64");
+        if u64::from(width) > self.remaining() {
+            return Err(CodecError::OutOfBits {
+                needed: u64::from(width),
+                remaining: self.remaining(),
+            });
+        }
+        let mut v: u64 = 0;
+        let mut got: u32 = 0;
+        while got < width {
+            let byte = self.bytes[(self.pos / 8) as usize];
+            let bit_off = (self.pos % 8) as u32;
+            let take = (8 - bit_off).min(width - got);
+            let mask = ((1u16 << take) - 1) as u8;
+            v |= u64::from((byte >> bit_off) & mask) << got;
+            self.pos += u64::from(take);
+            got += take;
+        }
+        Ok(v)
+    }
+
+    /// Bits not yet consumed. Decoders use this to size trailing
+    /// variable-width (id) fields — see the module docs.
+    pub fn remaining(&self) -> u64 {
+        self.len_bits - self.pos
+    }
+
+    /// Asserts every bit was consumed.
+    ///
+    /// # Errors
+    /// [`CodecError::Trailing`] if bits remain.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::Trailing {
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Byte-frame layout: a 12-byte header (`payload_len: u32 LE`,
+/// `logical_bits: u64 LE`) followed by `payload_len` payload bytes.
+/// `payload_len == ⌈logical_bits/8⌉` always; both are carried so a
+/// receiver can validate the frame against the sender's size claim.
+pub const FRAME_HEADER_BYTES: usize = 12;
+
+/// Serialization contract for messages that cross the distributed
+/// engine's byte channels.
+///
+/// `encode` must write exactly `self.bits().max(1)` bits and `decode`
+/// must invert it; [`WireCodec::encode_frame`] asserts the former at
+/// runtime for every shipped message. Compound decoders may rely on
+/// [`BitReader::remaining`] to infer trailing variable-width fields,
+/// which makes some impls (notably [`Raw`] and `Vec<T>`) *greedy*: they
+/// consume the whole rest of the frame and therefore must be the last
+/// field of an enclosing message.
+pub trait WireCodec: WireSize + Sized {
+    /// Appends this message's bits to `w` (exactly `bits().max(1)` of
+    /// them).
+    fn encode(&self, w: &mut BitWriter);
+
+    /// Reconstructs a message from its bits.
+    ///
+    /// # Errors
+    /// Any [`CodecError`] on a frame no encoder produces.
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError>;
+
+    /// Encodes into a length-prefixed byte frame (see
+    /// [`FRAME_HEADER_BYTES`]).
+    ///
+    /// # Panics
+    /// If `encode` wrote a different number of bits than
+    /// [`WireSize::bits`] claims — the wire-validation teeth of the
+    /// distributed engine.
+    fn encode_frame(&self) -> Vec<u8> {
+        let claimed = self.bits().max(1);
+        let mut w = BitWriter::new();
+        self.encode(&mut w);
+        assert_eq!(
+            w.bit_len(),
+            claimed,
+            "WireCodec/WireSize mismatch for {}: encoded {} bits, claims {}",
+            std::any::type_name::<Self>(),
+            w.bit_len(),
+            claimed
+        );
+        let payload = w.into_bytes();
+        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&claimed.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Parses a frame produced by [`WireCodec::encode_frame`], returning
+    /// the message and its logical bit count.
+    ///
+    /// # Errors
+    /// Any [`CodecError`] on a malformed frame.
+    fn decode_frame(frame: &[u8]) -> Result<(Self, u64), CodecError> {
+        let (payload, bits) = split_frame(frame)?;
+        let mut r = BitReader::new(payload, bits)?;
+        let msg = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok((msg, bits))
+    }
+}
+
+/// Splits a frame into `(payload, logical_bits)`, validating the header.
+///
+/// # Errors
+/// [`CodecError::Frame`] on truncation or a length/bit-count mismatch.
+pub fn split_frame(frame: &[u8]) -> Result<(&[u8], u64), CodecError> {
+    if frame.len() < FRAME_HEADER_BYTES {
+        return Err(CodecError::Frame {
+            reason: format!("{} bytes is shorter than the header", frame.len()),
+        });
+    }
+    let payload_len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes")) as usize;
+    let bits = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+    let payload = &frame[FRAME_HEADER_BYTES..];
+    if payload.len() != payload_len {
+        return Err(CodecError::Frame {
+            reason: format!(
+                "header claims {payload_len} payload bytes, got {}",
+                payload.len()
+            ),
+        });
+    }
+    if payload_len as u64 != bits.div_ceil(8) || bits == 0 {
+        return Err(CodecError::Frame {
+            reason: format!("{bits} logical bits inconsistent with {payload_len} payload bytes"),
+        });
+    }
+    Ok((payload, bits))
+}
+
+/// Test helper: asserts that encode → frame → decode is the identity for
+/// `value` and that the frame is exactly `⌈bits/8⌉` payload bytes plus
+/// the header. Every crate defining a [`WireCodec`] uses this in its
+/// round-trip proptests, so the check lives here rather than being
+/// copied into each one.
+///
+/// # Panics
+/// If any part of the round trip disagrees with the `WireSize` claim.
+pub fn assert_roundtrip<T: WireCodec + PartialEq + fmt::Debug>(value: &T) {
+    let frame = value.encode_frame();
+    assert_eq!(
+        frame.len(),
+        FRAME_HEADER_BYTES + value.bits().max(1).div_ceil(8) as usize,
+        "frame length must match the WireSize claim for {value:?}"
+    );
+    let (back, bits) = T::decode_frame(&frame).expect("decode");
+    assert_eq!(&back, value, "decode(encode(v)) != v");
+    assert_eq!(bits, value.bits().max(1), "frame bit count for {value:?}");
+}
+
+impl WireCodec for () {
+    fn encode(&self, w: &mut BitWriter) {
+        w.put(0, 1);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        r.take(1)?;
+        Ok(())
+    }
+}
+
+impl WireCodec for bool {
+    fn encode(&self, w: &mut BitWriter) {
+        w.put(u64::from(*self), 1);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        Ok(r.take(1)? != 0)
+    }
+}
+
+macro_rules! int_codec {
+    ($($t:ty => $w:expr),* $(,)?) => {$(
+        impl WireCodec for $t {
+            fn encode(&self, w: &mut BitWriter) {
+                w.put(*self as u64, $w);
+            }
+            fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+                Ok(r.take($w)? as $t)
+            }
+        }
+    )*};
+}
+int_codec!(u8 => 8, u16 => 16, u32 => 32, u64 => 64);
+
+impl WireCodec for i32 {
+    fn encode(&self, w: &mut BitWriter) {
+        w.put(u64::from(*self as u32), 32);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        Ok(r.take(32)? as u32 as i32)
+    }
+}
+
+impl WireCodec for i64 {
+    fn encode(&self, w: &mut BitWriter) {
+        w.put(*self as u64, 64);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        Ok(r.take(64)? as i64)
+    }
+}
+
+impl WireCodec for f64 {
+    fn encode(&self, w: &mut BitWriter) {
+        w.put(self.to_bits(), 64);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        Ok(f64::from_bits(r.take(64)?))
+    }
+}
+
+/// Greedy: a `Raw` consumes every remaining bit (its `WireSize` is
+/// `8·len`, or 1 for the empty payload), so it must be the last field
+/// of an enclosing message.
+impl WireCodec for Raw {
+    fn encode(&self, w: &mut BitWriter) {
+        if self.0.is_empty() {
+            w.put(0, 1);
+            return;
+        }
+        for &b in self.0.iter() {
+            w.put(u64::from(b), 8);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let remaining = r.remaining();
+        if remaining == 1 {
+            r.take(1)?;
+            return Ok(Raw::from_vec(Vec::new()));
+        }
+        if !remaining.is_multiple_of(8) {
+            return Err(CodecError::Invalid {
+                what: "Raw bit length (not a whole number of bytes)",
+                value: remaining,
+            });
+        }
+        let mut v = Vec::with_capacity((remaining / 8) as usize);
+        for _ in 0..remaining / 8 {
+            v.push(r.take(8)? as u8);
+        }
+        Ok(Raw::from_vec(v))
+    }
+}
+
+/// Field order `A` then `B`; `A` must be self-delimiting (fixed width).
+impl<A: WireCodec, B: WireCodec> WireCodec for (A, B) {
+    fn encode(&self, w: &mut BitWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+/// 32-bit length prefix then elements, matching its `WireSize`.
+impl<T: WireCodec> WireCodec for Vec<T> {
+    fn encode(&self, w: &mut BitWriter) {
+        w.put(self.len() as u64, 32);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let len = r.take(32)?;
+        // Every element encoding is ≥ 1 bit, so a length beyond the
+        // remaining bits is unconditionally bogus (and would OOM).
+        if len > r.remaining() {
+            return Err(CodecError::Invalid {
+                what: "Vec length exceeds remaining bits",
+                value: len,
+            });
+        }
+        let mut v = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip<T: WireCodec + PartialEq + std::fmt::Debug>(value: T) {
+        assert_roundtrip(&value);
+    }
+
+    #[test]
+    fn bit_writer_reader_inverse_on_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0xFFFF_FFFF_FFFF_FFFF, 64);
+        w.put(0, 1);
+        w.put(0x2A, 7);
+        assert_eq!(w.bit_len(), 75);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 10);
+        let mut r = BitReader::new(&bytes, 75).unwrap();
+        assert_eq!(r.take(3).unwrap(), 0b101);
+        assert_eq!(r.take(64).unwrap(), u64::MAX);
+        assert_eq!(r.take(1).unwrap(), 0);
+        assert_eq!(r.remaining(), 7);
+        assert_eq!(r.take(7).unwrap(), 0x2A);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_overreads_and_trailing_bits() {
+        let bytes = [0u8; 2];
+        let mut r = BitReader::new(&bytes, 10).unwrap();
+        r.take(4).unwrap();
+        assert!(matches!(
+            r.take(7),
+            Err(CodecError::OutOfBits {
+                needed: 7,
+                remaining: 6
+            })
+        ));
+        assert!(matches!(
+            r.finish(),
+            Err(CodecError::Trailing { remaining: 6 })
+        ));
+        assert!(BitReader::new(&bytes, 17).is_err(), "length mismatch");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn writer_rejects_oversized_values() {
+        BitWriter::new().put(4, 2);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(());
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(0xABu8);
+        roundtrip(0xDEADu16);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(-7i32);
+        roundtrip(i64::MIN);
+        roundtrip(-0.0f64);
+        roundtrip(std::f64::consts::PI);
+        roundtrip(Raw::from_vec(vec![]));
+        roundtrip(Raw::from_vec(vec![1, 2, 3, 255]));
+        roundtrip((0xAAu8, 0x55AAu16));
+        roundtrip(vec![1u16, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+    }
+
+    #[test]
+    fn frame_validation_catches_corruption() {
+        let frame = 0x1234_5678u32.encode_frame();
+        // Truncated payload.
+        assert!(u32::decode_frame(&frame[..frame.len() - 1]).is_err());
+        // Header shorter than 12 bytes.
+        assert!(u32::decode_frame(&frame[..4]).is_err());
+        // Lying bit count.
+        let mut bad = frame.clone();
+        bad[4] = 7; // 7 bits can't need 4 payload bytes
+        assert!(u32::decode_frame(&bad).is_err());
+    }
+
+    #[test]
+    fn vec_rejects_bogus_length() {
+        // A frame claiming 2^32-1 elements in 32 bits of payload.
+        let mut w = BitWriter::new();
+        w.put(u32::MAX as u64, 32);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, 32).unwrap();
+        assert!(matches!(
+            Vec::<u8>::decode(&mut r),
+            Err(CodecError::Invalid { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn u64_fields_roundtrip_any_width(v in 0u64..=u64::MAX, cut in 0u32..64) {
+            // Writing the low `width` bits then reading them back is the
+            // identity for every width.
+            let width = cut + 1;
+            let masked = if width == 64 { v } else { v & ((1 << width) - 1) };
+            let mut w = BitWriter::new();
+            w.put(masked, width);
+            w.put(0b1, 1); // misalign the tail
+            let len = w.bit_len();
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes, len).unwrap();
+            prop_assert_eq!(r.take(width).unwrap(), masked);
+            prop_assert_eq!(r.take(1).unwrap(), 1);
+            r.finish().unwrap();
+        }
+
+        #[test]
+        fn raw_roundtrips(bytes in collection::vec(0u8..=255, 0..40)) {
+            roundtrip(Raw::from_vec(bytes));
+        }
+
+        #[test]
+        fn vecs_roundtrip(v in collection::vec(0u64..=u64::MAX, 0..20)) {
+            roundtrip(v);
+        }
+    }
+}

@@ -1,0 +1,704 @@
+//! The message-passing engine: one OS thread per machine, real byte
+//! channels per ordered link.
+//!
+//! Where [`super::SequentialEngine`] and [`super::ParallelEngine`]
+//! simulate the network in process (messages move as in-memory values
+//! and never serialize), this engine actually *ships bytes*: every
+//! link message is encoded by [`WireCodec`] into a length-prefixed
+//! frame, pushed through that ordered pair's bounded byte channel, and
+//! decoded on receipt into the destination's per-source FIFO
+//! [`Link`] — the same bandwidth-limited structure the other engines
+//! use — before the per-round budget releases it. A [`WireReport`]
+//! records what the frames measured against the logical [`WireSize`]
+//! bits.
+//!
+//! # Round anatomy (coordinator barriers)
+//!
+//! The caller's thread coordinates; worker `i` owns machine `i`:
+//!
+//! 1. `Round` — every worker runs [`Protocol::round`] on its locally
+//!    held inbox, then encodes and sends its staged messages
+//!    (self-sends bypass serialization and stay local, free — the same
+//!    drain-and-move semantics as the other engines). It answers
+//!    `Sent`.
+//! 2. The coordinator collects all `Sent`s, then issues `Deliver`. The
+//!    channel operations on this path establish the happens-before
+//!    edges that make every round-`r` frame visible to its receiver's
+//!    drain — no frame can straggle into a later round.
+//! 3. Each worker drains its incoming channels into per-source links,
+//!    runs the same sorted active-source, budget-limited delivery walk
+//!    as the in-process engines' `Network::deliver` (its slice of it,
+//!    preserving the
+//!    sparse-delivery invariant: only links with queued traffic are
+//!    visited, counted in [`crate::Metrics::link_visits`]), and reports
+//!    its status and local queue depths.
+//! 4. The coordinator aggregates: quiescence and the round limit are
+//!    checked exactly as in the sequential engine, so error cases are
+//!    bit-identical too.
+//!
+//! Bounded channels mean a sender can hit a full link mid-round; it
+//! then drains its *own* incoming channels while retrying. Every
+//! blocked or barrier-waiting worker keeps draining, so the wait-for
+//! graph never contains a cycle of non-draining threads and the round
+//! always completes — this is what lets the channels stay bounded
+//! without a per-round capacity proportional to the traffic.
+//!
+//! # Bit-identity
+//!
+//! [`Metrics`] are accounted from the *logical* sizes (sender side at
+//! staging, receiver side from the sizes carried in frame headers),
+//! and the per-link FIFO/budget structure is byte-for-byte the
+//! sequential engine's — so outputs, metrics, RNG streams, and even
+//! error payloads are bit-identical across all three engines (enforced
+//! by `tests/engine_equivalence.rs` and `tests/engine_fuzz.rs`). The
+//! measured frame bytes appear only in the separate [`WireReport`].
+
+use crate::codec::{WireCodec, FRAME_HEADER_BYTES};
+use crate::config::NetConfig;
+use crate::error::EngineError;
+use crate::link::Link;
+use crate::message::{Envelope, Outbox, WireSize};
+use crate::metrics::{Metrics, RunReport, WireReport};
+use crate::protocol::{Protocol, RoundCtx, Status};
+use crate::rng;
+use crate::MachineIdx;
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+
+/// Frames a link channel buffers before senders feel backpressure.
+/// Small enough that heavy rounds actually exercise the drain-while-
+/// blocked path (stress-tested in `tests/` at k = 64).
+const LINK_CHANNEL_FRAMES: usize = 32;
+
+enum Cmd {
+    /// Run one protocol round and send the staged frames.
+    Round { round: u64 },
+    /// All peers have sent; drain, deliver under the budget, report.
+    Deliver,
+    /// Ship the final state back and exit.
+    Finish,
+}
+
+/// Per-round worker report after its delivery phase.
+struct RoundDone {
+    status: Status,
+    /// Whether any of this worker's incoming links moved ≥ 1 bit.
+    any_link_bits: bool,
+    /// Messages queued locally (links + self-queue) after delivery.
+    queued_msgs: usize,
+    /// Undelivered link bits queued locally after delivery.
+    queued_bits: u64,
+    inbox_empty: bool,
+}
+
+/// Everything a worker accumulated, shipped back on `Finish`.
+struct FinalState<P> {
+    proto: P,
+    sent_msgs: u64,
+    sent_bits: u64,
+    recv_msgs: u64,
+    recv_bits: u64,
+    link_visits: u64,
+    /// `(messages, bits)` totals per incoming link, indexed by source.
+    link_totals: Vec<(u64, u64)>,
+    frames: u64,
+    frame_bytes: u64,
+    payload_bytes: u64,
+}
+
+enum Resp<P> {
+    Sent,
+    Round(RoundDone),
+    Final(Box<FinalState<P>>),
+}
+
+/// Machine `i`'s slice of the network: its incoming links, self-queue,
+/// and active-source index — the per-destination state
+/// [`super::Network`] keeps centrally, kept here by the owning worker.
+struct Inlinks<M> {
+    me: MachineIdx,
+    /// Incoming links indexed by source (`links[me]` unused).
+    links: Vec<Link<M>>,
+    /// Decoded-free self-sends waiting for this round's delivery.
+    self_queue: Vec<Envelope<M>>,
+    /// Sorted sources with queued traffic (contains `me` iff the
+    /// self-queue is non-empty) — the sparse-delivery index.
+    active: Vec<MachineIdx>,
+    queued_msgs: usize,
+    queued_bits: u64,
+    recv_msgs: u64,
+    recv_bits: u64,
+    link_visits: u64,
+}
+
+impl<M: WireSize> Inlinks<M> {
+    fn new(k: usize, me: MachineIdx) -> Self {
+        let mut links = Vec::with_capacity(k);
+        links.resize_with(k, Link::default);
+        Inlinks {
+            me,
+            links,
+            self_queue: Vec::new(),
+            active: Vec::new(),
+            queued_msgs: 0,
+            queued_bits: 0,
+            recv_msgs: 0,
+            recv_bits: 0,
+            link_visits: 0,
+        }
+    }
+
+    fn activate(&mut self, src: MachineIdx) {
+        let pos = self
+            .active
+            .binary_search(&src)
+            .expect_err("activated twice without draining");
+        self.active.insert(pos, src);
+    }
+
+    /// A self-send: free, no serialization, delivered this round.
+    fn stage_self(&mut self, msg: M) {
+        self.queued_msgs += 1;
+        if self.self_queue.is_empty() {
+            self.activate(self.me);
+        }
+        self.self_queue.push(Envelope { src: self.me, msg });
+    }
+
+    /// A decoded frame from `src` enters that link's FIFO. `bits` is
+    /// the logical size from the frame header; `push_sized` cross-checks
+    /// it against the decoded message's own claim in debug builds.
+    fn absorb(&mut self, src: MachineIdx, msg: M, bits: u64) {
+        if self.links[src].is_empty() {
+            self.activate(src);
+        }
+        self.links[src].push_sized(Envelope { src, msg }, bits);
+        self.queued_msgs += 1;
+        self.queued_bits += bits;
+    }
+
+    /// This machine's slice of [`super::Network::deliver`]: walk the
+    /// sorted active sources, release up to `budget` bits per link,
+    /// account received sizes from the staged (header) sizes. Returns
+    /// whether any link moved bits.
+    fn deliver(&mut self, budget: u64, inbox: &mut Vec<Envelope<M>>) -> bool {
+        let mut any = false;
+        let mut sources = std::mem::take(&mut self.active);
+        sources.retain(|&src| {
+            if src == self.me {
+                self.queued_msgs -= self.self_queue.len();
+                inbox.append(&mut self.self_queue);
+                return false; // self-queues always drain fully
+            }
+            self.link_visits += 1;
+            let link = &mut self.links[src];
+            let d = link.deliver(budget, inbox);
+            if d.bits_used > 0 {
+                any = true;
+            }
+            self.recv_msgs += d.msgs;
+            self.recv_bits += d.msg_bits;
+            self.queued_msgs -= d.msgs as usize;
+            self.queued_bits -= d.msg_bits;
+            !link.is_empty()
+        });
+        self.active = sources;
+        any
+    }
+}
+
+/// Drains every incoming channel into the local links, decoding frames
+/// on receipt.
+fn drain_incoming<M: WireCodec>(rxs: &[Option<Receiver<Vec<u8>>>], inl: &mut Inlinks<M>) {
+    for (src, rx) in rxs.iter().enumerate() {
+        let Some(rx) = rx else { continue };
+        // A disconnected peer already sent everything it ever will;
+        // either way the loop ends once all visible frames are in.
+        while let Ok(frame) = rx.try_recv() {
+            let (msg, bits) = M::decode_frame(&frame).unwrap_or_else(|e| {
+                panic!(
+                    "machine {}: undecodable frame from machine {src}: {e}",
+                    inl.me
+                )
+            });
+            inl.absorb(src, msg, bits);
+        }
+    }
+}
+
+/// The message-passing engine: `k` worker threads, `k·(k−1)` bounded
+/// byte channels, a round-barrier coordinator. Transcript-identical to
+/// [`super::SequentialEngine`]; additionally measures real frame sizes
+/// into a [`WireReport`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DistributedEngine;
+
+impl DistributedEngine {
+    /// Executes `machines` under `config`; semantics identical to
+    /// [`super::SequentialEngine::run`], plus a populated
+    /// [`RunReport::wire`].
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] if the config fails
+    /// [`NetConfig::validate`] or `machines.len() != config.k`;
+    /// [`EngineError::RoundLimitExceeded`] if the safety valve fires
+    /// (with the same payload as the sequential engine).
+    pub fn run<P>(config: NetConfig, machines: Vec<P>) -> Result<RunReport<P>, EngineError>
+    where
+        P: Protocol,
+        P::Msg: WireCodec,
+    {
+        config.validate()?;
+        if machines.len() != config.k {
+            return Err(EngineError::InvalidConfig {
+                reason: format!(
+                    "one protocol instance per machine: got {} for k = {}",
+                    machines.len(),
+                    config.k
+                ),
+            });
+        }
+        let k = config.k;
+        let shared = rng::shared_seed(config.seed);
+
+        // Byte channels for every ordered pair (the diagonal stays
+        // local). Built as k×k option matrices, then each worker moves
+        // out its outgoing row and incoming column.
+        let mut frame_txs: Vec<Option<Sender<Vec<u8>>>> = Vec::with_capacity(k * k);
+        let mut frame_rxs: Vec<Option<Receiver<Vec<u8>>>> = Vec::with_capacity(k * k);
+        for src in 0..k {
+            for dst in 0..k {
+                if src == dst {
+                    frame_txs.push(None);
+                    frame_rxs.push(None);
+                } else {
+                    let (tx, rx) = bounded::<Vec<u8>>(LINK_CHANNEL_FRAMES);
+                    frame_txs.push(Some(tx));
+                    frame_rxs.push(Some(rx));
+                }
+            }
+        }
+
+        crossbeam::thread::scope(|scope| {
+            let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(k);
+            let mut resp_rxs: Vec<Receiver<Resp<P>>> = Vec::with_capacity(k);
+            // Workers in reverse so each can drain its row/column off
+            // the tails of the matrices by index arithmetic.
+            let mut worker_txs = frame_txs;
+            let mut worker_rxs = frame_rxs;
+            let mut spawns = Vec::with_capacity(k);
+            for me in (0..k).rev() {
+                // Outgoing row `me`: txs[me*k ..][dst]; incoming column
+                // `me`: rxs[src*k + me].
+                let out_txs: Vec<Option<Sender<Vec<u8>>>> =
+                    worker_txs.drain(me * k..(me + 1) * k).collect();
+                let mut in_rxs: Vec<Option<Receiver<Vec<u8>>>> = Vec::with_capacity(k);
+                for src in 0..k {
+                    in_rxs.push(worker_rxs[src * k + me].take());
+                }
+                spawns.push((me, out_txs, in_rxs));
+            }
+            spawns.reverse();
+
+            for ((me, out_txs, in_rxs), proto) in spawns.into_iter().zip(machines) {
+                let (cmd_tx, cmd_rx) = bounded::<Cmd>(1);
+                let (resp_tx, resp_rx) = bounded::<Resp<P>>(1);
+                cmd_txs.push(cmd_tx);
+                resp_rxs.push(resp_rx);
+                scope.spawn(move |_| {
+                    run_worker(
+                        config, me, shared, proto, out_txs, in_rxs, &cmd_rx, &resp_tx,
+                    )
+                });
+            }
+
+            // Coordinator: same control flow, quiescence test, and
+            // round-limit ordering as the sequential engine's loop.
+            let mut statuses = vec![Status::Active; k];
+            let mut iterations: u64 = 0;
+            let mut comm_rounds: u64 = 0;
+            let result = loop {
+                for tx in &cmd_txs {
+                    tx.send(Cmd::Round { round: iterations })
+                        .expect("worker alive");
+                }
+                for rx in &resp_rxs {
+                    match rx.recv().expect("worker alive") {
+                        Resp::Sent => {}
+                        _ => unreachable!("Round is answered by Sent first"),
+                    }
+                }
+                for tx in &cmd_txs {
+                    tx.send(Cmd::Deliver).expect("worker alive");
+                }
+                let mut any = false;
+                let mut queued_msgs = 0usize;
+                let mut queued_bits = 0u64;
+                let mut inboxes_empty = true;
+                for (i, rx) in resp_rxs.iter().enumerate() {
+                    match rx.recv().expect("worker alive") {
+                        Resp::Round(r) => {
+                            statuses[i] = r.status;
+                            any |= r.any_link_bits;
+                            queued_msgs += r.queued_msgs;
+                            queued_bits += r.queued_bits;
+                            inboxes_empty &= r.inbox_empty;
+                        }
+                        _ => unreachable!("Deliver is answered by Round"),
+                    }
+                }
+                if any {
+                    comm_rounds += 1;
+                }
+                iterations += 1;
+                if statuses.iter().all(|s| *s == Status::Done) && queued_msgs == 0 && inboxes_empty
+                {
+                    break Ok(());
+                }
+                if iterations >= config.max_rounds {
+                    break Err(EngineError::RoundLimitExceeded {
+                        limit: config.max_rounds,
+                        active_machines: statuses.iter().filter(|s| **s == Status::Active).count(),
+                        queued_msgs,
+                        queued_bits,
+                    });
+                }
+            };
+
+            // Collect final states (always, even on error, to join).
+            let mut finals: Vec<FinalState<P>> = Vec::with_capacity(k);
+            for tx in &cmd_txs {
+                tx.send(Cmd::Finish).expect("worker alive");
+            }
+            for rx in &resp_rxs {
+                match rx.recv().expect("worker alive") {
+                    Resp::Final(f) => finals.push(*f),
+                    _ => unreachable!("Finish yields Final"),
+                }
+            }
+            result.map(|_| assemble(k, comm_rounds, finals))
+        })
+        .expect("worker thread panicked")
+    }
+}
+
+/// Merges the per-worker slices into the run report; field-for-field
+/// the same aggregation the central `Network` performs.
+fn assemble<P>(k: usize, comm_rounds: u64, finals: Vec<FinalState<P>>) -> RunReport<P> {
+    let mut metrics = Metrics::new(k);
+    metrics.rounds = comm_rounds;
+    let mut wire = WireReport {
+        frames: 0,
+        frame_bytes: 0,
+        payload_bytes: 0,
+        logical_bits: 0,
+    };
+    let mut machines = Vec::with_capacity(k);
+    for (i, f) in finals.into_iter().enumerate() {
+        metrics.sent_msgs[i] = f.sent_msgs;
+        metrics.sent_bits[i] = f.sent_bits;
+        metrics.recv_msgs[i] = f.recv_msgs;
+        metrics.recv_bits[i] = f.recv_bits;
+        metrics.link_visits += f.link_visits;
+        metrics.max_link_bits = metrics.max_link_bits.max(
+            f.link_totals
+                .iter()
+                .map(|&(_, bits)| bits)
+                .max()
+                .unwrap_or(0),
+        );
+        wire.frames += f.frames;
+        wire.frame_bytes += f.frame_bytes;
+        wire.payload_bytes += f.payload_bytes;
+        wire.logical_bits += f.sent_bits;
+        machines.push(f.proto);
+    }
+    RunReport {
+        machines,
+        metrics,
+        wire: Some(wire),
+    }
+}
+
+/// The worker loop for machine `me`.
+#[allow(clippy::too_many_arguments)]
+fn run_worker<P>(
+    config: NetConfig,
+    me: MachineIdx,
+    shared: u64,
+    mut proto: P,
+    out_txs: Vec<Option<Sender<Vec<u8>>>>,
+    in_rxs: Vec<Option<Receiver<Vec<u8>>>>,
+    cmd_rx: &Receiver<Cmd>,
+    resp_tx: &Sender<Resp<P>>,
+) where
+    P: Protocol,
+    P::Msg: WireCodec,
+{
+    let k = config.k;
+    let mut rng = rng::machine_rng(config.seed, me);
+    let mut inl: Inlinks<P::Msg> = Inlinks::new(k, me);
+    let mut inbox: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut outbox: Outbox<P::Msg> = Outbox::new(k);
+    let (mut sent_msgs, mut sent_bits) = (0u64, 0u64);
+    let (mut frames, mut frame_bytes, mut payload_bytes) = (0u64, 0u64, 0u64);
+
+    loop {
+        match cmd_rx.recv().expect("coordinator alive") {
+            Cmd::Round { round } => {
+                let mut ctx = RoundCtx {
+                    round,
+                    me,
+                    k,
+                    bandwidth_bits: config.bandwidth_bits,
+                    shared_seed: shared,
+                    rng: &mut rng,
+                };
+                let status = proto.round(&mut ctx, &mut inbox, &mut outbox);
+                inbox.clear();
+                for (dst, msg) in outbox.drain() {
+                    if dst == me {
+                        inl.stage_self(msg);
+                        continue;
+                    }
+                    // Sender-side accounting uses the logical size, as
+                    // at `Network::stage`; the frame is the real bytes.
+                    let bits = msg.bits().max(1);
+                    sent_msgs += 1;
+                    sent_bits += bits;
+                    let frame = msg.encode_frame();
+                    frames += 1;
+                    frame_bytes += frame.len() as u64;
+                    payload_bytes += (frame.len() - FRAME_HEADER_BYTES) as u64;
+                    let tx = out_txs[dst].as_ref().expect("no self channel");
+                    let mut pending = frame;
+                    loop {
+                        match tx.try_send(pending) {
+                            Ok(()) => break,
+                            Err(TrySendError::Full(back)) => {
+                                // Backpressure: drain our own incoming
+                                // channels so the system always makes
+                                // progress, then retry.
+                                pending = back;
+                                drain_incoming(&in_rxs, &mut inl);
+                                std::thread::yield_now();
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                panic!("machine {me}: peer {dst} hung up mid-round")
+                            }
+                        }
+                    }
+                }
+                resp_tx.send(Resp::Sent).expect("coordinator alive");
+                // Barrier: keep draining until every peer has finished
+                // sending (the coordinator's Deliver certifies it).
+                loop {
+                    match cmd_rx.try_recv() {
+                        Ok(Cmd::Deliver) => break,
+                        Ok(_) => unreachable!("only Deliver follows Sent"),
+                        Err(TryRecvError::Empty) => {
+                            drain_incoming(&in_rxs, &mut inl);
+                            std::thread::yield_now();
+                        }
+                        Err(TryRecvError::Disconnected) => panic!("coordinator hung up"),
+                    }
+                }
+                drain_incoming(&in_rxs, &mut inl);
+                let any_link_bits = inl.deliver(config.bandwidth_bits, &mut inbox);
+                resp_tx
+                    .send(Resp::Round(RoundDone {
+                        status,
+                        any_link_bits,
+                        queued_msgs: inl.queued_msgs,
+                        queued_bits: inl.queued_bits,
+                        inbox_empty: inbox.is_empty(),
+                    }))
+                    .expect("coordinator alive");
+            }
+            Cmd::Deliver => unreachable!("Deliver only follows a Round"),
+            Cmd::Finish => break,
+        }
+    }
+    resp_tx
+        .send(Resp::Final(Box::new(FinalState {
+            proto,
+            sent_msgs,
+            sent_bits,
+            recv_msgs: inl.recv_msgs,
+            recv_bits: inl.recv_bits,
+            link_visits: inl.link_visits,
+            link_totals: inl.links.iter().map(Link::totals).collect(),
+            frames,
+            frame_bytes,
+            payload_bytes,
+        })))
+        .expect("coordinator alive");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SequentialEngine;
+    use rand::Rng;
+
+    /// Random traffic with self-sends and oversized messages.
+    struct Gossip {
+        log: Vec<(usize, u32)>,
+    }
+
+    impl Protocol for Gossip {
+        type Msg = u32;
+        fn round(
+            &mut self,
+            ctx: &mut RoundCtx<'_>,
+            inbox: &mut Vec<Envelope<u32>>,
+            out: &mut Outbox<u32>,
+        ) -> Status {
+            for env in inbox {
+                self.log.push((env.src, env.msg));
+            }
+            if ctx.round < 4 {
+                for _ in 0..ctx.rng.gen_range(0..5) {
+                    let dst = ctx.rng.gen_range(0..ctx.k);
+                    out.send(dst, ctx.rng.gen::<u32>());
+                }
+                Status::Active
+            } else {
+                Status::Done
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_matches_sequential_transcript() {
+        let mk = || {
+            (0..7)
+                .map(|_| Gossip { log: Vec::new() })
+                .collect::<Vec<_>>()
+        };
+        // B = 40 bits < one 44-bit... (32-bit messages) — small enough
+        // that messages span rounds, exercising partial delivery.
+        let cfg = NetConfig::with_bandwidth(7, 40, 2024);
+        let seq = SequentialEngine::run(cfg, mk()).unwrap();
+        let dist = DistributedEngine::run(cfg, mk()).unwrap();
+        assert_eq!(seq.metrics, dist.metrics);
+        for (s, d) in seq.machines.iter().zip(&dist.machines) {
+            assert_eq!(s.log, d.log);
+        }
+        assert!(seq.wire.is_none(), "in-process engines never serialize");
+        let wire = dist.wire.expect("distributed run measures frames");
+        assert_eq!(wire.logical_bits, dist.metrics.total_bits());
+        assert_eq!(wire.frames, dist.metrics.total_msgs());
+        // Every frame: 12-byte header + ⌈32/8⌉ = 4 payload bytes.
+        assert_eq!(wire.frame_bytes, wire.frames * 16);
+        assert_eq!(wire.payload_bytes, wire.frames * 4);
+        assert_eq!(wire.padding_bits(), 0, "u32 payloads are byte-aligned");
+        assert!(wire.wire_vs_logical() > 1.0);
+    }
+
+    #[test]
+    fn round_limit_error_is_bit_identical_too() {
+        #[derive(Debug)]
+        struct Chatter;
+        impl Protocol for Chatter {
+            type Msg = u8;
+            fn round(
+                &mut self,
+                ctx: &mut RoundCtx<'_>,
+                _inbox: &mut Vec<Envelope<u8>>,
+                out: &mut Outbox<u8>,
+            ) -> Status {
+                // Overfeed the link so queues build up.
+                out.send((ctx.me + 1) % ctx.k, 1);
+                out.send((ctx.me + 1) % ctx.k, 2);
+                Status::Active
+            }
+        }
+        let cfg = NetConfig::with_bandwidth(4, 8, 0).max_rounds(6);
+        let seq = SequentialEngine::run(cfg, vec![Chatter, Chatter, Chatter, Chatter]).unwrap_err();
+        let dist =
+            DistributedEngine::run(cfg, vec![Chatter, Chatter, Chatter, Chatter]).unwrap_err();
+        assert_eq!(seq, dist, "error payloads must agree field-for-field");
+    }
+
+    #[test]
+    fn single_machine_runs_without_links() {
+        struct Solo {
+            echoes: u32,
+        }
+        impl Protocol for Solo {
+            type Msg = u64;
+            fn round(
+                &mut self,
+                ctx: &mut RoundCtx<'_>,
+                inbox: &mut Vec<Envelope<u64>>,
+                out: &mut Outbox<u64>,
+            ) -> Status {
+                self.echoes += inbox.len() as u32;
+                if ctx.round < 3 {
+                    out.send(0, ctx.round); // self-send
+                    Status::Active
+                } else {
+                    Status::Done
+                }
+            }
+        }
+        let report =
+            DistributedEngine::run(NetConfig::with_bandwidth(1, 8, 5), vec![Solo { echoes: 0 }])
+                .unwrap();
+        assert_eq!(report.machines[0].echoes, 3);
+        assert_eq!(report.metrics.rounds, 0, "self-sends are free");
+        let wire = report.wire.unwrap();
+        assert_eq!(wire.frames, 0, "nothing ever crossed a channel");
+    }
+
+    /// Messages larger than the channel capacity in one round: the
+    /// backpressure drain path must not deadlock or reorder.
+    #[test]
+    fn channel_backpressure_preserves_fifo() {
+        struct Blast {
+            got: Vec<u32>,
+        }
+        impl Protocol for Blast {
+            type Msg = u32;
+            fn round(
+                &mut self,
+                ctx: &mut RoundCtx<'_>,
+                inbox: &mut Vec<Envelope<u32>>,
+                out: &mut Outbox<u32>,
+            ) -> Status {
+                for env in inbox.iter() {
+                    self.got.push(env.msg);
+                }
+                if ctx.round == 0 {
+                    // 4× the channel capacity, pairwise all-to-all.
+                    for seq in 0..(4 * LINK_CHANNEL_FRAMES as u32) {
+                        for dst in 0..ctx.k {
+                            if dst != ctx.me {
+                                out.send(dst, seq);
+                            }
+                        }
+                    }
+                    Status::Active
+                } else {
+                    Status::Done
+                }
+            }
+        }
+        let k = 4;
+        let cfg = NetConfig::with_bandwidth(k, 1 << 20, 3);
+        let mk = || {
+            (0..k)
+                .map(|_| Blast { got: Vec::new() })
+                .collect::<Vec<_>>()
+        };
+        let seq = SequentialEngine::run(cfg, mk()).unwrap();
+        let dist = DistributedEngine::run(cfg, mk()).unwrap();
+        assert_eq!(seq.metrics, dist.metrics);
+        for (s, d) in seq.machines.iter().zip(&dist.machines) {
+            assert_eq!(
+                s.got, d.got,
+                "per-link FIFO order must survive backpressure"
+            );
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Execution engines.
 //!
-//! Both engines implement identical synchronous-round semantics:
+//! All three engines implement identical synchronous-round semantics:
 //!
 //! 1. every machine runs [`crate::Protocol::round`] on the messages delivered at
 //!    the start of this round and stages outgoing messages;
@@ -13,8 +13,12 @@
 //!    round limit fires.
 //!
 //! [`SequentialEngine`] is the reference implementation;
-//! [`ParallelEngine`] distributes step 1 across crossbeam scoped threads
-//! and is transcript-identical (tested in `tests/engine_equivalence.rs`).
+//! [`ParallelEngine`] distributes step 1 across crossbeam scoped threads;
+//! [`DistributedEngine`] goes further and runs one worker thread *per
+//! machine*, serializing every link message into a byte frame over that
+//! ordered pair's bounded channel (see `distributed.rs`). All three are
+//! transcript-identical (tested in `tests/engine_equivalence.rs` and the
+//! cross-engine fuzz matrix in `tests/engine_fuzz.rs`).
 //!
 //! # Sparse delivery
 //!
@@ -43,10 +47,12 @@
 //! sorted), so inboxes — and therefore transcripts, metrics, and RNG
 //! streams — are bit-for-bit identical to the pre-index engine.
 
+pub mod distributed;
 pub mod parallel;
 pub mod sequential;
 
-pub use crate::metrics::RunReport;
+pub use crate::metrics::{RunReport, WireReport};
+pub use distributed::DistributedEngine;
 pub use parallel::ParallelEngine;
 pub use sequential::SequentialEngine;
 

@@ -238,6 +238,7 @@ impl ParallelEngine {
                 RunReport {
                     machines: final_machines,
                     metrics: net.metrics,
+                    wire: None,
                 }
             })
         })

@@ -85,6 +85,7 @@ impl SequentialEngine {
         Ok(RunReport {
             machines,
             metrics: net.metrics,
+            wire: None,
         })
     }
 }

@@ -14,17 +14,22 @@
 //!
 //! Algorithms implement the [`Protocol`] trait and are executed through
 //! the [`Runner`] API: `Runner::new(cfg).engine(EngineKind::Auto)
-//! .run(machines)` dispatches to the deterministic
-//! [`engine::SequentialEngine`] or the thread-parallel
-//! [`engine::ParallelEngine`] (identical semantics, bit-for-bit identical
-//! transcripts), with [`EngineKind::Auto`] choosing by machine count and
-//! honoring the `KM_ENGINE` environment variable. Full algorithms
-//! implement [`KmAlgorithm`] (build → run → extract) and run through the
-//! generic [`run_algorithm`] driver, which returns a structured
-//! [`RunOutcome`]. Message sizes are *logical bit counts* via
-//! [`WireSize`], so experiments can charge exactly the `Θ(log n)`-bit id
-//! costs the theory uses. Detailed transcript statistics ([`Metrics`])
-//! feed the lower-bound validators in `km-lower`.
+//! .run(machines)` dispatches to one of **three transcript-identical
+//! engines** — the deterministic [`engine::SequentialEngine`], the
+//! thread-parallel [`engine::ParallelEngine`], or the message-passing
+//! [`engine::DistributedEngine`] (one OS thread per machine, messages
+//! serialized through per-link byte channels via [`WireCodec`]) — with
+//! [`EngineKind::Auto`] choosing by machine count and honoring the
+//! `KM_ENGINE` environment variable. Full algorithms implement
+//! [`KmAlgorithm`] (build → run → extract) and run through the generic
+//! [`run_algorithm`] driver, which returns a structured [`RunOutcome`].
+//! Message sizes are *logical bit counts* via [`WireSize`], so
+//! experiments can charge exactly the `Θ(log n)`-bit id costs the theory
+//! uses; the distributed engine additionally reports *measured* frame
+//! bytes in a [`WireReport`], exposing the gap between the accounting
+//! model and bits that actually crossed a channel. Detailed transcript
+//! statistics ([`Metrics`]) feed the lower-bound validators in
+//! `km-lower`.
 //!
 //! The congested clique (`k = n`, one vertex per machine — Corollary 1)
 //! is the special case provided by [`clique`]. The randomized-routing
@@ -32,6 +37,7 @@
 //! [`router`].
 
 pub mod clique;
+pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -43,11 +49,12 @@ pub mod rng;
 pub mod router;
 pub mod runner;
 
+pub use codec::{assert_roundtrip, BitReader, BitWriter, CodecError, WireCodec};
 pub use config::NetConfig;
-pub use engine::{ParallelEngine, RunReport, SequentialEngine};
+pub use engine::{DistributedEngine, ParallelEngine, RunReport, SequentialEngine};
 pub use error::EngineError;
 pub use message::{id_bits, Envelope, Outbox, Raw, WireSize};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, WireReport};
 pub use protocol::{Protocol, RoundCtx, Status};
 pub use runner::{run_algorithm, EngineKind, KmAlgorithm, RunOutcome, Runner};
 

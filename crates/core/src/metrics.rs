@@ -80,6 +80,60 @@ impl Metrics {
     }
 }
 
+/// Measured byte-frame statistics from the distributed engine — what the
+/// serialized traffic *actually* cost, next to what [`Metrics`] charges
+/// logically. Only the distributed engine produces one (the in-process
+/// engines never serialize); it is deliberately **excluded** from the
+/// cross-engine bit-identity guarantee, which covers output, metrics,
+/// and config.
+///
+/// The gap has exactly two sources, both mechanical: every frame pays a
+/// fixed header ([`crate::codec::FRAME_HEADER_BYTES`]), and every
+/// payload is padded to a whole byte (`⌈bits/8⌉`). The *payload bits
+/// before padding* equal `logical_bits` by construction —
+/// [`crate::codec::WireCodec::encode_frame`] asserts it per message —
+/// so `wire_vs_logical` quantifies pure framing overhead, not any
+/// disagreement about message content.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct WireReport {
+    /// Frames shipped over byte channels (one per link message).
+    pub frames: u64,
+    /// Total frame bytes including headers.
+    pub frame_bytes: u64,
+    /// Total payload bytes (frames minus headers).
+    pub payload_bytes: u64,
+    /// Total logical bits ([`crate::WireSize`]) of the framed messages;
+    /// equals `Metrics::total_bits()` of the same run.
+    pub logical_bits: u64,
+}
+
+impl WireReport {
+    /// Bits actually moved over the byte channels, headers included.
+    pub fn measured_bits(&self) -> u64 {
+        self.frame_bytes * 8
+    }
+
+    /// Bits spent on frame headers alone.
+    pub fn header_bits(&self) -> u64 {
+        (self.frame_bytes - self.payload_bytes) * 8
+    }
+
+    /// Bits lost to byte-aligning each payload (`⌈bits/8⌉` padding).
+    pub fn padding_bits(&self) -> u64 {
+        self.payload_bytes * 8 - self.logical_bits
+    }
+
+    /// The headline ratio: measured frame bits over logical bits
+    /// (`1.0` = the encoding is exactly as large as the theory charges;
+    /// `0.0` when nothing was sent).
+    pub fn wire_vs_logical(&self) -> f64 {
+        if self.logical_bits == 0 {
+            return 0.0;
+        }
+        self.measured_bits() as f64 / self.logical_bits as f64
+    }
+}
+
 /// The result of a run: the final machine states plus metrics.
 #[derive(Debug)]
 pub struct RunReport<P> {
@@ -87,6 +141,9 @@ pub struct RunReport<P> {
     pub machines: Vec<P>,
     /// Transcript statistics.
     pub metrics: Metrics,
+    /// Measured byte-frame statistics — `Some` only for runs on the
+    /// distributed engine (see [`WireReport`]).
+    pub wire: Option<WireReport>,
 }
 
 #[cfg(test)]
@@ -103,6 +160,29 @@ mod tests {
         assert_eq!(m.total_bits(), 60);
         assert_eq!(m.max_recv_bits(), 50);
         assert_eq!(m.max_sent_bits(), 30);
+    }
+
+    #[test]
+    fn wire_report_arithmetic() {
+        // 3 frames of 12-byte headers; 10 payload bytes carrying 75
+        // logical bits (5 bits of byte padding).
+        let w = WireReport {
+            frames: 3,
+            frame_bytes: 46,
+            payload_bytes: 10,
+            logical_bits: 75,
+        };
+        assert_eq!(w.measured_bits(), 368);
+        assert_eq!(w.header_bits(), 36 * 8);
+        assert_eq!(w.padding_bits(), 5);
+        assert!((w.wire_vs_logical() - 368.0 / 75.0).abs() < 1e-12);
+        let idle = WireReport {
+            frames: 0,
+            frame_bytes: 0,
+            payload_bytes: 0,
+            logical_bits: 0,
+        };
+        assert_eq!(idle.wire_vs_logical(), 0.0);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! deterministic proxy map; [`Routed`] implements the two-hop pattern
 //! (source → random relay → destination) for raw traffic.
 
+use crate::codec::{BitReader, BitWriter, CodecError, WireCodec};
 use crate::message::{Envelope, Outbox, WireSize};
 use crate::rng::{keyed_hash, splitmix64};
 use crate::MachineIdx;
@@ -138,6 +139,25 @@ impl<M: WireSize> WireSize for Routed<M> {
     }
 }
 
+impl<M: WireCodec> WireCodec for Routed<M> {
+    fn encode(&self, w: &mut BitWriter) {
+        w.put(self.origin as u64, 16);
+        w.put(self.target as u64, 16);
+        self.inner.encode(w);
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let origin = r.take(16)? as MachineIdx;
+        let target = r.take(16)? as MachineIdx;
+        let inner = M::decode(r)?;
+        Ok(Routed {
+            origin,
+            target,
+            inner,
+        })
+    }
+}
+
 /// Sends `msg` to `target` via a uniformly random relay machine. Use when
 /// the *destination* distribution is adversarial; the relay hop makes both
 /// legs uniform so Lemma 13 applies to each.
@@ -209,6 +229,17 @@ pub struct ScatterToken;
 impl WireSize for ScatterToken {
     fn bits(&self) -> u64 {
         16
+    }
+}
+
+impl WireCodec for ScatterToken {
+    fn encode(&self, w: &mut BitWriter) {
+        w.put(0, 16); // the token carries no content, only its 16-bit cost
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        r.take(16)?;
+        Ok(ScatterToken)
     }
 }
 

@@ -42,14 +42,18 @@
 //! and [`run_algorithm`] is the single generic driver every algorithm
 //! crate and experiment routes through.
 
+use crate::codec::WireCodec;
 use crate::config::NetConfig;
-use crate::engine::{ParallelEngine, RunReport, SequentialEngine};
+use crate::engine::{DistributedEngine, ParallelEngine, RunReport, SequentialEngine};
 use crate::error::EngineError;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, WireReport};
 use crate::protocol::Protocol;
 
 /// Environment variable overriding [`EngineKind::Auto`] resolution
-/// (values: `seq`/`sequential`, `par`/`parallel`/`parallel:N`, `auto`).
+/// (values: `seq`/`sequential`, `par`/`parallel`/`parallel:N`,
+/// `dist`/`distributed`, `auto`). An unrecognized value is an
+/// [`EngineError::InvalidConfig`] naming it — a typo must not silently
+/// run a different engine than the experimenter asked for.
 pub const ENGINE_ENV: &str = "KM_ENGINE";
 
 /// Machine count at which [`EngineKind::Auto`] switches to the parallel
@@ -57,9 +61,9 @@ pub const ENGINE_ENV: &str = "KM_ENGINE";
 /// per-round fan-out/fan-in overhead outweighs the parallel speedup.
 pub const AUTO_PARALLEL_MIN_K: usize = 32;
 
-/// Which engine executes a run. Both engines are transcript-identical
+/// Which engine executes a run. All engines are transcript-identical
 /// (same results, metrics, and RNG streams for the same seed), so this
-/// is purely a wall-clock choice.
+/// is purely a wall-clock/fidelity choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
     /// The deterministic single-threaded reference engine.
@@ -70,6 +74,12 @@ pub enum EngineKind {
         /// Worker threads (capped at `k` by the engine).
         threads: usize,
     },
+    /// The message-passing engine: one OS thread per machine, messages
+    /// serialized over per-link byte channels, and a measured
+    /// [`WireReport`] in the outcome. Never chosen by `Auto` on its own
+    /// (it spawns `k` threads and pays real serialization); opt in
+    /// explicitly or via `KM_ENGINE=distributed`.
+    Distributed,
     /// Resolve at run time: the [`ENGINE_ENV`] environment variable wins
     /// if set; otherwise runs with `k ≥` [`AUTO_PARALLEL_MIN_K`] go
     /// parallel when the host has more than one hardware thread.
@@ -92,6 +102,7 @@ impl EngineKind {
         match s.as_str() {
             "seq" | "sequential" => Some(EngineKind::Sequential),
             "par" | "parallel" => Some(EngineKind::Parallel { threads: 0 }),
+            "dist" | "distributed" => Some(EngineKind::Distributed),
             "auto" => Some(EngineKind::Auto),
             _ => {
                 let threads = s
@@ -105,15 +116,44 @@ impl EngineKind {
         }
     }
 
-    /// Reads the [`ENGINE_ENV`] override, if set and parseable.
-    pub fn from_env() -> Option<EngineKind> {
-        std::env::var(ENGINE_ENV).ok().and_then(|v| Self::parse(&v))
+    /// Reads the [`ENGINE_ENV`] override: `Ok(None)` when unset.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] naming the value when the variable
+    /// is set to something [`EngineKind::parse`] rejects. (It used to
+    /// fall back to auto-resolution silently, which made `KM_ENGINE`
+    /// typos run the wrong engine without a trace.)
+    pub fn from_env() -> Result<Option<EngineKind>, EngineError> {
+        let raw = std::env::var(ENGINE_ENV).ok();
+        Self::from_env_value(raw.as_deref())
+    }
+
+    /// [`EngineKind::from_env`] with the environment read factored out,
+    /// so the rejection path is testable without mutating the real
+    /// (process-global) variable from a racing test thread.
+    fn from_env_value(raw: Option<&str>) -> Result<Option<EngineKind>, EngineError> {
+        match raw {
+            None => Ok(None),
+            Some(v) => match Self::parse(v) {
+                Some(kind) => Ok(Some(kind)),
+                None => Err(EngineError::InvalidConfig {
+                    reason: format!(
+                        "unrecognized {ENGINE_ENV} value {v:?} (expected seq, sequential, par, \
+                         parallel, parallel:N, dist, distributed, or auto)"
+                    ),
+                }),
+            },
+        }
     }
 
     /// Resolves `Auto` (and `threads = 0`) into a concrete engine choice
     /// for a `k`-machine run.
-    pub fn resolve(self, k: usize) -> EngineKind {
-        self.resolve_with(Self::from_env(), k, available_threads())
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] if [`ENGINE_ENV`] is set to an
+    /// unrecognized value (see [`EngineKind::from_env`]).
+    pub fn resolve(self, k: usize) -> Result<EngineKind, EngineError> {
+        Ok(self.resolve_with(Self::from_env()?, k, available_threads()))
     }
 
     /// Deterministic resolution core: `env` is the [`ENGINE_ENV`]
@@ -128,6 +168,7 @@ impl EngineKind {
                 threads: cores.max(2),
             },
             EngineKind::Parallel { threads } => EngineKind::Parallel { threads },
+            EngineKind::Distributed => EngineKind::Distributed,
             EngineKind::Auto => match env {
                 Some(kind) if kind != EngineKind::Auto => kind.resolve_with(None, k, cores),
                 _ if k >= AUTO_PARALLEL_MIN_K && cores > 1 => {
@@ -171,27 +212,44 @@ impl Runner {
 
     /// The engine this runner would use for its `k` (with `Auto` and
     /// `threads = 0` resolved against the current environment).
-    pub fn resolved_engine(&self) -> EngineKind {
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] if [`ENGINE_ENV`] is set to an
+    /// unrecognized value.
+    pub fn resolved_engine(&self) -> Result<EngineKind, EngineError> {
         self.engine.resolve(self.config.k)
     }
 
     /// Runs one protocol instance per machine to global quiescence.
     ///
+    /// The `WireCodec` bound exists because any run may resolve to the
+    /// distributed engine, which serializes every message; protocols
+    /// driven directly through an engine (`SequentialEngine::run`) need
+    /// only `WireSize`.
+    ///
     /// # Errors
-    /// [`EngineError::InvalidConfig`] for an invalid configuration or a
-    /// machine count ≠ `k`; [`EngineError::RoundLimitExceeded`] if the
-    /// round-limit safety valve fires.
-    pub fn run<P: Protocol>(&self, machines: Vec<P>) -> Result<RunReport<P>, EngineError> {
+    /// [`EngineError::InvalidConfig`] for an invalid configuration, a
+    /// machine count ≠ `k`, or a bad [`ENGINE_ENV`] value;
+    /// [`EngineError::RoundLimitExceeded`] if the round-limit safety
+    /// valve fires.
+    pub fn run<P: Protocol>(&self, machines: Vec<P>) -> Result<RunReport<P>, EngineError>
+    where
+        P::Msg: WireCodec,
+    {
         self.config.validate()?;
         self.dispatch(machines)
     }
 
     /// Engine dispatch after validation.
-    fn dispatch<P: Protocol>(&self, machines: Vec<P>) -> Result<RunReport<P>, EngineError> {
-        match self.resolved_engine() {
+    fn dispatch<P: Protocol>(&self, machines: Vec<P>) -> Result<RunReport<P>, EngineError>
+    where
+        P::Msg: WireCodec,
+    {
+        match self.resolved_engine()? {
             EngineKind::Parallel { threads } if threads > 1 => {
                 ParallelEngine::with_threads(threads).run(self.config, machines)
             }
+            EngineKind::Distributed => DistributedEngine::run(self.config, machines),
             _ => SequentialEngine::run(self.config, machines),
         }
     }
@@ -201,7 +259,10 @@ impl Runner {
     pub fn run_algorithm<A: KmAlgorithm>(
         &self,
         alg: &A,
-    ) -> Result<RunOutcome<A::Output>, EngineError> {
+    ) -> Result<RunOutcome<A::Output>, EngineError>
+    where
+        <A::Machine as Protocol>::Msg: WireCodec,
+    {
         // Validate before build so `k = 0` and friends surface as errors
         // rather than tripping the algorithm's own preconditions.
         self.config.validate()?;
@@ -212,6 +273,7 @@ impl Runner {
             output,
             metrics: report.metrics,
             config: self.config,
+            wire: report.wire,
         })
     }
 }
@@ -249,7 +311,7 @@ pub trait KmAlgorithm {
 /// The structured result of [`run_algorithm`]: the algorithm's output,
 /// the transcript statistics, and an echo of the configuration that
 /// produced them (so result tables are self-describing).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RunOutcome<T> {
     /// The algorithm's assembled global output.
     pub output: T,
@@ -257,6 +319,21 @@ pub struct RunOutcome<T> {
     pub metrics: Metrics,
     /// The configuration the run executed under.
     pub config: NetConfig,
+    /// Measured byte-frame statistics (`Some` only on the distributed
+    /// engine). Engine instrumentation, not part of the run's identity —
+    /// see the `PartialEq` impl below.
+    pub wire: Option<WireReport>,
+}
+
+/// Equality covers the *bit-identity guarantee* — output, metrics, and
+/// config echo. `wire` is excluded deliberately: it reports what one
+/// particular engine's serialization measured, so including it would
+/// make semantically identical runs on different engines compare
+/// unequal.
+impl<T: PartialEq> PartialEq for RunOutcome<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.output == other.output && self.metrics == other.metrics && self.config == other.config
+    }
 }
 
 /// Runs `alg` to quiescence under `runner`: build one machine per
@@ -265,7 +342,10 @@ pub struct RunOutcome<T> {
 pub fn run_algorithm<A: KmAlgorithm>(
     alg: &A,
     runner: Runner,
-) -> Result<RunOutcome<A::Output>, EngineError> {
+) -> Result<RunOutcome<A::Output>, EngineError>
+where
+    <A::Machine as Protocol>::Msg: WireCodec,
+{
     runner.run_algorithm(alg)
 }
 
@@ -335,6 +415,11 @@ mod tests {
             EngineKind::parse("PAR:2"),
             Some(EngineKind::Parallel { threads: 2 })
         );
+        assert_eq!(EngineKind::parse("dist"), Some(EngineKind::Distributed));
+        assert_eq!(
+            EngineKind::parse(" Distributed "),
+            Some(EngineKind::Distributed)
+        );
         assert_eq!(EngineKind::parse("auto"), Some(EngineKind::Auto));
         assert_eq!(EngineKind::parse("gpu"), None);
         assert_eq!(EngineKind::parse("parallel:x"), None);
@@ -374,6 +459,16 @@ mod tests {
             EngineKind::Sequential.resolve_with(Some(EngineKind::Parallel { threads: 4 }), 64, 8),
             EngineKind::Sequential
         );
+        // Auto never chooses the distributed engine on its own, but the
+        // environment can demand it; explicit Distributed sticks.
+        assert_eq!(
+            auto.resolve_with(Some(EngineKind::Distributed), 4, 8),
+            EngineKind::Distributed
+        );
+        assert_eq!(
+            EngineKind::Distributed.resolve_with(None, 256, 1),
+            EngineKind::Distributed
+        );
     }
 
     #[test]
@@ -383,6 +478,7 @@ mod tests {
             EngineKind::Sequential,
             EngineKind::Parallel { threads: 2 },
             EngineKind::Parallel { threads: 0 },
+            EngineKind::Distributed,
             EngineKind::Auto,
         ] {
             let machines = (0..5).map(|_| SumUp { total: 0 }).collect();
@@ -416,20 +512,53 @@ mod tests {
     fn env_override_is_read_and_parsed() {
         // The engines are transcript-identical, so a concurrent test
         // observing this temporary override still computes the same
-        // results — the override is benign to race with.
+        // results — the override is benign to race with. (The invalid
+        // value below is also exercised in this same test, rather than
+        // its own, so two tests never race on the variable.)
         let prev = std::env::var(ENGINE_ENV).ok();
         std::env::set_var(ENGINE_ENV, "parallel:3");
         assert_eq!(
-            EngineKind::from_env(),
+            EngineKind::from_env().unwrap(),
             Some(EngineKind::Parallel { threads: 3 })
         );
         assert_eq!(
-            EngineKind::Auto.resolve(4),
+            EngineKind::Auto.resolve(4).unwrap(),
             EngineKind::Parallel { threads: 3 }
+        );
+        std::env::set_var(ENGINE_ENV, "distributed");
+        assert_eq!(
+            EngineKind::from_env().unwrap(),
+            Some(EngineKind::Distributed)
+        );
+        assert_eq!(
+            EngineKind::Auto.resolve(4).unwrap(),
+            EngineKind::Distributed
         );
         match prev {
             Some(v) => std::env::set_var(ENGINE_ENV, v),
             None => std::env::remove_var(ENGINE_ENV),
         }
+    }
+
+    #[test]
+    fn unrecognized_env_value_is_a_hard_error_naming_the_value() {
+        // Regression: an unrecognized KM_ENGINE must be a hard error
+        // naming the offender, not a silent fallback to Auto's own
+        // choice. Exercised through `from_env_value` so this test never
+        // plants an invalid value in the process-global environment,
+        // which concurrent tests resolving `Auto` would trip over.
+        let err = EngineKind::from_env_value(Some("warp-drive")).unwrap_err();
+        match &err {
+            EngineError::InvalidConfig { reason } => {
+                assert!(reason.contains("warp-drive"), "{reason}");
+                assert!(reason.contains(ENGINE_ENV), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        assert_eq!(EngineKind::from_env_value(None).unwrap(), None);
+        assert_eq!(
+            EngineKind::from_env_value(Some("dist")).unwrap(),
+            Some(EngineKind::Distributed)
+        );
     }
 }

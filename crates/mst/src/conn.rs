@@ -46,8 +46,8 @@
 use crate::sketch::{phase_seed, L0Sketch, SketchParams};
 use km_core::router::{phase_proxy_of, PhaseBarrier};
 use km_core::{
-    id_bits, run_algorithm, Envelope, KmAlgorithm, MachineIdx, Metrics, NetConfig, Outbox,
-    Protocol, RoundCtx, Runner, Status, WireSize,
+    id_bits, run_algorithm, BitReader, BitWriter, CodecError, Envelope, KmAlgorithm, MachineIdx,
+    Metrics, NetConfig, Outbox, Protocol, RoundCtx, Runner, Status, WireCodec, WireSize,
 };
 use km_graph::{CsrGraph, DistGraphBuilder, Edge, LocalGraph, Partition, Vertex};
 use std::collections::{BTreeMap, BTreeSet};
@@ -176,6 +176,189 @@ impl ConnMsg {
             payload,
             bits: bits as u32,
         }
+    }
+}
+
+/// Wire layout: parity (1) · tag (4) · body. Vertex-id widths are not
+/// shipped; the decoder divides the remaining bit count by the variant's
+/// field count (`Merge` has 4 ids, `LabelA` 2, …). The one subtlety is
+/// `Partial`: the sketch is self-describing (its own 16-bit shape header,
+/// see [`L0Sketch`]'s codec), so it goes first and `comp` takes whatever
+/// bits remain after it.
+impl WireCodec for ConnMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        w.put(u64::from(self.parity), 1);
+        let idb = |fields: u64, extra: u64| ((u64::from(self.bits) - HDR - extra) / fields) as u32;
+        match &self.payload {
+            ConnPayload::Partial { comp, sketch } => {
+                w.put(0, 4);
+                let before = w.bit_len();
+                sketch.encode(w);
+                let comp_bits = (u64::from(self.bits) - HDR - (w.bit_len() - before)) as u32;
+                w.put(u64::from(*comp), comp_bits);
+            }
+            ConnPayload::Closed { comp } => {
+                w.put(1, 4);
+                w.put(u64::from(*comp), idb(1, 0));
+            }
+            ConnPayload::LabelQ { v } => {
+                w.put(2, 4);
+                w.put(u64::from(*v), idb(1, 0));
+            }
+            ConnPayload::LabelA { v, label } => {
+                w.put(3, 4);
+                let idb = idb(2, 0);
+                w.put(u64::from(*v), idb);
+                w.put(u64::from(*label), idb);
+            }
+            ConnPayload::Merge { a, b, e } => {
+                w.put(4, 4);
+                let idb = idb(4, 0);
+                w.put(u64::from(*a), idb);
+                w.put(u64::from(*b), idb);
+                w.put(u64::from(e.u), idb);
+                w.put(u64::from(e.v), idb);
+            }
+            ConnPayload::MinX { c, min } => {
+                w.put(5, 4);
+                let idb = idb(2, 0);
+                w.put(u64::from(*c), idb);
+                w.put(u64::from(*min), idb);
+            }
+            ConnPayload::JumpQ { c, d } => {
+                w.put(6, 4);
+                let idb = idb(2, 0);
+                w.put(u64::from(*c), idb);
+                w.put(u64::from(*d), idb);
+            }
+            ConnPayload::JumpA { c, p, root } => {
+                w.put(7, 4);
+                let idb = idb(2, 1);
+                w.put(u64::from(*root), 1);
+                w.put(u64::from(*c), idb);
+                w.put(u64::from(*p), idb);
+            }
+            ConnPayload::Push { old, new } => {
+                w.put(8, 4);
+                let idb = idb(2, 0);
+                w.put(u64::from(*old), idb);
+                w.put(u64::from(*new), idb);
+            }
+            ConnPayload::Flush { c0, c1 } => {
+                w.put(9, 4);
+                // Counter width: (bits − HDR) / 2 = idb + 1; counters are
+                // bounded by n, so `put`'s fit assertion enforces honesty.
+                let cw = idb(2, 0);
+                w.put(*c0, cw);
+                w.put(*c1, cw);
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let total = r.remaining();
+        let parity = r.take(1)? != 0;
+        let tag = r.take(4)?;
+        let split = |rem: u64, fields: u64, extra: u64| -> Result<u32, CodecError> {
+            let ids = rem - extra;
+            if extra > rem || !ids.is_multiple_of(fields) || !(1..=32).contains(&(ids / fields)) {
+                return Err(CodecError::Invalid {
+                    what: "conn message body width",
+                    value: rem,
+                });
+            }
+            Ok((ids / fields) as u32)
+        };
+        let payload = match tag {
+            0 => {
+                let sketch = <L0Sketch as WireCodec>::decode(r)?;
+                let comp_bits = split(r.remaining(), 1, 0)?;
+                ConnPayload::Partial {
+                    comp: r.take(comp_bits)? as Vertex,
+                    sketch,
+                }
+            }
+            1 => ConnPayload::Closed {
+                comp: r.take(split(r.remaining(), 1, 0)?)? as Vertex,
+            },
+            2 => ConnPayload::LabelQ {
+                v: r.take(split(r.remaining(), 1, 0)?)? as Vertex,
+            },
+            3 => {
+                let idb = split(r.remaining(), 2, 0)?;
+                ConnPayload::LabelA {
+                    v: r.take(idb)? as Vertex,
+                    label: r.take(idb)? as Vertex,
+                }
+            }
+            4 => {
+                let idb = split(r.remaining(), 4, 0)?;
+                ConnPayload::Merge {
+                    a: r.take(idb)? as Vertex,
+                    b: r.take(idb)? as Vertex,
+                    e: Edge {
+                        u: r.take(idb)? as Vertex,
+                        v: r.take(idb)? as Vertex,
+                    },
+                }
+            }
+            5 => {
+                let idb = split(r.remaining(), 2, 0)?;
+                ConnPayload::MinX {
+                    c: r.take(idb)? as Vertex,
+                    min: r.take(idb)? as Vertex,
+                }
+            }
+            6 => {
+                let idb = split(r.remaining(), 2, 0)?;
+                ConnPayload::JumpQ {
+                    c: r.take(idb)? as Vertex,
+                    d: r.take(idb)? as Vertex,
+                }
+            }
+            7 => {
+                let idb = split(r.remaining(), 2, 1)?;
+                let root = r.take(1)? != 0;
+                ConnPayload::JumpA {
+                    c: r.take(idb)? as Vertex,
+                    p: r.take(idb)? as Vertex,
+                    root,
+                }
+            }
+            8 => {
+                let idb = split(r.remaining(), 2, 0)?;
+                ConnPayload::Push {
+                    old: r.take(idb)? as Vertex,
+                    new: r.take(idb)? as Vertex,
+                }
+            }
+            9 => {
+                // Counter width is idb + 1, so it may reach 33 bits.
+                let rem = r.remaining();
+                if !rem.is_multiple_of(2) || !(2..=66).contains(&rem) {
+                    return Err(CodecError::Invalid {
+                        what: "conn flush body width",
+                        value: rem,
+                    });
+                }
+                let cw = (rem / 2) as u32;
+                ConnPayload::Flush {
+                    c0: r.take(cw)?,
+                    c1: r.take(cw)?,
+                }
+            }
+            t => {
+                return Err(CodecError::Invalid {
+                    what: "conn message tag",
+                    value: t,
+                })
+            }
+        };
+        Ok(ConnMsg {
+            parity,
+            payload,
+            bits: total as u32,
+        })
     }
 }
 
@@ -905,5 +1088,48 @@ mod tests {
             (r16 as f64) < 0.6 * r4 as f64,
             "recv bits should shrink with k: k=4 → {r4}, k=16 → {r16}"
         );
+    }
+
+    proptest::proptest! {
+        /// Every ConnPayload variant survives the distributed engine's
+        /// wire format, including the Partial variant whose sketch and
+        /// component id are both variable-width.
+        #[test]
+        fn conn_msgs_roundtrip_the_wire(
+            n in 2usize..1_000_000,
+            a in 0u32..1_000_000,
+            b in 0u32..1_000_000,
+            edges in proptest::collection::vec((0u32..16, 0u32..16), 0..40),
+            counter in 0u64..1_000_000,
+            seed in 0u64..500,
+            parity in 0u8..2,
+        ) {
+            let parity = parity != 0;
+            let n32 = n as u32;
+            let (a, b) = (a % n32, b % n32);
+            let e = if a == b {
+                km_graph::Edge::new(a, (a + 1) % n32.max(2))
+            } else {
+                km_graph::Edge::new(a, b)
+            };
+            let g = CsrGraph::from_edges(16, &edges);
+            let p = SketchParams::for_graph(g.n(), g.m());
+            let sketch = L0Sketch::for_vertex_with(p, &g, a % 16, seed);
+            let counter = counter % (n as u64 + 1); // flush counters are ≤ n
+            for payload in [
+                ConnPayload::Partial { comp: a, sketch },
+                ConnPayload::Closed { comp: a },
+                ConnPayload::LabelQ { v: a },
+                ConnPayload::LabelA { v: a, label: b },
+                ConnPayload::Merge { a, b, e },
+                ConnPayload::MinX { c: a, min: b },
+                ConnPayload::JumpQ { c: a, d: b },
+                ConnPayload::JumpA { c: a, p: b, root: parity },
+                ConnPayload::Push { old: a, new: b },
+                ConnPayload::Flush { c0: counter, c1: n as u64 - (counter % (n as u64)) },
+            ] {
+                km_core::assert_roundtrip(&ConnMsg::new(n, parity, payload));
+            }
+        }
     }
 }

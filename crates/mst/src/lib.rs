@@ -42,8 +42,8 @@ pub use conn::{
 
 use km_core::rng::keyed_hash;
 use km_core::{
-    id_bits, run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx,
-    Runner, Status, WireSize,
+    id_bits, run_algorithm, BitReader, BitWriter, CodecError, Envelope, KmAlgorithm, Metrics,
+    NetConfig, Outbox, Protocol, RoundCtx, Runner, Status, WireCodec, WireSize,
 };
 use km_graph::{DistGraphBuilder, Edge, LocalGraph, Partition, Vertex, WeightedGraph};
 use std::collections::BTreeMap;
@@ -139,6 +139,84 @@ pub struct MstMsg {
 impl WireSize for MstMsg {
     fn bits(&self) -> u64 {
         self.bits as u64
+    }
+}
+
+/// Layout: parity (1) · tag (1) · body. `Flush` is a bare 32-bit counter
+/// (34 bits total, the only body that narrow); otherwise the tag picks
+/// `Candidate` (ids in `(remaining − 64) / 3` bits each: comp, e.u, e.v,
+/// then the weight's 64 IEEE bits) or `Chosen` (ids in
+/// `(remaining − 64) / 2` bits: e.u, e.v, then the weight).
+impl WireCodec for MstMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        w.put(u64::from(self.parity), 1);
+        match self.payload {
+            MstPayload::Candidate { comp, e, w: wt } => {
+                let idb = (self.bits - 66) / 3;
+                w.put(0, 1);
+                w.put(u64::from(comp), idb);
+                w.put(u64::from(e.u), idb);
+                w.put(u64::from(e.v), idb);
+                w.put(wt.to_bits(), 64);
+            }
+            MstPayload::Chosen { e, w: wt } => {
+                let idb = (self.bits - 66) / 2;
+                w.put(1, 1);
+                w.put(u64::from(e.u), idb);
+                w.put(u64::from(e.v), idb);
+                w.put(wt.to_bits(), 64);
+            }
+            MstPayload::Flush { produced } => {
+                w.put(0, 1);
+                w.put(produced, 32);
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let total = r.remaining();
+        let parity = r.take(1)? != 0;
+        let tag = r.take(1)?;
+        let rem = r.remaining();
+        let payload = if rem == 32 {
+            MstPayload::Flush {
+                produced: r.take(32)?,
+            }
+        } else {
+            let fields = if tag == 0 { 3 } else { 2 };
+            let id_total = rem.checked_sub(64).unwrap_or(1);
+            if !id_total.is_multiple_of(fields) || !(1..=32).contains(&(id_total / fields)) {
+                return Err(CodecError::Invalid {
+                    what: "mst message body width",
+                    value: rem,
+                });
+            }
+            let idb = (id_total / fields) as u32;
+            if tag == 0 {
+                let comp = r.take(idb)? as Vertex;
+                let u = r.take(idb)? as Vertex;
+                let v = r.take(idb)? as Vertex;
+                let w = f64::from_bits(r.take(64)?);
+                MstPayload::Candidate {
+                    comp,
+                    e: Edge { u, v },
+                    w,
+                }
+            } else {
+                let u = r.take(idb)? as Vertex;
+                let v = r.take(idb)? as Vertex;
+                let w = f64::from_bits(r.take(64)?);
+                MstPayload::Chosen {
+                    e: Edge { u, v },
+                    w,
+                }
+            }
+        };
+        Ok(MstMsg {
+            parity,
+            payload,
+            bits: total as u32,
+        })
     }
 }
 
@@ -556,5 +634,29 @@ mod tests {
             "phases {}",
             report.machines[0].phases
         );
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn mst_msgs_roundtrip_the_wire(
+            n in 2usize..1_000_000,
+            a in 0u32..1_000_000,
+            b in 0u32..1_000_000,
+            w in -1.0e12f64..1.0e12,
+            produced in 0u64..(1 << 32),
+            parity in 0u8..2,
+        ) {
+            let parity = parity != 0;
+            let n32 = n as u32;
+            let (a, b) = (a % n32, b % n32);
+            let e = if a == b {
+                Edge::new(a, (a + 1) % n32.max(2))
+            } else {
+                Edge::new(a, b)
+            };
+            km_core::assert_roundtrip(&MstMsg::candidate(n, parity, a % n32, e, w));
+            km_core::assert_roundtrip(&MstMsg::chosen(n, parity, e, w));
+            km_core::assert_roundtrip(&MstMsg::flush(parity, produced));
+        }
     }
 }

@@ -16,9 +16,10 @@
 //! This module provides the data structure itself, sized by
 //! [`SketchParams`] (depth and repetition count tuned to the input via
 //! [`SketchParams::for_graph`]), with honest wire accounting
-//! ([`WireSize`]: `reps · levels · (64 + 32 + 1)` bits) and an
-//! XOR-mergeable word serialization ([`L0Sketch::to_words`]) so partial
-//! sketches can be combined on the wire exactly like in memory.
+//! ([`WireSize`]: a 16-bit shape header plus `reps · levels ·
+//! (64 + 32 + 1)` payload bits) and an XOR-mergeable word serialization
+//! ([`L0Sketch::to_words`]) so partial sketches can be combined on the
+//! wire exactly like in memory.
 //! [`sketch_spanning_forest`] is the *sequential* phase-by-phase driver
 //! that validates the per-phase logic; the real distributed protocol —
 //! partial sketches to proxies, decode, and the pointer-jumping label
@@ -26,7 +27,7 @@
 //! § "MST and connectivity" for the two-algorithm story.)
 
 use km_core::rng::{keyed_hash, splitmix64};
-use km_core::WireSize;
+use km_core::{BitReader, BitWriter, CodecError, WireCodec, WireSize};
 use km_graph::{CsrGraph, Edge, Vertex};
 
 /// Default levels per basic sampler: edge `e` participates in level `ℓ`
@@ -76,12 +77,14 @@ impl SketchParams {
         SketchParams { levels, reps: 4 }
     }
 
-    /// Logical wire size in bits of one sketch of this shape: per level
-    /// and repetition, a 64-bit key XOR, a 32-bit checksum, and a parity
-    /// bit. `O(polylog n)` — the property that makes `O~(n/k²)`
-    /// connectivity possible.
+    /// Logical wire size in bits of one sketch of this shape: an 8-bit
+    /// repetition count and 8-bit depth (the shape header that makes a
+    /// serialized sketch self-describing), then per level and repetition
+    /// a 64-bit key XOR, a 32-bit checksum, and a parity bit. Still
+    /// `O(polylog n)` — the property that makes `O~(n/k²)` connectivity
+    /// possible.
     pub fn sketch_bits(&self) -> u64 {
-        (self.reps as u64) * (self.levels as u64) * (64 + 32 + 1)
+        16 + (self.reps as u64) * (self.levels as u64) * (64 + 32 + 1)
     }
 }
 
@@ -343,11 +346,55 @@ fn words_per_rep(levels: usize) -> usize {
 }
 
 /// The honest per-sketch wire cost the engine charges when a sketch
-/// crosses a link: `reps · levels · (64 + 32 + 1)` bits — key, checksum,
-/// and parity per level per repetition, nothing amortized away.
+/// crosses a link: a 16-bit shape header, then `reps · levels ·
+/// (64 + 32 + 1)` bits — key, checksum, and parity per level per
+/// repetition, nothing amortized away.
 impl WireSize for L0Sketch {
     fn bits(&self) -> u64 {
         self.params().sketch_bits()
+    }
+}
+
+/// Wire layout (matching [`SketchParams::sketch_bits`]): 8-bit `reps`,
+/// 8-bit `levels`, then per repetition the level-indexed key words
+/// (64 bits each), checksums (32 bits each), and parity bits. The shape
+/// header makes a frame self-describing, so container messages (e.g.
+/// `ConnMsg::Partial`) can place variable-width fields *after* a sketch
+/// and still recover their widths from the frame's remaining bit count.
+impl WireCodec for L0Sketch {
+    fn encode(&self, w: &mut BitWriter) {
+        let p = self.params();
+        w.put(p.reps as u64, 8);
+        w.put(p.levels as u64, 8);
+        for basic in &self.reps {
+            for l in 0..p.levels {
+                w.put(basic.key_xor[l], 64);
+                w.put(u64::from(basic.check_xor[l]), 32);
+                w.put(u64::from(basic.parity[l]), 1);
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let reps = r.take(8)? as usize;
+        let levels = r.take(8)? as usize;
+        if levels == 0 {
+            return Err(CodecError::Invalid {
+                what: "sketch depth",
+                value: 0,
+            });
+        }
+        let mut out = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let mut basic = BasicSketch::empty(levels);
+            for l in 0..levels {
+                basic.key_xor[l] = r.take(64)?;
+                basic.check_xor[l] = r.take(32)? as u32;
+                basic.parity[l] = r.take(1)? as u8;
+            }
+            out.push(basic);
+        }
+        Ok(L0Sketch { reps: out })
     }
 }
 
@@ -489,15 +536,16 @@ mod tests {
 
     #[test]
     fn wire_size_is_polylog() {
-        // The whole point: a component's connectivity summary in ~4.7 kbit.
-        assert_eq!(L0Sketch::wire_bits(), 8 * 40 * 97);
-        assert_eq!(L0Sketch::empty().bits(), 8 * 40 * 97);
+        // The whole point: a component's connectivity summary in ~4.7 kbit
+        // (16-bit shape header + 97 bits per level per repetition).
+        assert_eq!(L0Sketch::wire_bits(), 16 + 8 * 40 * 97);
+        assert_eq!(L0Sketch::empty().bits(), 16 + 8 * 40 * 97);
         // A tuned shape is smaller but still polylog in n.
         let p = SketchParams::for_graph(10_000, 80_000);
         assert!(p.levels < 40 && p.levels >= 12);
         assert_eq!(
             L0Sketch::empty_with(p).bits(),
-            (p.reps * p.levels * 97) as u64
+            16 + (p.reps * p.levels * 97) as u64
         );
     }
 
@@ -567,8 +615,8 @@ mod tests {
     }
 
     /// The wire cost the engine actually charges for a shipped sketch is
-    /// exactly the honest `reps · levels · 97` accounting (plus nothing:
-    /// the protocol header is the sender's business).
+    /// exactly the honest `16 + reps · levels · 97` accounting (plus
+    /// nothing: the protocol header is the sender's business).
     #[test]
     fn staged_sketch_bits_match_engine_metrics() {
         use km_core::{Envelope, NetConfig, Outbox, Protocol, RoundCtx, Runner, Status};
@@ -679,6 +727,21 @@ mod tests {
             let merged: Vec<u64> =
                 a.to_words().iter().zip(b.to_words()).map(|(x, y)| x ^ y).collect();
             prop_assert_eq!(ab.to_words(), merged);
+        }
+
+        /// Bit-level serialization: a sketch survives the distributed
+        /// engine's wire format, and the frame is exactly as large as
+        /// `sketch_bits` claims.
+        #[test]
+        fn sketches_roundtrip_the_wire(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60),
+            v in 0u32..20,
+            seed in 0u64..500,
+        ) {
+            let g = CsrGraph::from_edges(20, &edges);
+            let p = SketchParams::for_graph(g.n(), g.m());
+            km_core::assert_roundtrip(&L0Sketch::for_vertex_with(p, &g, v, seed));
+            km_core::assert_roundtrip(&L0Sketch::empty_with(p));
         }
 
         /// The forest size equals n − #components on arbitrary graphs.

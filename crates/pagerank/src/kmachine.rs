@@ -32,8 +32,8 @@
 
 use crate::PrConfig;
 use km_core::{
-    id_bits, run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx,
-    Runner, Status, WireSize,
+    id_bits, run_algorithm, BitReader, BitWriter, CodecError, Envelope, KmAlgorithm, Metrics,
+    NetConfig, Outbox, Protocol, RoundCtx, Runner, Status, WireCodec, WireSize,
 };
 use km_graph::{DiGraph, DistGraphBuilder, LocalGraph, Partition, Vertex};
 use rand::Rng;
@@ -106,6 +106,73 @@ impl PrMsg {
 impl WireSize for PrMsg {
     fn bits(&self) -> u64 {
         self.bits as u64
+    }
+}
+
+/// Layout: parity (1) · tag (1) · body. A `Flush` body is a bare 32-bit
+/// live-token counter (34 bits total); `Count`/`Heavy` carry a vertex id
+/// in `id_bits(n)` bits plus a 32-bit count, and the decoder recovers the
+/// id width as `remaining − 32` — `id_bits ≥ 1`, so the two shapes can
+/// never collide at 34 bits.
+impl WireCodec for PrMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        let idb = self.bits - 34; // 0 for Flush
+        w.put(u64::from(self.parity), 1);
+        match self.payload {
+            PrPayload::Count { v, count } => {
+                w.put(0, 1);
+                w.put(u64::from(v), idb);
+                w.put(count, 32);
+            }
+            PrPayload::Heavy { u, count } => {
+                w.put(1, 1);
+                w.put(u64::from(u), idb);
+                w.put(count, 32);
+            }
+            PrPayload::Flush { live } => {
+                w.put(0, 1);
+                w.put(live, 32);
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let total = r.remaining();
+        let parity = r.take(1)? != 0;
+        let tag = r.take(1)?;
+        let payload = match r.remaining() {
+            32 => {
+                if tag != 0 {
+                    return Err(CodecError::Invalid {
+                        what: "flush tag bit",
+                        value: tag,
+                    });
+                }
+                PrPayload::Flush { live: r.take(32)? }
+            }
+            rem => {
+                // id width: 1..=32 (vertex ids are u32).
+                if !(33..=64).contains(&rem) {
+                    return Err(CodecError::Invalid {
+                        what: "pagerank message body width",
+                        value: rem,
+                    });
+                }
+                let idb = (rem - 32) as u32;
+                let vertex = r.take(idb)? as Vertex;
+                let count = r.take(32)?;
+                if tag == 0 {
+                    PrPayload::Count { v: vertex, count }
+                } else {
+                    PrPayload::Heavy { u: vertex, count }
+                }
+            }
+        };
+        Ok(PrMsg {
+            parity,
+            payload,
+            bits: total as u32,
+        })
     }
 }
 
@@ -716,5 +783,26 @@ mod tests {
         let (pr, metrics) = run_kmachine_pagerank(&g, &part, cfg, net(1, 10, 0)).unwrap();
         assert_eq!(metrics.total_msgs(), 0);
         assert!(pr.iter().all(|&x| x > 0.0));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn pr_msgs_roundtrip_the_wire(
+            n in 2usize..1_000_000,
+            v in 0u32..1_000_000,
+            count in 0u64..(1 << 32),
+            parity in 0u8..2,
+            heavy in 0u8..2,
+        ) {
+            let (parity, heavy) = (parity != 0, heavy != 0);
+            let v = v % (n as u32); // a vertex id that fits id_bits(n)
+            let msg = if heavy {
+                PrMsg::heavy(n, parity, v, count)
+            } else {
+                PrMsg::count(n, parity, v, count)
+            };
+            km_core::assert_roundtrip(&msg);
+            km_core::assert_roundtrip(&PrMsg::flush(parity, count));
+        }
     }
 }

@@ -26,8 +26,8 @@
 //! would only add a tie-breaking tag).
 
 use km_core::{
-    run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx, Runner,
-    Status, WireSize,
+    run_algorithm, BitReader, BitWriter, CodecError, Envelope, KmAlgorithm, Metrics, NetConfig,
+    Outbox, Protocol, RoundCtx, Runner, Status, WireCodec, WireSize,
 };
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -76,6 +76,64 @@ impl WireSize for SortMsg {
             SortKind::Flush => 5,
         };
         3 + body
+    }
+}
+
+/// The codec spends no bits on a kind tag: the frame's exact bit count
+/// plus the 3-bit phase already pin the kind down, because the protocol
+/// emits each kind in fixed phases (`Sample`@0, `Splitter`@1, `Key`@2|5,
+/// `Count`@3, `RelayKey`@4) and no two kinds of the same phase share a
+/// body width. Anything off that grid is a corrupt frame.
+impl WireCodec for SortMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        w.put(self.phase as u64, 3);
+        match self.kind {
+            SortKind::Sample(key) | SortKind::Splitter(key) | SortKind::Key(key) => {
+                w.put(key, 64);
+            }
+            SortKind::RelayKey { owner, key } => {
+                w.put(owner as u64, 16);
+                w.put(key, 64);
+            }
+            SortKind::Count(c) => w.put(c, 32),
+            SortKind::Flush => w.put(0, 5),
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let phase = r.take(3)? as u8;
+        let kind = match r.remaining() {
+            5 => {
+                r.take(5)?;
+                SortKind::Flush
+            }
+            64 => {
+                let key = r.take(64)?;
+                match phase {
+                    0 => SortKind::Sample(key),
+                    1 => SortKind::Splitter(key),
+                    2 | 5 => SortKind::Key(key),
+                    p => {
+                        return Err(CodecError::Invalid {
+                            what: "64-bit sort body in a phase that sends none",
+                            value: p as u64,
+                        })
+                    }
+                }
+            }
+            80 => SortKind::RelayKey {
+                owner: r.take(16)? as u32,
+                key: r.take(64)?,
+            },
+            32 => SortKind::Count(r.take(32)?),
+            other => {
+                return Err(CodecError::Invalid {
+                    what: "sort message body width",
+                    value: other,
+                })
+            }
+        };
+        Ok(SortMsg { phase, kind })
     }
 }
 
@@ -524,6 +582,31 @@ mod tests {
     #[should_panic(expected = "distinct")]
     fn rejects_duplicate_keys() {
         let _ = SampleSort::build_all(vec![vec![1, 2], vec![2, 3]], 2);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn sort_msgs_roundtrip_the_wire(
+            key in 0u64..=u64::MAX,
+            owner in 0u32..65536,
+            phase in 0u8..6,
+        ) {
+            // Every kind in the phase it actually ships in (the codec
+            // decodes by (phase, body width), so off-grid combinations
+            // are corrupt frames, not messages).
+            let kind = match phase {
+                0 => SortKind::Sample(key),
+                1 => SortKind::Splitter(key),
+                2 | 5 => SortKind::Key(key),
+                3 => SortKind::Count(key >> 32),
+                _ => SortKind::RelayKey { owner, key },
+            };
+            km_core::assert_roundtrip(&SortMsg { phase, kind });
+            km_core::assert_roundtrip(&SortMsg {
+                phase,
+                kind: SortKind::Flush,
+            });
+        }
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use km_core::rng::keyed_hash;
 use km_core::{
-    id_bits, run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx,
-    Runner, Status, WireSize,
+    id_bits, run_algorithm, BitReader, BitWriter, CodecError, Envelope, KmAlgorithm, Metrics,
+    NetConfig, Outbox, Protocol, RoundCtx, Runner, Status, WireCodec, WireSize,
 };
 use km_graph::ids::Triangle;
 use km_graph::{CsrGraph, DistGraphBuilder, Edge, LocalGraph, Partition, Vertex};
@@ -25,7 +25,8 @@ pub enum BcastMsg {
     Edge {
         /// The edge.
         e: Edge,
-        /// Wire size (2 vertex ids).
+        /// Wire size (a tag bit + 2 vertex ids — the odd width keeps an
+        /// edge distinguishable from the even-width `Flush` marker).
         bits: u32,
     },
     /// Completion marker.
@@ -38,6 +39,48 @@ impl WireSize for BcastMsg {
             BcastMsg::Edge { bits, .. } => *bits as u64,
             BcastMsg::Flush => 8,
         }
+    }
+}
+
+/// Layout: a 1-bit tag (1 = edge, 0 = flush), then either two ids of
+/// `(remaining / 2)` bits each or 7 zero padding bits.
+impl WireCodec for BcastMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            BcastMsg::Edge { e, bits } => {
+                w.put(1, 1);
+                let idb = (bits - 1) / 2;
+                w.put(u64::from(e.u), idb);
+                w.put(u64::from(e.v), idb);
+            }
+            BcastMsg::Flush => {
+                w.put(0, 1);
+                w.put(0, 7);
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let total = r.remaining();
+        if r.take(1)? == 0 {
+            r.take(7)?;
+            return Ok(BcastMsg::Flush);
+        }
+        let rem = r.remaining();
+        if !rem.is_multiple_of(2) || !(1..=32).contains(&(rem / 2)) {
+            return Err(CodecError::Invalid {
+                what: "broadcast edge body width",
+                value: rem,
+            });
+        }
+        let idb = (rem / 2) as u32;
+        Ok(BcastMsg::Edge {
+            e: Edge {
+                u: r.take(idb)? as Vertex,
+                v: r.take(idb)? as Vertex,
+            },
+            bits: total as u32,
+        })
     }
 }
 
@@ -97,7 +140,7 @@ impl Protocol for BroadcastTriangle {
         out: &mut Outbox<BcastMsg>,
     ) -> Status {
         if ctx.round == 0 {
-            let bits = (2 * id_bits(self.n)) as u32;
+            let bits = (1 + 2 * id_bits(self.n)) as u32;
             for j in 0..self.lg.hosted() {
                 let v = self.lg.vertex(j);
                 for &w in self.lg.neighbors(j) {
@@ -217,5 +260,25 @@ mod tests {
             m_color.rounds
         );
         assert!(m_bcast.total_msgs() > 2 * m_color.total_msgs());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn bcast_msgs_roundtrip_the_wire(
+            n in 2usize..1_000_000,
+            a in 0u32..1_000_000,
+            b in 0u32..1_000_000,
+        ) {
+            let n32 = n as u32;
+            let (a, b) = (a % n32, b % n32);
+            let e = if a == b {
+                Edge::new(a, (a + 1) % n32.max(2))
+            } else {
+                Edge::new(a, b)
+            };
+            let bits = (1 + 2 * id_bits(n)) as u32;
+            km_core::assert_roundtrip(&BcastMsg::Edge { e, bits });
+            km_core::assert_roundtrip(&BcastMsg::Flush);
+        }
     }
 }

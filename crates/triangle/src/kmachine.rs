@@ -25,8 +25,8 @@
 //! protocol (drift ≤ 1 phase, messages carry their phase tag).
 
 use km_core::{
-    id_bits, run_algorithm, Envelope, KmAlgorithm, Metrics, NetConfig, Outbox, Protocol, RoundCtx,
-    Runner, Status, WireSize,
+    id_bits, run_algorithm, BitReader, BitWriter, CodecError, Envelope, KmAlgorithm, Metrics,
+    NetConfig, Outbox, Protocol, RoundCtx, Runner, Status, WireCodec, WireSize,
 };
 use km_core::{rng::keyed_hash, MachineIdx};
 use km_graph::dist::EdgeListAdjacency;
@@ -160,25 +160,31 @@ pub struct TriMsg {
 }
 
 impl TriMsg {
+    /// Header bits charged on every message: a 2-bit phase (the protocol
+    /// has 4 phases) plus a 2-bit payload tag. The explicit tag keeps
+    /// `ToProxy`/`ToMachine` (same width) and `HdRequest`/`Flush`
+    /// (colliding at `id_bits = 4`) distinguishable on the wire.
+    const HDR: u64 = 4;
+
     fn hd(n: usize, phase: u8, v: Vertex) -> Self {
         TriMsg {
             phase,
             payload: TriPayload::HdRequest { v },
-            bits: (2 + id_bits(n)) as u32,
+            bits: (Self::HDR + id_bits(n)) as u32,
         }
     }
     fn to_proxy(n: usize, phase: u8, e: Edge) -> Self {
         TriMsg {
             phase,
             payload: TriPayload::ToProxy { e },
-            bits: (2 + 2 * id_bits(n)) as u32,
+            bits: (Self::HDR + 2 * id_bits(n)) as u32,
         }
     }
     fn to_machine(n: usize, phase: u8, e: Edge) -> Self {
         TriMsg {
             phase,
             payload: TriPayload::ToMachine { e },
-            bits: (2 + 2 * id_bits(n)) as u32,
+            bits: (Self::HDR + 2 * id_bits(n)) as u32,
         }
     }
     fn flush(phase: u8) -> Self {
@@ -193,6 +199,80 @@ impl TriMsg {
 impl WireSize for TriMsg {
     fn bits(&self) -> u64 {
         self.bits as u64
+    }
+}
+
+/// Layout: phase (2) · tag (2) · body; ids take `remaining / fields`
+/// bits, and `Flush` pads with 4 zero bits to its historical 8-bit cost.
+impl WireCodec for TriMsg {
+    fn encode(&self, w: &mut BitWriter) {
+        w.put(u64::from(self.phase), 2);
+        let idb = ((u64::from(self.bits) - Self::HDR)
+            / match self.payload {
+                TriPayload::HdRequest { .. } => 1,
+                _ => 2,
+            }) as u32;
+        match self.payload {
+            TriPayload::HdRequest { v } => {
+                w.put(0, 2);
+                w.put(u64::from(v), idb);
+            }
+            TriPayload::ToProxy { e } => {
+                w.put(1, 2);
+                w.put(u64::from(e.u), idb);
+                w.put(u64::from(e.v), idb);
+            }
+            TriPayload::ToMachine { e } => {
+                w.put(2, 2);
+                w.put(u64::from(e.u), idb);
+                w.put(u64::from(e.v), idb);
+            }
+            TriPayload::Flush => {
+                w.put(3, 2);
+                w.put(0, 4);
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let total = r.remaining();
+        let phase = r.take(2)? as u8;
+        let tag = r.take(2)?;
+        let idb = |rem: u64, fields: u64| -> Result<u32, CodecError> {
+            if !rem.is_multiple_of(fields) || !(1..=32).contains(&(rem / fields)) {
+                return Err(CodecError::Invalid {
+                    what: "triangle message body width",
+                    value: rem,
+                });
+            }
+            Ok((rem / fields) as u32)
+        };
+        let payload = match tag {
+            0 => TriPayload::HdRequest {
+                v: r.take(idb(r.remaining(), 1)?)? as Vertex,
+            },
+            1 | 2 => {
+                let w = idb(r.remaining(), 2)?;
+                let e = Edge {
+                    u: r.take(w)? as Vertex,
+                    v: r.take(w)? as Vertex,
+                };
+                if tag == 1 {
+                    TriPayload::ToProxy { e }
+                } else {
+                    TriPayload::ToMachine { e }
+                }
+            }
+            _ => {
+                r.take(4)?;
+                TriPayload::Flush
+            }
+        };
+        Ok(TriMsg {
+            phase,
+            payload,
+            bits: total as u32,
+        })
     }
 }
 
@@ -784,5 +864,27 @@ mod tests {
         let (ts, _) =
             run_kmachine_triangles(&g, &part, TriConfig::default(), net(4, 10, 2)).unwrap();
         assert!(ts.is_empty());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn tri_msgs_roundtrip_the_wire(
+            n in 2usize..1_000_000,
+            a in 0u32..1_000_000,
+            b in 0u32..1_000_000,
+            phase in 0u8..4,
+        ) {
+            let n32 = n as u32;
+            let (a, b) = (a % n32, b % n32);
+            let e = if a == b {
+                Edge::new(a, (a + 1) % n32.max(2))
+            } else {
+                Edge::new(a, b)
+            };
+            km_core::assert_roundtrip(&TriMsg::hd(n, phase, a));
+            km_core::assert_roundtrip(&TriMsg::to_proxy(n, phase, e));
+            km_core::assert_roundtrip(&TriMsg::to_machine(n, phase, e));
+            km_core::assert_roundtrip(&TriMsg::flush(phase));
+        }
     }
 }

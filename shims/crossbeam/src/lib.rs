@@ -7,7 +7,7 @@ pub mod channel {
 
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
 
     /// The sending half of a bounded channel.
     pub struct Sender<T>(mpsc::SyncSender<T>);
@@ -22,6 +22,12 @@ pub mod channel {
         /// Blocks until the message is queued or the receiver is gone.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             self.0.send(msg)
+        }
+
+        /// Non-blocking send: `Err(TrySendError::Full)` when the channel
+        /// is at capacity (the caller gets the message back).
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(msg)
         }
     }
 
@@ -92,6 +98,20 @@ mod tests {
         let (tx, rx) = super::channel::bounded::<u32>(1);
         tx.send(5).unwrap();
         assert_eq!(rx.recv().unwrap(), 5);
+    }
+
+    #[test]
+    fn try_send_reports_full_without_losing_the_message() {
+        use super::channel::TrySendError;
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        match tx.try_send(2) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
     }
 
     #[test]

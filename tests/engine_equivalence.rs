@@ -1,14 +1,18 @@
 //! Cross-engine equivalence matrix: for every algorithm in the
-//! workspace, the sequential and parallel engines must produce
-//! *identical* `RunOutcome`s (output, metrics, and config echo) through
-//! the `run_algorithm` path — the engines differ only in wall-clock.
+//! workspace, the sequential, parallel, and distributed engines must
+//! produce *identical* `RunOutcome`s (output, metrics, and config echo)
+//! through the `run_algorithm` path — the engines differ only in
+//! wall-clock and, for the distributed engine, in the extra measured
+//! `WireReport`.
 //!
 //! Each algorithm is exercised at several thread counts, including one
-//! that does not divide `k` (uneven worker chunks), and under
-//! `EngineKind::Auto` (whose resolution must never change results,
-//! whatever `KM_ENGINE` says).
+//! that does not divide `k` (uneven worker chunks), on the distributed
+//! engine (real byte channels, one serialized frame per message), and
+//! under `EngineKind::Auto` (whose resolution must never change
+//! results, whatever `KM_ENGINE` says).
 
-use km_core::{run_algorithm, EngineKind, KmAlgorithm, NetConfig, RunOutcome, Runner};
+use km_core::WireCodec;
+use km_core::{run_algorithm, EngineKind, KmAlgorithm, NetConfig, Protocol, RunOutcome, Runner};
 use km_graph::generators::gnp;
 use km_graph::{CsrGraph, Partition, Vertex, WeightedGraph};
 use km_mst::{DistributedMst, DistributedSketchConnectivity};
@@ -28,25 +32,39 @@ fn net(k: usize, n: usize, seed: u64) -> NetConfig {
 }
 
 /// Runs `alg` on the sequential engine, then on the parallel engine at
-/// several thread counts plus `Auto`, asserting every outcome is
-/// identical to the sequential reference. Returns the reference outcome
-/// for algorithm-specific sanity checks.
+/// several thread counts, the distributed engine, and `Auto`, asserting
+/// every outcome is identical to the sequential reference. Returns the
+/// reference outcome for algorithm-specific sanity checks.
 fn assert_cross_engine<A>(alg: &A, netc: NetConfig) -> RunOutcome<A::Output>
 where
     A: KmAlgorithm,
     A::Output: PartialEq + std::fmt::Debug,
+    <A::Machine as Protocol>::Msg: WireCodec,
 {
     let seq = run_algorithm(alg, Runner::new(netc).engine(EngineKind::Sequential))
         .expect("sequential run");
     for kind in [
         EngineKind::Parallel { threads: 2 },
         EngineKind::Parallel { threads: 3 },
+        EngineKind::Distributed,
         EngineKind::Auto,
     ] {
         let other = run_algorithm(alg, Runner::new(netc).engine(kind)).expect("run");
         assert_eq!(seq.output, other.output, "{kind:?} output diverged");
         assert_eq!(seq.metrics, other.metrics, "{kind:?} metrics diverged");
         assert_eq!(seq.config, other.config, "{kind:?} config echo diverged");
+        if kind == EngineKind::Distributed {
+            let wire = other.wire.expect("distributed runs report wire traffic");
+            assert_eq!(
+                wire.logical_bits,
+                other.metrics.total_bits(),
+                "framed logical bits must match the metrics transcript"
+            );
+            assert!(
+                wire.measured_bits() >= wire.logical_bits,
+                "frames cannot be smaller than the bits they carry"
+            );
+        }
     }
     seq
 }

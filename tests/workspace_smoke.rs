@@ -200,6 +200,37 @@ fn social_triangles_path_tiny() {
     );
 }
 
+/// `examples/distributed_engine.rs` path: Borůvka MST on the sequential
+/// vs the distributed engine, bit-identical outcomes plus a wire report
+/// whose payload bits equal the logical transcript.
+#[test]
+fn distributed_engine_path_tiny() {
+    use km_repro::core::EngineKind;
+    use km_repro::graph::WeightedGraph;
+    use km_repro::mst::DistributedMst;
+    use rand::Rng;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let (n, k) = (48, 4);
+    let g = gnp(n, 0.12, &mut rng);
+    let edges: Vec<(u32, u32)> = g.edges().map(|e| (e.u, e.v)).collect();
+    let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let wg = WeightedGraph::from_weighted_edges(n, &edges, &ws).expect("finite weights");
+    let part = Arc::new(Partition::by_hash(n, k, 3));
+    let net = NetConfig::polylog(k, n, 11).max_rounds(50_000_000);
+    let alg = DistributedMst {
+        g: &wg,
+        part: &part,
+    };
+
+    let seq = run_algorithm(&alg, Runner::new(net).engine(EngineKind::Sequential)).expect("seq");
+    let dist = run_algorithm(&alg, Runner::new(net).engine(EngineKind::Distributed)).expect("dist");
+    assert_eq!(seq, dist, "engines must be bit-identical");
+    let wire = dist.wire.expect("distributed runs report wire traffic");
+    assert_eq!(wire.logical_bits, dist.metrics.total_bits());
+    assert!(wire.measured_bits() >= wire.logical_bits);
+}
+
 /// `examples/sketch_connectivity.rs` path: the O~(n/k²) sketch protocol
 /// and the Borůvka baseline on the same topology, with matching forest
 /// sizes and the no-broadcast recv-bits gap.
