@@ -31,7 +31,7 @@ fn bench_mst(c: &mut Criterion) {
     let mut group = c.benchmark_group("mst");
     group.sample_size(10);
     let mut rng = ChaCha8Rng::seed_from_u64(6);
-    let g = complete_weighted_random(150, &mut rng);
+    let g = complete_weighted_random(150, &mut rng).unwrap();
 
     group.bench_function("kruskal/K150", |b| b.iter(|| kruskal(&g)));
     for k in [4usize, 8] {

@@ -6,7 +6,12 @@
 //! cargo run --release -p km-bench --bin experiments -- --list
 //! cargo run --release -p km-bench --bin experiments -- --seed 7 F1 T5-UB
 //! cargo run --release -p km-bench --bin experiments -- --engine par S1
+//! cargo run --release -p km-bench --bin experiments -- --stream
 //! ```
+//!
+//! `--stream` runs the STREAM experiment (streaming ingestion + the
+//! paper's algorithms at n = 10⁶; scale with `KM_STREAM_N`). It is
+//! excluded from the no-argument sweep because of its size.
 //!
 //! `--engine {seq,par,dist,auto}` selects the execution engine for every run
 //! (transcript-identical engines, so tables are engine-independent); it
@@ -28,6 +33,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--list" => list_only = true,
+            "--stream" => wanted.push("STREAM".to_string()),
             "--seed" => {
                 i += 1;
                 seed = args
@@ -60,7 +66,9 @@ fn main() {
     }
 
     let selected: Vec<_> = if wanted.is_empty() {
-        all
+        all.into_iter()
+            .filter(|(id, _)| !exp::ON_DEMAND.contains(id))
+            .collect()
     } else {
         all.into_iter()
             .filter(|(id, _)| wanted.iter().any(|w| w.eq_ignore_ascii_case(id)))

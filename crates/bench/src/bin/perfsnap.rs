@@ -18,20 +18,47 @@
 //! per link message) and writes `BENCH_<date>_wire.json`, pairing each
 //! run's measured frame bits with its logical `WireSize` bits.
 //!
+//! It also measures the streaming-ingestion tier — `km_graph::stream`
+//! building the distributed input at n ∈ {10⁶, 10⁷} without ever
+//! materializing the global CSR — into `BENCH_<date>_ingest.json`, with
+//! peak-RSS (Linux `VmHWM`) and build-throughput columns next to the
+//! in-memory `DistGraphBuilder` path at n = 10⁶ for comparison.
+//!
 //! Usage: `cargo run --release -p km-bench --bin perfsnap [-- out.json]`
+//!
+//! Pass `--ingest-only` to run (and write) just the ingest tier — the
+//! mode CI uses, and the cheapest way to regenerate the ingest snapshot.
 
 use km_bench::workloads::{dense_delivery_reference, sparse_ring_machines};
 use km_core::router::UniformScatter;
 use km_core::{EngineKind, Metrics, NetConfig, Runner};
 use km_graph::dist::replicated_scan_reference;
 use km_graph::generators::{gnm, gnp};
-use km_graph::{DistGraphBuilder, LocalGraph, Partition, Vertex, WeightedGraph};
+use km_graph::{
+    DistGraphBuilder, GnpStream, LocalGraph, Partition, StreamingDistBuilder, Vertex, WeightedGraph,
+};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The `n` tiers shared by the `dist_build` and `sketch_cc` matrices.
+const TIERS_BUILD: [usize; 2] = [10_000, 100_000];
+
+/// The streaming-ingestion tiers. The larger one is far above what the
+/// one-shot in-memory path can build without a multi-GB global CSR.
+const TIERS_INGEST: [usize; 2] = [1_000_000, 10_000_000];
+
+/// Largest tier where the in-memory comparison build still runs.
+const INGEST_IN_MEMORY_MAX_N: usize = 1_000_000;
+
+/// Machines for the ingest tier (matches the STREAM experiment).
+const INGEST_K: usize = 8;
+
+/// Expected average degree of the ingested `G(n, p)` inputs.
+const INGEST_AVG_DEGREE: f64 = 4.0;
 
 /// One measured workload cell.
 #[derive(Serialize)]
@@ -148,6 +175,146 @@ struct WireSnapshot {
     note: String,
 }
 
+/// One cell of the streaming-ingestion tier: one build mode on one `n`.
+#[derive(Serialize)]
+struct IngestCell {
+    n: usize,
+    /// Undirected edges actually stored (`Σ edge_loads / 2`).
+    m: usize,
+    k: usize,
+    /// `"streaming"` (`StreamingDistBuilder`) or `"in_memory"`
+    /// (one-shot generator + `DistGraphBuilder`).
+    mode: String,
+    wall_ms: f64,
+    edges_per_sec: f64,
+    /// Linux `VmHWM` after the build, reset (`clear_refs`) right before
+    /// it; 0 where the kernel interface is unavailable.
+    peak_rss_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct IngestSnapshot {
+    date: String,
+    host_threads: usize,
+    ingest: Vec<IngestCell>,
+    note: String,
+}
+
+/// Resets the process peak-RSS counter (`VmHWM`) to the current RSS so
+/// the next [`peak_rss_bytes`] read isolates one build. No-op where
+/// `/proc/self/clear_refs` is unavailable.
+fn reset_peak_rss() {
+    #[cfg(target_os = "linux")]
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`),
+/// or 0 where unavailable.
+fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    if let Some(kb) = rest.split_whitespace().next() {
+                        if let Ok(kb) = kb.parse::<u64>() {
+                            return kb * 1024;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    0
+}
+
+/// The streaming-ingestion tier. Runs first (and alone under
+/// `--ingest-only`) so the streaming peak-RSS reading starts from a
+/// near-fresh process baseline.
+fn run_ingest(date: &str, host_threads: usize, out: &str) {
+    let mut ingest = Vec::new();
+    for &n in &TIERS_INGEST {
+        let p = INGEST_AVG_DEGREE / (n - 1) as f64;
+        let part = Arc::new(Partition::by_hash(n, INGEST_K, 5));
+
+        // Streaming first: clean baseline, never the O(m) global CSR.
+        reset_peak_rss();
+        let t = Instant::now();
+        let mut gs = GnpStream::<ChaCha8Rng>::new(n, p, n as u64 + 2, 1 << 16);
+        let d = StreamingDistBuilder::new(&part)
+            .undirected(&mut gs)
+            .expect("generator edges are always in range");
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let rss = peak_rss_bytes();
+        let m = d.edge_loads().iter().sum::<usize>() / 2;
+        drop(d);
+        println!(
+            "ingest         n={n:<9} streaming {wall_ms:>10.1} ms  \
+             ({:.2e} edges/s, peak RSS {:.1} MiB)",
+            m as f64 / (wall_ms / 1e3),
+            rss as f64 / (1 << 20) as f64
+        );
+        ingest.push(IngestCell {
+            n,
+            m,
+            k: INGEST_K,
+            mode: "streaming".to_string(),
+            wall_ms,
+            edges_per_sec: m as f64 / (wall_ms / 1e3),
+            peak_rss_bytes: rss,
+        });
+
+        // In-memory comparison: one-shot generator Vec + global CSR +
+        // fused build. Skipped above the tier where that is the point.
+        if n <= INGEST_IN_MEMORY_MAX_N {
+            reset_peak_rss();
+            let t = Instant::now();
+            let mut rng = ChaCha8Rng::seed_from_u64(n as u64 + 2);
+            let g = gnp(n, p, &mut rng);
+            let d = DistGraphBuilder::new(&part).undirected(&g);
+            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            let rss = peak_rss_bytes();
+            let m2 = d.edge_loads().iter().sum::<usize>() / 2;
+            assert_eq!(m, m2, "streaming and in-memory builds must agree on m");
+            drop(d);
+            println!(
+                "ingest         n={n:<9} in_memory {wall_ms:>10.1} ms  \
+                 ({:.2e} edges/s, peak RSS {:.1} MiB)",
+                m2 as f64 / (wall_ms / 1e3),
+                rss as f64 / (1 << 20) as f64
+            );
+            ingest.push(IngestCell {
+                n,
+                m: m2,
+                k: INGEST_K,
+                mode: "in_memory".to_string(),
+                wall_ms,
+                edges_per_sec: m2 as f64 / (wall_ms / 1e3),
+                peak_rss_bytes: rss,
+            });
+        }
+    }
+    let snap = IngestSnapshot {
+        date: date.to_string(),
+        host_threads,
+        ingest,
+        note: "G(n, p) at E[deg] = 4, k = 8; same seed per n so both modes build the \
+               identical DistGraph. peak_rss_bytes is VmHWM reset (clear_refs) right \
+               before each build, so the streaming cell bounds the whole-process peak \
+               of the out-of-core path while in_memory additionally materializes the \
+               one-shot edge list + global CSR; the top tier is streaming-only because \
+               the in-memory path would need the multi-GB global graph"
+            .to_string(),
+    };
+    let ingest_out = match out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_ingest.json"),
+        None => format!("{out}_ingest.json"),
+    };
+    let json = serde_json::to_string_pretty(&snap).expect("serialize ingest snapshot");
+    std::fs::write(&ingest_out, json + "\n").expect("write ingest snapshot");
+    println!("wrote {ingest_out}");
+}
+
 fn wire_cell(
     name: &str,
     n: usize,
@@ -224,6 +391,23 @@ fn today_utc() -> String {
 }
 
 fn main() {
+    let mut ingest_only = false;
+    let mut out_arg: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--ingest-only" => ingest_only = true,
+            other => out_arg = Some(other.to_string()),
+        }
+    }
+    let date = today_utc();
+    let out = out_arg.unwrap_or_else(|| format!("BENCH_{date}.json"));
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    run_ingest(&date, host_threads, &out);
+    if ingest_only {
+        return;
+    }
+
     let ks = [16usize, 64, 128];
     let mut workloads = Vec::new();
 
@@ -311,7 +495,7 @@ fn main() {
 
     // Fused DistGraphBuilder build vs the replicated per-machine scan.
     let mut dist_build = Vec::new();
-    for &n in &[10_000usize, 100_000] {
+    for &n in &TIERS_BUILD {
         let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
         let g = gnm(n, 8 * n, &mut rng);
         for &k in &[16usize, 128] {
@@ -345,7 +529,7 @@ fn main() {
     // sketch_cc matrix: the O~(n/k²) sketch protocol vs the Borůvka
     // broadcast baseline on identical topology.
     let mut sketch_cc = Vec::new();
-    for &n in &[10_000usize, 100_000] {
+    for &n in &TIERS_BUILD {
         let mut rng = ChaCha8Rng::seed_from_u64(n as u64 + 1);
         let g = gnm(n, 4 * n, &mut rng);
         let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
@@ -394,15 +578,12 @@ fn main() {
     }
 
     let snap = Snapshot {
-        date: today_utc(),
-        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        date,
+        host_threads,
         workloads,
         sparse_fast_path: sparse,
         dist_build,
     };
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| format!("BENCH_{}.json", snap.date));
     let json = serde_json::to_string_pretty(&snap).expect("serialize snapshot");
     std::fs::write(&out, json + "\n").expect("write snapshot");
     println!("wrote {out}");

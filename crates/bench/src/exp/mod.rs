@@ -7,6 +7,7 @@ pub mod pagerank;
 pub mod partition;
 pub mod routing;
 pub mod sortmst;
+pub mod stream;
 pub mod triangle;
 
 use crate::Table;
@@ -35,5 +36,11 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("CC-UB", conn::cc_sketch_scaling),
         ("GLBT", glbt::glbt_chain),
         ("ABL", ablation::ablations),
+        ("STREAM", stream::stream_scale),
     ]
 }
+
+/// Experiments excluded from the no-argument "run everything" sweep —
+/// they run at scales (n = 10⁶) that dwarf the rest of the suite.
+/// Request them explicitly by id or via their dedicated flag.
+pub const ON_DEMAND: &[&str] = &["STREAM"];

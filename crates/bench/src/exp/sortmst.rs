@@ -64,7 +64,7 @@ pub fn m1_mst(seed: u64) -> Table {
         let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
         WeightedGraph::from_weighted_edges(1000, &edges, &ws).unwrap()
     };
-    let dense = complete_weighted_random(200, &mut rng);
+    let dense = complete_weighted_random(200, &mut rng).unwrap();
     let mut rounds_by_k = Vec::new();
     let ks = [4usize, 8, 16];
     for (name, g) in [("gnp(1000,0.01)+U(0,1)", &sparse), ("K200+U(0,1)", &dense)] {

@@ -47,23 +47,29 @@ use std::sync::Arc;
 /// sorted order. For directed builds the adjacency is the *out*-edges
 /// (what RVP gives the home machine) and [`Self::host_targets`] holds
 /// the precomputed receiver-side map `u → hosted out-neighbors of u`.
-#[derive(Debug, Clone)]
+/// Byte-for-byte equality over all stored arrays — the invariant the
+/// streaming builder ([`crate::stream::StreamingDistBuilder`]) is tested
+/// against. Weights are finite by construction, so `f64` equality is a
+/// genuine equivalence here.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalGraph {
-    me: MachineIdx,
-    n: usize,
-    part: Arc<Partition>,
+    // Fields are `pub(crate)` so the streaming builder in
+    // `crate::stream` can fill the same representation directly.
+    pub(crate) me: MachineIdx,
+    pub(crate) n: usize,
+    pub(crate) part: Arc<Partition>,
     /// Shared across all locals: `local_of[v]` is `v`'s index within its
     /// home machine's hosted-vertex list.
-    local_of: Arc<[u32]>,
-    offsets: Vec<usize>,
-    neighbors: Vec<Vertex>,
+    pub(crate) local_of: Arc<[u32]>,
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) neighbors: Vec<Vertex>,
     /// Aligned with `neighbors`; empty unless built from a weighted graph.
-    weights: Vec<f64>,
-    weighted: bool,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) weighted: bool,
     /// Sorted external sources with hosted out-neighbors (directed builds).
-    host_src: Vec<Vertex>,
-    host_offsets: Vec<usize>,
-    host_tgt: Vec<u32>,
+    pub(crate) host_src: Vec<Vertex>,
+    pub(crate) host_offsets: Vec<usize>,
+    pub(crate) host_tgt: Vec<u32>,
 }
 
 impl LocalGraph {
@@ -174,13 +180,35 @@ impl LocalGraph {
 
 /// All `k` [`LocalGraph`]s of one distributed input, plus the balance
 /// diagnostics recorded during the fused build.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DistGraph {
     locals: Vec<LocalGraph>,
     edge_loads: Vec<usize>,
+    /// Precomputed at build time so the accessors are total functions:
+    /// `Partition` guarantees `k >= 1`, and storing the validated stats
+    /// keeps that guarantee in the type instead of re-proving it with an
+    /// `expect` on every call.
+    vertex_stats: LoadStats,
+    edge_stats: LoadStats,
 }
 
 impl DistGraph {
+    /// Assembles a distributed graph, computing the balance stats once.
+    /// Total: the empty-`k` arm is unreachable (`Partition` asserts
+    /// `k >= 1`), and `split_first().unwrap_or` keeps it panic-free.
+    pub(crate) fn assemble(locals: Vec<LocalGraph>, edge_loads: Vec<usize>) -> Self {
+        let vertex_loads: Vec<usize> = locals.iter().map(|l| l.vertices().len()).collect();
+        let (&vf, vr) = vertex_loads.split_first().unwrap_or((&0, &[]));
+        let (&ef, er) = edge_loads.split_first().unwrap_or((&0, &[]));
+        let vertex_stats = LoadStats::from_split(vf, vr);
+        let edge_stats = LoadStats::from_split(ef, er);
+        DistGraph {
+            locals,
+            edge_loads,
+            vertex_stats,
+            edge_stats,
+        }
+    }
     /// Number of machines.
     #[inline]
     pub fn k(&self) -> usize {
@@ -209,10 +237,10 @@ impl DistGraph {
         &self.edge_loads
     }
 
-    /// Vertex-load statistics (the `Θ~(n/k)` claim of Section 1.1).
+    /// Vertex-load statistics (the `Θ~(n/k)` claim of Section 1.1),
+    /// computed once at build time — no `expect`, no recomputation.
     pub fn vertex_balance(&self) -> LoadStats {
-        let loads = self.locals[0].part.loads();
-        LoadStats::from_loads(&loads).expect("Partition guarantees k >= 1")
+        self.vertex_stats
     }
 
     /// Edge-load statistics (the `O~(m/k + Δ)` input bound of Klauck et
@@ -220,7 +248,7 @@ impl DistGraph {
     /// global graph. For directed builds this is an *out-degree* load
     /// (see `edge_loads`), not the undirected total degree.
     pub fn edge_balance(&self) -> LoadStats {
-        LoadStats::from_loads(&self.edge_loads).expect("Partition guarantees k >= 1")
+        self.edge_stats
     }
 }
 
@@ -238,8 +266,9 @@ impl<'a> DistGraphBuilder<'a> {
     }
 
     /// Empty per-machine shells plus the shared global→local index
-    /// (one `Arc<[u32]>` for all machines, not `k` hash maps).
-    fn shells(&self, n: usize) -> Vec<LocalGraph> {
+    /// (one `Arc<[u32]>` for all machines, not `k` hash maps). Shared
+    /// with the streaming builder in [`crate::stream`].
+    pub(crate) fn shells(&self, n: usize) -> Vec<LocalGraph> {
         let part = self.part;
         let k = part.k();
         let mut local_of = vec![0u32; n];
@@ -281,7 +310,7 @@ impl<'a> DistGraphBuilder<'a> {
             l.neighbors.extend_from_slice(g.neighbors(v));
             l.offsets.push(l.neighbors.len());
         }
-        DistGraph { locals, edge_loads }
+        DistGraph::assemble(locals, edge_loads)
     }
 
     /// Distributes a weighted graph: adjacency plus aligned weights.
@@ -302,7 +331,7 @@ impl<'a> DistGraphBuilder<'a> {
             l.weights.extend_from_slice(g.neighbor_weights(v));
             l.offsets.push(l.neighbors.len());
         }
-        DistGraph { locals, edge_loads }
+        DistGraph::assemble(locals, edge_loads)
     }
 
     /// Distributes a digraph: machine `i` receives its hosted vertices
@@ -342,7 +371,7 @@ impl<'a> DistGraphBuilder<'a> {
             }
             l.host_offsets.push(l.host_tgt.len());
         }
-        DistGraph { locals, edge_loads }
+        DistGraph::assemble(locals, edge_loads)
     }
 
     /// Computes per-machine edge loads and reserves each shell's flat

@@ -1,6 +1,7 @@
 //! Deterministic graph families.
 
 use crate::csr::CsrGraph;
+use crate::error::GraphError;
 use crate::ids::Vertex;
 use crate::weighted::WeightedGraph;
 use rand::Rng;
@@ -75,7 +76,17 @@ pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
 /// `K_n` with i.i.d. `Uniform(0,1)` edge weights — the MST lower-bound
 /// family of Section 1.3 (footnote 6: "The lower bound graph can be a
 /// complete graph with random edge weights").
-pub fn complete_weighted_random<R: Rng>(n: usize, rng: &mut R) -> WeightedGraph {
+///
+/// # Errors
+/// Propagates [`GraphError::NonFiniteWeight`] from the weighted-graph
+/// constructor — the error-not-panic policy shared with
+/// [`WeightedGraph::from_weighted_edges`] (a `Uniform(0,1)` draw is
+/// always finite, but callers route the `Result` rather than asserting
+/// a property of the RNG at every call site).
+pub fn complete_weighted_random<R: Rng>(
+    n: usize,
+    rng: &mut R,
+) -> Result<WeightedGraph, GraphError> {
     let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
     let mut weights = Vec::with_capacity(edges.capacity());
     for u in 0..n {
@@ -85,7 +96,6 @@ pub fn complete_weighted_random<R: Rng>(n: usize, rng: &mut R) -> WeightedGraph 
         }
     }
     WeightedGraph::from_weighted_edges(n, &edges, &weights)
-        .expect("gen_range(0.0..1.0) weights are finite by construction")
 }
 
 #[cfg(test)]
@@ -143,7 +153,7 @@ mod tests {
     #[test]
     fn weighted_complete() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let g = complete_weighted_random(8, &mut rng);
+        let g = complete_weighted_random(8, &mut rng).unwrap();
         assert_eq!(g.m(), 28);
         for (_, w) in g.weighted_edges() {
             assert!((0.0..1.0).contains(&w));

@@ -1,6 +1,7 @@
 //! Erdős–Rényi `G(n, m)`: a uniformly random simple graph with exactly
 //! `m` edges.
 
+use super::gnp::unflatten;
 use crate::csr::CsrGraph;
 use crate::ids::Vertex;
 use rand::Rng;
@@ -30,18 +31,6 @@ pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
     }
     let edges: Vec<(Vertex, Vertex)> = chosen.into_iter().map(|idx| unflatten(idx, n)).collect();
     CsrGraph::from_edges(n, &edges)
-}
-
-/// Same pair-index layout as in [`super::gnp`].
-fn unflatten(mut idx: u64, n: usize) -> (Vertex, Vertex) {
-    let mut u = 0u64;
-    let mut row = (n as u64) - 1;
-    while idx >= row {
-        idx -= row;
-        u += 1;
-        row -= 1;
-    }
-    (u as Vertex, (u + 1 + idx) as Vertex)
 }
 
 #[cfg(test)]

@@ -47,15 +47,27 @@ pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
 
 /// Maps a flat pair index in `[0, C(n,2))` to the pair `(u, v)`, `u < v`,
 /// in row-major order: row `u` holds pairs `(u, u+1) .. (u, n-1)`.
-fn unflatten(mut idx: u64, n: usize) -> (Vertex, Vertex) {
-    let mut u = 0u64;
-    let mut row = (n as u64) - 1; // size of row u
-    while idx >= row {
-        idx -= row;
-        u += 1;
-        row -= 1;
+/// Shared with [`super::gnm`] and the chunked drivers in [`crate::stream`].
+///
+/// `O(1)`: row `u` starts at `offset(u) = u·(2n − u − 1)/2`, so the row
+/// of `idx` comes from the quadratic formula, with an integer correction
+/// step for `f64` rounding (exact up to `C(n,2) < 2⁵³`, i.e. any
+/// `n < ~10⁸`). A linear row walk here costs `O(n)` per edge — `O(n·m)`
+/// per generated graph — which is what made sparse generation at
+/// `n ≥ 10⁶` intractable.
+pub(crate) fn unflatten(idx: u64, n: usize) -> (Vertex, Vertex) {
+    let n = n as u64;
+    let offset = |u: u64| u * (2 * n - u - 1) / 2;
+    let half = n as f64 - 0.5;
+    let disc = (half * half - 2.0 * idx as f64).max(0.0);
+    let mut u = (half - disc.sqrt()).max(0.0) as u64;
+    while u > 0 && offset(u) > idx {
+        u -= 1;
     }
-    (u as Vertex, (u + 1 + idx) as Vertex)
+    while u + 1 < n && offset(u + 1) <= idx {
+        u += 1;
+    }
+    (u as Vertex, (u + 1 + (idx - offset(u))) as Vertex)
 }
 
 #[cfg(test)]
@@ -75,6 +87,27 @@ mod tests {
             assert!(seen.insert((u, v)));
         }
         assert_eq!(seen.len(), total);
+    }
+
+    #[test]
+    fn unflatten_closed_form_survives_rounding_at_scale() {
+        // Row boundaries are where the f64 quadratic estimate can land
+        // one row off; check both sides of many boundaries at large n.
+        for n in [1_000_000usize, 10_000_001] {
+            let nn = n as u64;
+            let offset = |u: u64| u * (2 * nn - u - 1) / 2;
+            let total = nn * (nn - 1) / 2;
+            for u in [0u64, 1, 2, nn / 3, nn / 2, nn - 3, nn - 2] {
+                let start = offset(u);
+                assert_eq!(unflatten(start, n), (u as Vertex, (u + 1) as Vertex));
+                if start > 0 {
+                    let (pu, pv) = unflatten(start - 1, n);
+                    assert_eq!((pu as u64, pv as u64), (u - 1, nn - 1));
+                }
+            }
+            let (lu, lv) = unflatten(total - 1, n);
+            assert_eq!((lu as u64, lv as u64), (nn - 2, nn - 1));
+        }
     }
 
     #[test]

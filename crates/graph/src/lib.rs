@@ -20,7 +20,12 @@
 //!   ([`partition::balance`]);
 //! * the per-machine graph-state layer ([`dist`]): the flat CSR-backed
 //!   [`LocalGraph`] every k-machine algorithm runs on, built for all `k`
-//!   machines in one fused pass by [`DistGraphBuilder`].
+//!   machines in one fused pass by [`DistGraphBuilder`];
+//! * streaming / out-of-core ingestion ([`stream`]): chunked generator
+//!   drivers ([`EdgeStream`]) and a [`StreamingDistBuilder`] that routes
+//!   bounded [`EdgeChunk`]s straight into the per-machine locals —
+//!   byte-identical to the in-memory path without ever materializing the
+//!   global CSR, with an optional disk-spill mode ([`SpillConfig`]).
 //!
 //! All randomized constructions take explicit seeds and are deterministic
 //! given the seed, so distributed executions built on top are replayable.
@@ -34,6 +39,7 @@ pub mod generators;
 pub mod ids;
 pub mod partition;
 pub mod properties;
+pub mod stream;
 pub mod subgraph;
 pub mod weighted;
 
@@ -44,4 +50,8 @@ pub use dist::{DistGraph, DistGraphBuilder, LocalGraph};
 pub use error::GraphError;
 pub use ids::{Edge, MachineIdx, Triangle, Vertex};
 pub use partition::{Partition, PartitionModel};
+pub use stream::{
+    ChungLuStream, CompleteWeightedStream, EdgeChunk, EdgeStream, GnmStream, GnpStream,
+    SpillConfig, StreamError, StreamingDistBuilder, VecStream,
+};
 pub use weighted::WeightedGraph;

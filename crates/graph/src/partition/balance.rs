@@ -61,26 +61,43 @@ impl LoadStats {
     ///
     /// Returns [`BalanceError::NoMachines`] for an empty slice.
     pub fn from_loads(loads: &[usize]) -> Result<Self, BalanceError> {
-        if loads.is_empty() {
-            return Err(BalanceError::NoMachines);
+        match loads.split_first() {
+            Some((&first, rest)) => Ok(Self::from_split(first, rest)),
+            None => Err(BalanceError::NoMachines),
         }
-        let max = *loads.iter().max().unwrap();
-        let min = *loads.iter().min().unwrap();
-        let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+    }
+
+    /// Computes stats from a non-empty load vector given as
+    /// `first` + `rest` — the `k >= 1` guarantee lives in the signature,
+    /// so callers that hold a [`Partition`] (which asserts `k >= 1` at
+    /// construction) get an infallible path with no `expect`.
+    pub fn from_split(first: usize, rest: &[usize]) -> Self {
+        let mut max = first;
+        let mut min = first;
+        let mut sum = first;
+        for &l in rest {
+            max = max.max(l);
+            min = min.min(l);
+            sum += l;
+        }
+        let mean = sum as f64 / (rest.len() + 1) as f64;
         let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
-        Ok(LoadStats {
+        LoadStats {
             max,
             min,
             mean,
             imbalance,
-        })
+        }
     }
 }
 
 /// Vertex-load statistics of a partition. Infallible: [`Partition`]
-/// guarantees `k >= 1`.
+/// guarantees `k >= 1`, so the empty-load arm is unreachable and the
+/// total [`LoadStats::from_split`] path needs no `expect`.
 pub fn vertex_balance(part: &Partition) -> LoadStats {
-    LoadStats::from_loads(&part.loads()).expect("Partition guarantees k >= 1")
+    let loads = part.loads();
+    let (&first, rest) = loads.split_first().unwrap_or((&0, &[]));
+    LoadStats::from_split(first, rest)
 }
 
 /// Edge-load statistics: machine `i`'s load is the total degree of its
@@ -130,6 +147,17 @@ mod tests {
     #[test]
     fn empty_loads_are_an_error_not_a_panic() {
         assert_eq!(LoadStats::from_loads(&[]), Err(BalanceError::NoMachines));
+    }
+
+    #[test]
+    fn from_split_agrees_with_from_loads() {
+        for loads in [vec![7], vec![4, 6, 5], vec![0, 0], vec![3, 0, 9, 1]] {
+            let (&first, rest) = loads.split_first().unwrap();
+            assert_eq!(
+                LoadStats::from_split(first, rest),
+                LoadStats::from_loads(&loads).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub enum PartitionModel {
 
 /// A vertex partition: the home machine of every vertex, plus the inverse
 /// (member lists per machine).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     k: usize,
     home: Vec<MachineIdx>,

@@ -1,0 +1,1314 @@
+//! Streaming / out-of-core graph ingestion: build a [`DistGraph`]
+//! without ever materializing the global CSR.
+//!
+//! **Why.** The paper's k-machine model assumes the input arrives
+//! *already distributed* by the random vertex partition (Section 1.1) —
+//! no machine ever holds the whole graph. The in-memory path
+//! ([`DistGraphBuilder`]) inverts that: it builds the full global
+//! `CsrGraph` on one host and then splits it, capping experiments at
+//! whatever one host's RAM can hold. This module restores the model's
+//! own input shape: generators emit bounded [`EdgeChunk`]s through the
+//! [`EdgeStream`] trait, and [`StreamingDistBuilder`] routes each
+//! chunk's edges straight into the per-machine [`LocalGraph`]
+//! accumulators, so peak memory is the final distributed state plus
+//! `O(n + chunk)` transient — never the `O(m)` global CSR plus its
+//! `O(m)` construction scratch.
+//!
+//! **RNG-replay invariant.** Each chunked generator
+//! ([`GnpStream`], [`GnmStream`], [`ChungLuStream`],
+//! [`CompleteWeightedStream`]) performs *exactly* the same RNG draws in
+//! the same order as its one-shot form, so the streamed edge sequence is
+//! bit-identical to the edges the one-shot generator feeds its CSR
+//! constructor. `tests/stream_equivalence.rs` proptests both halves of
+//! the contract: generator replay, and
+//! `StreamingDistBuilder == DistGraphBuilder` byte-for-byte.
+//!
+//! **Two-pass count-then-fill.** Without spill, the builder drives the
+//! stream twice ([`EdgeStream::reset`] rewinds it): pass 1 counts
+//! per-vertex degrees, which pre-sizes every machine's flat arrays
+//! exactly like [`DistGraphBuilder`]; pass 2 scatters endpoints into
+//! the pre-sized windows; a final per-window sort + dedup produces the
+//! canonical sorted-CSR form. Self-loops are dropped and duplicate
+//! edges collapse (keeping the minimum weight for weighted streams),
+//! matching the one-shot constructors.
+//!
+//! **Disk spill.** With [`SpillConfig`], the builder reads the stream
+//! *once*, appending fixed-width little-endian records to one run file
+//! per machine (8 bytes `(vertex, neighbor)` unweighted, 16 bytes with
+//! an `f64` weight, plus an 8-byte `(source, local target)` host-pair
+//! file for directed builds), buffering at most
+//! [`SpillConfig::buffer_edges`] records per machine in RAM. Finalize
+//! then loads, sorts, and dedups one machine's runs at a time, so
+//! transient memory is `O(k·buffer + m/k)` even when the whole edge
+//! set exceeds RAM. Run files live in a unique per-build directory that
+//! is removed on completion (and best-effort on error).
+
+use crate::dist::{DistGraph, DistGraphBuilder, LocalGraph};
+use crate::error::GraphError;
+use crate::generators::gnp::unflatten;
+use crate::ids::Vertex;
+use crate::partition::Partition;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::fs::{self, File};
+use std::io::{Read as _, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default number of edges per chunk for the generator streams.
+pub const DEFAULT_CHUNK_EDGES: usize = 1 << 16;
+
+/// Default per-machine spill write-buffer size, in edge records.
+pub const DEFAULT_SPILL_BUFFER_EDGES: usize = 1 << 14;
+
+/// A bounded batch of edges handed from an [`EdgeStream`] to the
+/// builder. Weighted streams keep `weights` aligned with `edges`;
+/// unweighted streams leave it empty.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeChunk {
+    edges: Vec<(Vertex, Vertex)>,
+    weights: Vec<f64>,
+}
+
+impl EdgeChunk {
+    /// An empty chunk with room for `cap` edges.
+    pub fn with_capacity(cap: usize) -> Self {
+        EdgeChunk {
+            edges: Vec::with_capacity(cap),
+            weights: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Removes all edges, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.edges.clear();
+        self.weights.clear();
+    }
+
+    /// Appends an unweighted edge.
+    #[inline]
+    pub fn push(&mut self, u: Vertex, v: Vertex) {
+        self.edges.push((u, v));
+    }
+
+    /// Appends a weighted edge.
+    #[inline]
+    pub fn push_weighted(&mut self, u: Vertex, v: Vertex, w: f64) {
+        self.edges.push((u, v));
+        self.weights.push(w);
+    }
+
+    /// The buffered edges.
+    #[inline]
+    pub fn edges(&self) -> &[(Vertex, Vertex)] {
+        &self.edges
+    }
+
+    /// Weights aligned with [`Self::edges`] (empty for unweighted
+    /// streams).
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of buffered edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the chunk is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// A resettable source of edge chunks — the streaming counterpart of a
+/// one-shot edge list.
+///
+/// Contract: `next_chunk` clears `chunk`, appends the next batch, and
+/// returns `false` once the stream is exhausted (leaving the chunk
+/// empty). `reset` rewinds to the start; a reset stream replays the
+/// *identical* edge (and weight) sequence, which is what lets the
+/// builder run its count pass and fill pass over the same data.
+pub trait EdgeStream {
+    /// Number of vertices of the streamed graph.
+    fn n(&self) -> usize;
+
+    /// Whether chunks carry aligned weights.
+    fn is_weighted(&self) -> bool {
+        false
+    }
+
+    /// Fills `chunk` with the next batch; `false` when exhausted.
+    fn next_chunk(&mut self, chunk: &mut EdgeChunk) -> bool;
+
+    /// Rewinds to the start of the identical edge sequence.
+    fn reset(&mut self);
+}
+
+/// An in-memory edge list viewed as a stream — arbitrary input
+/// (duplicates, self-loops, any order) chunked for the builder; also
+/// the reference stream for the equivalence tests.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    n: usize,
+    edges: Vec<(Vertex, Vertex)>,
+    weights: Option<Vec<f64>>,
+    chunk_size: usize,
+    pos: usize,
+}
+
+impl VecStream {
+    /// An unweighted stream over `edges`.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size == 0`.
+    pub fn new(n: usize, edges: Vec<(Vertex, Vertex)>, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        VecStream {
+            n,
+            edges,
+            weights: None,
+            chunk_size,
+            pos: 0,
+        }
+    }
+
+    /// A weighted stream over parallel `edges` / `weights`.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or `chunk_size == 0`.
+    pub fn weighted(
+        n: usize,
+        edges: Vec<(Vertex, Vertex)>,
+        weights: Vec<f64>,
+        chunk_size: usize,
+    ) -> Self {
+        assert_eq!(edges.len(), weights.len(), "edges/weights length mismatch");
+        assert!(chunk_size > 0, "chunk size must be positive");
+        VecStream {
+            n,
+            edges,
+            weights: Some(weights),
+            chunk_size,
+            pos: 0,
+        }
+    }
+}
+
+impl EdgeStream for VecStream {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    fn next_chunk(&mut self, chunk: &mut EdgeChunk) -> bool {
+        chunk.clear();
+        let end = (self.pos + self.chunk_size).min(self.edges.len());
+        match &self.weights {
+            Some(ws) => {
+                for (&(u, v), &w) in self.edges[self.pos..end].iter().zip(&ws[self.pos..end]) {
+                    chunk.push_weighted(u, v, w);
+                }
+            }
+            None => {
+                for &(u, v) in &self.edges[self.pos..end] {
+                    chunk.push(u, v);
+                }
+            }
+        }
+        self.pos = end;
+        !chunk.is_empty()
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// Chunked `G(n, p)` — the same geometric skip-sampling draw sequence
+/// as [`crate::generators::gnp()`], emitted `chunk_size` edges at a
+/// time. State is `O(1)`, so this is the generator of choice for the
+/// `n = 10⁷` ingestion tier.
+#[derive(Debug, Clone)]
+pub struct GnpStream<R> {
+    n: usize,
+    p: f64,
+    seed: u64,
+    chunk_size: usize,
+    total: u64,
+    log1p: f64,
+    idx: u64,
+    done: bool,
+    rng: R,
+}
+
+impl<R: Rng + SeedableRng> GnpStream<R> {
+    /// A stream equivalent to `gnp(n, p, &mut R::seed_from_u64(seed))`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1` and `chunk_size > 0`.
+    pub fn new(n: usize, p: f64, seed: u64, chunk_size: usize) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let total: u64 = (n as u64) * (n as u64).saturating_sub(1) / 2;
+        let mut s = GnpStream {
+            n,
+            p,
+            seed,
+            chunk_size,
+            total,
+            log1p: (1.0 - p).ln(),
+            idx: 0,
+            done: false,
+            rng: R::seed_from_u64(seed),
+        };
+        s.reset();
+        s
+    }
+}
+
+impl<R: Rng + SeedableRng> EdgeStream for GnpStream<R> {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_chunk(&mut self, chunk: &mut EdgeChunk) -> bool {
+        chunk.clear();
+        if self.done {
+            return false;
+        }
+        if self.p >= 1.0 {
+            // The one-shot form returns `classic::complete(n)` without
+            // consuming the RNG; emit every pair in row-major order.
+            while self.idx < self.total && chunk.len() < self.chunk_size {
+                let (u, v) = unflatten(self.idx, self.n);
+                chunk.push(u, v);
+                self.idx += 1;
+            }
+            self.done = self.idx >= self.total;
+            return !chunk.is_empty();
+        }
+        while chunk.len() < self.chunk_size {
+            // Identical draw to the one-shot loop: Geometric(p) skip.
+            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let skip = (u.ln() / self.log1p).floor() as u64;
+            self.idx = match self.idx.checked_add(skip) {
+                Some(i) => i,
+                None => {
+                    self.done = true;
+                    break;
+                }
+            };
+            if self.idx >= self.total {
+                self.done = true;
+                break;
+            }
+            let (u, v) = unflatten(self.idx, self.n);
+            chunk.push(u, v);
+            self.idx += 1;
+        }
+        !chunk.is_empty()
+    }
+
+    fn reset(&mut self) {
+        self.rng = R::seed_from_u64(self.seed);
+        self.idx = 0;
+        // The one-shot form returns early (no draws) for these inputs.
+        self.done = self.n == 0 || self.p == 0.0;
+    }
+}
+
+/// Chunked `G(n, m)` — the same Floyd-sampling draw sequence as
+/// [`crate::generators::gnm()`], emitting each freshly inserted pair
+/// index as it is chosen.
+///
+/// Note: Floyd's algorithm requires remembering the chosen set, so this
+/// stream keeps `O(m)` state — it streams the *edge list*, not the
+/// sampler. For `O(1)`-state generation at the largest scales use
+/// [`GnpStream`].
+#[derive(Debug)]
+pub struct GnmStream<R> {
+    n: usize,
+    m: usize,
+    seed: u64,
+    chunk_size: usize,
+    total: u64,
+    j: u64,
+    chosen: HashSet<u64>,
+    rng: R,
+}
+
+impl<R: Rng + SeedableRng> GnmStream<R> {
+    /// A stream sampling the same edge set as
+    /// `gnm(n, m, &mut R::seed_from_u64(seed))`.
+    ///
+    /// # Panics
+    /// Panics if `m > C(n,2)` or `chunk_size == 0`.
+    pub fn new(n: usize, m: usize, seed: u64, chunk_size: usize) -> Self {
+        let total: u64 = (n as u64) * (n as u64).saturating_sub(1) / 2;
+        assert!((m as u64) <= total, "m={m} exceeds C({n},2)={total}");
+        assert!(chunk_size > 0, "chunk size must be positive");
+        GnmStream {
+            n,
+            m,
+            seed,
+            chunk_size,
+            total,
+            j: total - m as u64,
+            chosen: HashSet::with_capacity(m * 2),
+            rng: R::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<R: Rng + SeedableRng> EdgeStream for GnmStream<R> {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_chunk(&mut self, chunk: &mut EdgeChunk) -> bool {
+        chunk.clear();
+        while self.j < self.total && chunk.len() < self.chunk_size {
+            // Identical draw to the one-shot loop; each iteration
+            // inserts exactly one fresh pair index (`j` itself is always
+            // fresh because it exceeds every previously inserted value).
+            let t = self.rng.gen_range(0..=self.j);
+            let idx = if self.chosen.insert(t) {
+                t
+            } else {
+                self.chosen.insert(self.j);
+                self.j
+            };
+            let (u, v) = unflatten(idx, self.n);
+            chunk.push(u, v);
+            self.j += 1;
+        }
+        !chunk.is_empty()
+    }
+
+    fn reset(&mut self) {
+        self.rng = R::seed_from_u64(self.seed);
+        self.j = self.total - self.m as u64;
+        self.chosen.clear();
+    }
+}
+
+/// Chunked Chung–Lu — the same pair-scan `gen_bool` sequence as
+/// [`crate::generators::chung_lu()`], with the scan cursor `(i, j)`
+/// carried across chunks (including the zero-weight row skip, which
+/// consumes no draws).
+#[derive(Debug, Clone)]
+pub struct ChungLuStream<R> {
+    weights: Vec<f64>,
+    total: f64,
+    seed: u64,
+    chunk_size: usize,
+    i: usize,
+    j: usize,
+    rng: R,
+}
+
+impl<R: Rng + SeedableRng> ChungLuStream<R> {
+    /// A stream equivalent to
+    /// `chung_lu(&weights, &mut R::seed_from_u64(seed))`.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite, or
+    /// `chunk_size == 0` (same contract as the one-shot form).
+    pub fn new(weights: Vec<f64>, seed: u64, chunk_size: usize) -> Self {
+        for &w in &weights {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and non-negative"
+            );
+        }
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let total: f64 = weights.iter().sum();
+        ChungLuStream {
+            weights,
+            total,
+            seed,
+            chunk_size,
+            i: 0,
+            j: 1,
+            rng: R::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<R: Rng + SeedableRng> EdgeStream for ChungLuStream<R> {
+    fn n(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn next_chunk(&mut self, chunk: &mut EdgeChunk) -> bool {
+        chunk.clear();
+        let n = self.weights.len();
+        if self.total <= 0.0 {
+            // One-shot form draws nothing when the weight mass is zero.
+            return false;
+        }
+        while self.i < n {
+            if self.weights[self.i] == 0.0 {
+                // Zero-weight rows are skipped without consuming draws.
+                self.i += 1;
+                self.j = self.i + 1;
+                continue;
+            }
+            while self.j < n {
+                if chunk.len() == self.chunk_size {
+                    return true;
+                }
+                let p = (self.weights[self.i] * self.weights[self.j] / self.total).min(1.0);
+                let hit = p > 0.0 && self.rng.gen_bool(p);
+                if hit {
+                    chunk.push(self.i as Vertex, self.j as Vertex);
+                }
+                self.j += 1;
+            }
+            self.i += 1;
+            self.j = self.i + 1;
+        }
+        !chunk.is_empty()
+    }
+
+    fn reset(&mut self) {
+        self.rng = R::seed_from_u64(self.seed);
+        self.i = 0;
+        self.j = 1;
+    }
+}
+
+/// Chunked weighted `K_n` — the same `Uniform(0,1)` draw sequence as
+/// [`crate::generators::classic::complete_weighted_random()`], one
+/// draw per pair in row-major order.
+#[derive(Debug, Clone)]
+pub struct CompleteWeightedStream<R> {
+    n: usize,
+    seed: u64,
+    chunk_size: usize,
+    total: u64,
+    idx: u64,
+    rng: R,
+}
+
+impl<R: Rng + SeedableRng> CompleteWeightedStream<R> {
+    /// A stream equivalent to
+    /// `complete_weighted_random(n, &mut R::seed_from_u64(seed))`.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size == 0`.
+    pub fn new(n: usize, seed: u64, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        CompleteWeightedStream {
+            n,
+            seed,
+            chunk_size,
+            total: (n as u64) * (n as u64).saturating_sub(1) / 2,
+            idx: 0,
+            rng: R::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<R: Rng + SeedableRng> EdgeStream for CompleteWeightedStream<R> {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn is_weighted(&self) -> bool {
+        true
+    }
+
+    fn next_chunk(&mut self, chunk: &mut EdgeChunk) -> bool {
+        chunk.clear();
+        while self.idx < self.total && chunk.len() < self.chunk_size {
+            let (u, v) = unflatten(self.idx, self.n);
+            let w = self.rng.gen_range(0.0..1.0);
+            chunk.push_weighted(u, v, w);
+            self.idx += 1;
+        }
+        !chunk.is_empty()
+    }
+
+    fn reset(&mut self) {
+        self.rng = R::seed_from_u64(self.seed);
+        self.idx = 0;
+    }
+}
+
+/// Why a streaming build failed.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The streamed input violated a graph invariant (e.g. a non-finite
+    /// weight) — same error family as the one-shot constructors.
+    Graph(GraphError),
+    /// A disk-spill file operation failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Graph(e) => write!(f, "streamed input rejected: {e}"),
+            StreamError::Io(e) => write!(f, "spill i/o failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Graph(e) => Some(e),
+            StreamError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for StreamError {
+    fn from(e: GraphError) -> Self {
+        StreamError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+/// Disk-spill configuration for [`StreamingDistBuilder::spill`].
+#[derive(Debug, Clone, Default)]
+pub struct SpillConfig {
+    /// Directory for the per-build run-file directory; `None` uses
+    /// [`std::env::temp_dir`].
+    pub dir: Option<PathBuf>,
+    /// In-RAM write buffer per machine, in edge records; `0` uses
+    /// [`DEFAULT_SPILL_BUFFER_EDGES`].
+    pub buffer_edges: usize,
+}
+
+/// Builds all `k` [`LocalGraph`]s straight from an [`EdgeStream`],
+/// producing a [`DistGraph`] byte-for-byte equal to the
+/// [`DistGraphBuilder`] path without ever holding the global CSR.
+#[derive(Debug, Clone)]
+pub struct StreamingDistBuilder<'a> {
+    part: &'a Arc<Partition>,
+    spill: Option<SpillConfig>,
+}
+
+/// Monotone counter making concurrent spill directories unique within
+/// the process (combined with the pid for uniqueness across processes).
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl<'a> StreamingDistBuilder<'a> {
+    /// A streaming builder distributing over `part`'s machines.
+    pub fn new(part: &'a Arc<Partition>) -> Self {
+        StreamingDistBuilder { part, spill: None }
+    }
+
+    /// Enables disk spill: the stream is read once and routed to
+    /// per-machine run files, finalized one machine at a time.
+    pub fn spill(mut self, cfg: SpillConfig) -> Self {
+        self.spill = Some(cfg);
+        self
+    }
+
+    /// Distributes an undirected edge stream (both endpoints receive
+    /// the edge, like [`DistGraphBuilder::undirected`]).
+    ///
+    /// # Panics
+    /// Panics if `stream.n() != part.n()` or an endpoint is out of
+    /// range (programmer errors, same contract as the one-shot path).
+    pub fn undirected<S: EdgeStream + ?Sized>(
+        &self,
+        stream: &mut S,
+    ) -> Result<DistGraph, StreamError> {
+        self.build(stream, Mode::Undirected)
+    }
+
+    /// Distributes a weighted undirected edge stream; duplicate edges
+    /// keep the minimum weight, like [`crate::WeightedGraph`].
+    ///
+    /// # Errors
+    /// [`GraphError::NonFiniteWeight`] (as `StreamError::Graph`) if the
+    /// stream yields a NaN/±∞ weight.
+    ///
+    /// # Panics
+    /// Panics if `stream.is_weighted()` is false, `stream.n()`
+    /// mismatches the partition, or an endpoint is out of range.
+    pub fn weighted<S: EdgeStream + ?Sized>(
+        &self,
+        stream: &mut S,
+    ) -> Result<DistGraph, StreamError> {
+        assert!(
+            stream.is_weighted(),
+            "weighted build needs a weighted stream"
+        );
+        self.build(stream, Mode::Weighted)
+    }
+
+    /// Distributes a directed arc stream: `(u, v)` is the arc `u → v`;
+    /// the home of `u` stores the out-edge and the home of `v` gains
+    /// the [`LocalGraph::host_targets`] entry, like
+    /// [`DistGraphBuilder::directed`].
+    ///
+    /// # Panics
+    /// Panics if `stream.n() != part.n()` or an endpoint is out of
+    /// range.
+    pub fn directed<S: EdgeStream + ?Sized>(
+        &self,
+        stream: &mut S,
+    ) -> Result<DistGraph, StreamError> {
+        self.build(stream, Mode::Directed)
+    }
+
+    fn build<S: EdgeStream + ?Sized>(
+        &self,
+        stream: &mut S,
+        mode: Mode,
+    ) -> Result<DistGraph, StreamError> {
+        assert_eq!(stream.n(), self.part.n(), "partition size mismatch");
+        match &self.spill {
+            None => self.build_in_ram(stream, mode),
+            Some(cfg) => self.build_spilled(stream, mode, cfg),
+        }
+    }
+
+    // ---- in-RAM two-pass path -------------------------------------
+
+    /// Count pass + fill pass + per-window canonicalization. Transient
+    /// memory above the final locals is `O(n)` (degree/cursor arrays —
+    /// the same order as the shared `local_of` index) plus one chunk;
+    /// the directed mode additionally stages the `O(m)` host pairs,
+    /// exactly like the in-memory builder's `pairs` staging.
+    fn build_in_ram<S: EdgeStream + ?Sized>(
+        &self,
+        stream: &mut S,
+        mode: Mode,
+    ) -> Result<DistGraph, StreamError> {
+        let part = self.part;
+        let n = part.n();
+        let k = part.k();
+        let both = mode != Mode::Directed;
+        let weighted = mode == Mode::Weighted;
+
+        // Pass 1: raw per-vertex endpoint counts (duplicates included —
+        // they only widen the scatter windows, which dedup re-compacts)
+        // plus, for directed builds, the per-machine host-pair counts.
+        let mut deg = vec![0u32; n];
+        let mut host_counts = vec![0usize; k];
+        let mut chunk = EdgeChunk::default();
+        stream.reset();
+        while stream.next_chunk(&mut chunk) {
+            check_weights(&chunk, weighted)?;
+            for &(u, v) in chunk.edges() {
+                check_endpoints(u, v, n);
+                if u == v {
+                    continue;
+                }
+                deg[u as usize] += 1;
+                if both {
+                    deg[v as usize] += 1;
+                } else {
+                    host_counts[part.home(v)] += 1;
+                }
+            }
+        }
+
+        // Pre-size every machine's flat arrays and lay out one scatter
+        // window per vertex (machine-relative offsets).
+        let mut locals = DistGraphBuilder::new(part).shells(n);
+        let mut pos = vec![0u32; n];
+        for (i, l) in locals.iter_mut().enumerate() {
+            let mut acc = 0usize;
+            for &v in part.members(i) {
+                assert!(
+                    acc <= u32::MAX as usize,
+                    "machine {i} exceeds u32 endpoints"
+                );
+                pos[v as usize] = acc as u32;
+                acc += deg[v as usize] as usize;
+            }
+            l.neighbors = vec![0 as Vertex; acc];
+            if weighted {
+                l.weighted = true;
+                l.weights = vec![0f64; acc];
+            }
+            l.offsets.reserve(part.members(i).len());
+        }
+        let starts = pos.clone();
+        drop(deg);
+        let mut host_pairs: Vec<Vec<(Vertex, u32)>> =
+            host_counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        let local_of: Arc<[u32]> = Arc::clone(&locals[0].local_of);
+
+        // Pass 2: scatter endpoints (and weights / host pairs) into the
+        // pre-sized windows. The stream contract guarantees the replay
+        // is identical, so every window is filled exactly.
+        stream.reset();
+        while stream.next_chunk(&mut chunk) {
+            check_weights(&chunk, weighted)?;
+            for (e, &(u, v)) in chunk.edges().iter().enumerate() {
+                if u == v {
+                    continue;
+                }
+                let hu = part.home(u);
+                let l = &mut locals[hu];
+                let c = pos[u as usize] as usize;
+                l.neighbors[c] = v;
+                if weighted {
+                    l.weights[c] = chunk.weights()[e];
+                }
+                pos[u as usize] += 1;
+                if both {
+                    let hv = part.home(v);
+                    let l = &mut locals[hv];
+                    let c = pos[v as usize] as usize;
+                    l.neighbors[c] = u;
+                    if weighted {
+                        l.weights[c] = chunk.weights()[e];
+                    }
+                    pos[v as usize] += 1;
+                } else {
+                    host_pairs[part.home(v)].push((u, local_of[v as usize]));
+                }
+            }
+        }
+
+        // Canonicalize: per-window sort + dedup-compact yields the
+        // sorted simple adjacency of the one-shot constructors.
+        let mut edge_loads = vec![0usize; k];
+        let mut scratch: Vec<(Vertex, f64)> = Vec::new();
+        for (i, l) in locals.iter_mut().enumerate() {
+            let mut write = 0usize;
+            for &v in part.members(i) {
+                let lo = starts[v as usize] as usize;
+                let hi = pos[v as usize] as usize;
+                if weighted {
+                    // Sort by (neighbor, weight) so keep-first == keep
+                    // the minimum weight, matching `WeightedGraph`.
+                    scratch.clear();
+                    scratch.extend(
+                        l.neighbors[lo..hi]
+                            .iter()
+                            .zip(&l.weights[lo..hi])
+                            .map(|(&nv, &nw)| (nv, nw)),
+                    );
+                    scratch.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+                    let mut last = None;
+                    for &(nv, nw) in &scratch {
+                        if last != Some(nv) {
+                            l.neighbors[write] = nv;
+                            l.weights[write] = nw;
+                            write += 1;
+                            last = Some(nv);
+                        }
+                    }
+                } else {
+                    l.neighbors[lo..hi].sort_unstable();
+                    let mut last = None;
+                    for r in lo..hi {
+                        let nv = l.neighbors[r];
+                        if last != Some(nv) {
+                            // `write <= r` always, so the read above is
+                            // never clobbered.
+                            l.neighbors[write] = nv;
+                            write += 1;
+                            last = Some(nv);
+                        }
+                    }
+                }
+                l.offsets.push(write);
+            }
+            l.neighbors.truncate(write);
+            if weighted {
+                l.weights.truncate(write);
+            }
+            edge_loads[i] = write;
+        }
+
+        if mode == Mode::Directed {
+            finalize_host_pairs(&mut locals, host_pairs);
+        }
+        Ok(DistGraph::assemble(locals, edge_loads))
+    }
+
+    // ---- disk-spill single-pass path ------------------------------
+
+    fn build_spilled<S: EdgeStream + ?Sized>(
+        &self,
+        stream: &mut S,
+        mode: Mode,
+        cfg: &SpillConfig,
+    ) -> Result<DistGraph, StreamError> {
+        let part = self.part;
+        let n = part.n();
+        let k = part.k();
+        let both = mode != Mode::Directed;
+        let weighted = mode == Mode::Weighted;
+        let rec = if weighted { 16 } else { 8 };
+        let buffer_edges = if cfg.buffer_edges == 0 {
+            DEFAULT_SPILL_BUFFER_EDGES
+        } else {
+            cfg.buffer_edges
+        };
+
+        let dir = SpillDir::create(cfg.dir.clone())?;
+        let mut adj = SpillWriters::open(&dir.path, "adj", k, rec * buffer_edges)?;
+        let mut host = if both {
+            None
+        } else {
+            Some(SpillWriters::open(&dir.path, "host", k, 8 * buffer_edges)?)
+        };
+
+        let mut locals = DistGraphBuilder::new(part).shells(n);
+        let local_of: Arc<[u32]> = Arc::clone(&locals[0].local_of);
+
+        // Single pass: route fixed-width records to per-machine runs.
+        let mut chunk = EdgeChunk::default();
+        stream.reset();
+        while stream.next_chunk(&mut chunk) {
+            check_weights(&chunk, weighted)?;
+            for (e, &(u, v)) in chunk.edges().iter().enumerate() {
+                check_endpoints(u, v, n);
+                if u == v {
+                    continue;
+                }
+                let w = if weighted { chunk.weights()[e] } else { 0.0 };
+                adj.push(part.home(u), u, v, weighted.then_some(w))?;
+                if both {
+                    adj.push(part.home(v), v, u, weighted.then_some(w))?;
+                } else if let Some(h) = host.as_mut() {
+                    h.push(part.home(v), u, local_of[v as usize], None)?;
+                }
+            }
+        }
+        adj.flush_all()?;
+        if let Some(h) = host.as_mut() {
+            h.flush_all()?;
+        }
+
+        // Finalize one machine at a time: load its run, sort, dedup,
+        // fill the local — transient memory is one machine's edge set.
+        let mut edge_loads = vec![0usize; k];
+        let mut host_pairs: Vec<Vec<(Vertex, u32)>> = vec![Vec::new(); k];
+        for (i, l) in locals.iter_mut().enumerate() {
+            if weighted {
+                let mut triples = adj.read_weighted(i)?;
+                triples
+                    .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+                triples.dedup_by_key(|t| (t.0, t.1));
+                l.weighted = true;
+                l.neighbors.reserve(triples.len());
+                l.weights.reserve(triples.len());
+                let mut ptr = 0usize;
+                for &v in part.members(i) {
+                    while ptr < triples.len() && triples[ptr].0 == v {
+                        l.neighbors.push(triples[ptr].1);
+                        l.weights.push(triples[ptr].2);
+                        ptr += 1;
+                    }
+                    l.offsets.push(l.neighbors.len());
+                }
+                debug_assert_eq!(ptr, triples.len());
+            } else {
+                let mut pairs = adj.read_pairs(i)?;
+                pairs.sort_unstable();
+                pairs.dedup();
+                l.neighbors.reserve(pairs.len());
+                let mut ptr = 0usize;
+                for &v in part.members(i) {
+                    while ptr < pairs.len() && pairs[ptr].0 == v {
+                        l.neighbors.push(pairs[ptr].1);
+                        ptr += 1;
+                    }
+                    l.offsets.push(l.neighbors.len());
+                }
+                debug_assert_eq!(ptr, pairs.len());
+            }
+            edge_loads[i] = l.neighbors.len();
+            if let Some(h) = host.as_ref() {
+                let mut pairs = h.read_pairs(i)?;
+                pairs.sort_unstable();
+                pairs.dedup();
+                host_pairs[i] = pairs;
+            }
+        }
+        if mode == Mode::Directed {
+            finalize_host_pairs(&mut locals, host_pairs);
+        }
+        drop(adj);
+        drop(host);
+        dir.remove()?;
+        Ok(DistGraph::assemble(locals, edge_loads))
+    }
+}
+
+/// Build flavor of one streaming run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Undirected,
+    Weighted,
+    Directed,
+}
+
+#[inline]
+fn check_endpoints(u: Vertex, v: Vertex, n: usize) {
+    assert!(
+        (u as usize) < n && (v as usize) < n,
+        "edge ({u},{v}) out of range for n={n}"
+    );
+}
+
+fn check_weights(chunk: &EdgeChunk, weighted: bool) -> Result<(), StreamError> {
+    if !weighted {
+        return Ok(());
+    }
+    assert_eq!(
+        chunk.edges().len(),
+        chunk.weights().len(),
+        "weighted stream emitted unaligned weights"
+    );
+    for (&(u, v), &w) in chunk.edges().iter().zip(chunk.weights()) {
+        if !w.is_finite() {
+            return Err(GraphError::NonFiniteWeight { u, v, w }.into());
+        }
+    }
+    Ok(())
+}
+
+/// Groups sorted, dedup'd `(source, local target)` pairs into each
+/// local's `host_targets` index — the same grouping loop as
+/// [`DistGraphBuilder::directed`].
+fn finalize_host_pairs(locals: &mut [LocalGraph], host_pairs: Vec<Vec<(Vertex, u32)>>) {
+    for (l, mut p) in locals.iter_mut().zip(host_pairs) {
+        p.sort_unstable();
+        p.dedup();
+        for (u, j) in p {
+            if l.host_src.last() != Some(&u) {
+                l.host_src.push(u);
+                l.host_offsets.push(l.host_tgt.len());
+            }
+            l.host_tgt.push(j);
+        }
+        l.host_offsets.push(l.host_tgt.len());
+    }
+}
+
+/// The unique per-build spill directory, removed on drop (best effort)
+/// or explicitly with a reported error.
+#[derive(Debug)]
+struct SpillDir {
+    path: PathBuf,
+    removed: bool,
+}
+
+impl SpillDir {
+    fn create(base: Option<PathBuf>) -> Result<Self, StreamError> {
+        let base = base.unwrap_or_else(std::env::temp_dir);
+        let pid = std::process::id();
+        loop {
+            let c = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = base.join(format!("km-stream-spill-{pid}-{c}"));
+            match fs::create_dir_all(&base).and_then(|()| fs::create_dir(&path)) {
+                Ok(()) => {
+                    return Ok(SpillDir {
+                        path,
+                        removed: false,
+                    })
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn remove(mut self) -> Result<(), StreamError> {
+        self.removed = true;
+        fs::remove_dir_all(&self.path)?;
+        Ok(())
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        if !self.removed {
+            let _ = fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+/// One run file per machine with a bounded in-RAM write buffer.
+#[derive(Debug)]
+struct SpillWriters {
+    paths: Vec<PathBuf>,
+    files: Vec<File>,
+    buffers: Vec<Vec<u8>>,
+    buffer_bytes: usize,
+}
+
+impl SpillWriters {
+    fn open(
+        dir: &std::path::Path,
+        tag: &str,
+        k: usize,
+        buffer_bytes: usize,
+    ) -> Result<Self, StreamError> {
+        let mut paths = Vec::with_capacity(k);
+        let mut files = Vec::with_capacity(k);
+        for i in 0..k {
+            let p = dir.join(format!("{tag}-{i}.run"));
+            files.push(File::create(&p)?);
+            paths.push(p);
+        }
+        Ok(SpillWriters {
+            paths,
+            files,
+            buffers: vec![Vec::new(); k],
+            buffer_bytes: buffer_bytes.max(24),
+        })
+    }
+
+    /// Appends one record — `(a, b)` as two `u32`s, plus an optional
+    /// `f64` weight — to machine `i`'s run, flushing a full buffer.
+    fn push(&mut self, i: usize, a: u32, b: u32, w: Option<f64>) -> Result<(), StreamError> {
+        let buf = &mut self.buffers[i];
+        buf.extend_from_slice(&a.to_le_bytes());
+        buf.extend_from_slice(&b.to_le_bytes());
+        if let Some(w) = w {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        if buf.len() >= self.buffer_bytes {
+            self.files[i].write_all(buf)?;
+            buf.clear();
+        }
+        Ok(())
+    }
+
+    fn flush_all(&mut self) -> Result<(), StreamError> {
+        for (f, buf) in self.files.iter_mut().zip(&mut self.buffers) {
+            if !buf.is_empty() {
+                f.write_all(buf)?;
+            }
+            buf.clear();
+            buf.shrink_to_fit();
+        }
+        Ok(())
+    }
+
+    fn read_bytes(&self, i: usize) -> Result<Vec<u8>, StreamError> {
+        let mut bytes = Vec::new();
+        File::open(&self.paths[i])?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    /// Reads machine `i`'s run as 8-byte `(u32, u32)` records.
+    fn read_pairs(&self, i: usize) -> Result<Vec<(u32, u32)>, StreamError> {
+        let bytes = self.read_bytes(i)?;
+        debug_assert_eq!(bytes.len() % 8, 0);
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| {
+                (
+                    u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                    u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                )
+            })
+            .collect())
+    }
+
+    /// Reads machine `i`'s run as 16-byte `(u32, u32, f64)` records.
+    fn read_weighted(&self, i: usize) -> Result<Vec<(u32, u32, f64)>, StreamError> {
+        let bytes = self.read_bytes(i)?;
+        debug_assert_eq!(bytes.len() % 16, 0);
+        Ok(bytes
+            .chunks_exact(16)
+            .map(|c| {
+                (
+                    u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                    u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                    f64::from_le_bytes([c[8], c[9], c[10], c[11], c[12], c[13], c[14], c[15]]),
+                )
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::generators::{chung_lu, classic, gnm, gnp, power_law_weights};
+    use crate::weighted::WeightedGraph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn drain(s: &mut impl EdgeStream) -> (Vec<(Vertex, Vertex)>, Vec<f64>) {
+        let mut chunk = EdgeChunk::default();
+        let mut edges = Vec::new();
+        let mut weights = Vec::new();
+        while s.next_chunk(&mut chunk) {
+            edges.extend_from_slice(chunk.edges());
+            weights.extend_from_slice(chunk.weights());
+        }
+        (edges, weights)
+    }
+
+    #[test]
+    fn vec_stream_chunks_and_resets() {
+        let edges = vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)];
+        let mut s = VecStream::new(5, edges.clone(), 2);
+        let mut chunk = EdgeChunk::default();
+        assert!(s.next_chunk(&mut chunk));
+        assert_eq!(chunk.edges(), &edges[..2]);
+        let (rest, _) = drain(&mut s);
+        assert_eq!(rest, &edges[2..]);
+        s.reset();
+        assert_eq!(drain(&mut s).0, edges);
+    }
+
+    #[test]
+    fn gnp_stream_replays_one_shot_sequence() {
+        for &(n, p, seed) in &[(60, 0.1, 7u64), (40, 0.5, 1), (10, 1.0, 3), (10, 0.0, 3)] {
+            let g = gnp(n, p, &mut ChaCha8Rng::seed_from_u64(seed));
+            let mut s = GnpStream::<ChaCha8Rng>::new(n, p, seed, 13);
+            let (edges, _) = drain(&mut s);
+            // gnp emits strictly increasing flat indices, so the edge
+            // sequence equals the one-shot CSR's canonical edge order.
+            let want: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
+            assert_eq!(edges, want, "n={n} p={p}");
+            s.reset();
+            assert_eq!(drain(&mut s).0, edges);
+        }
+    }
+
+    #[test]
+    fn gnm_stream_samples_the_one_shot_edge_set() {
+        for &(n, m, seed) in &[(30, 100, 5u64), (10, 45, 2), (10, 0, 2), (5, 10, 9)] {
+            let g = gnm(n, m, &mut ChaCha8Rng::seed_from_u64(seed));
+            let mut s = GnmStream::<ChaCha8Rng>::new(n, m, seed, 7);
+            let (edges, _) = drain(&mut s);
+            assert_eq!(edges.len(), m);
+            assert_eq!(CsrGraph::from_edges(n, &edges), g, "n={n} m={m}");
+            s.reset();
+            assert_eq!(drain(&mut s).0, edges);
+        }
+    }
+
+    #[test]
+    fn chung_lu_stream_replays_one_shot_sequence() {
+        let mut w = power_law_weights(50, 2.5, 6.0);
+        w[3] = 0.0; // exercise the zero-weight row skip
+        w[17] = 0.0;
+        let g = chung_lu(&w, &mut ChaCha8Rng::seed_from_u64(23));
+        let mut s = ChungLuStream::<ChaCha8Rng>::new(w, 23, 11);
+        let (edges, _) = drain(&mut s);
+        let want: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
+        assert_eq!(edges, want);
+    }
+
+    #[test]
+    fn chung_lu_stream_zero_mass_is_empty() {
+        let mut s = ChungLuStream::<ChaCha8Rng>::new(vec![0.0; 8], 1, 4);
+        assert!(drain(&mut s).0.is_empty());
+    }
+
+    #[test]
+    fn complete_weighted_stream_replays_one_shot_draws() {
+        let g = classic::complete_weighted_random(9, &mut ChaCha8Rng::seed_from_u64(4)).unwrap();
+        let mut s = CompleteWeightedStream::<ChaCha8Rng>::new(9, 4, 5);
+        let (edges, weights) = drain(&mut s);
+        assert_eq!(edges.len(), 36);
+        let streamed = WeightedGraph::from_weighted_edges(9, &edges, &weights).unwrap();
+        assert_eq!(streamed, g);
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_on_messy_input() {
+        // Duplicates, self-loops, both orientations.
+        let edges = vec![
+            (0, 1),
+            (1, 0),
+            (2, 2),
+            (3, 4),
+            (4, 3),
+            (0, 1),
+            (5, 0),
+            (4, 5),
+        ];
+        let g = CsrGraph::from_edges(6, &edges);
+        let part = Arc::new(Partition::by_hash(6, 3, 1));
+        let want = DistGraphBuilder::new(&part).undirected(&g);
+        let mut s = VecStream::new(6, edges, 3);
+        let got = StreamingDistBuilder::new(&part).undirected(&mut s).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn spill_mode_matches_and_cleans_up() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let g = gnp(80, 0.15, &mut rng);
+        let part = Arc::new(Partition::by_hash(80, 4, 2));
+        let want = DistGraphBuilder::new(&part).undirected(&g);
+        let dir = std::env::temp_dir().join("km-stream-spill-test");
+        let mut s = GnpStream::<ChaCha8Rng>::new(80, 0.15, 12, 17);
+        let got = StreamingDistBuilder::new(&part)
+            .spill(SpillConfig {
+                dir: Some(dir.clone()),
+                buffer_edges: 8,
+            })
+            .undirected(&mut s)
+            .unwrap();
+        assert_eq!(got, want);
+        // The per-build subdirectory is gone; only the base dir remains.
+        let leftovers: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert!(leftovers.is_empty(), "spill files not cleaned up");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn weighted_stream_rejects_non_finite_weight() {
+        let part = Arc::new(Partition::round_robin(3, 2));
+        let mut s = VecStream::weighted(3, vec![(0, 1), (1, 2)], vec![1.0, f64::NAN], 8);
+        let err = StreamingDistBuilder::new(&part)
+            .weighted(&mut s)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StreamError::Graph(GraphError::NonFiniteWeight { u: 1, v: 2, .. })
+            ),
+            "{err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("non-finite"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "partition size mismatch")]
+    fn rejects_mismatched_partition() {
+        let part = Arc::new(Partition::round_robin(5, 2));
+        let mut s = VecStream::new(4, vec![(0, 1)], 8);
+        let _ = StreamingDistBuilder::new(&part).undirected(&mut s);
+    }
+
+    #[test]
+    fn empty_stream_builds_empty_locals() {
+        let part = Arc::new(Partition::round_robin(7, 3));
+        let mut s = VecStream::new(7, Vec::new(), 8);
+        let d = StreamingDistBuilder::new(&part).undirected(&mut s).unwrap();
+        assert_eq!(d.k(), 3);
+        for l in d.locals() {
+            assert_eq!(l.edge_endpoints(), 0);
+        }
+        assert_eq!(d.vertex_balance().max, 3);
+    }
+}

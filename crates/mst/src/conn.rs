@@ -49,7 +49,7 @@ use km_core::{
     id_bits, run_algorithm, BitReader, BitWriter, CodecError, Envelope, KmAlgorithm, MachineIdx,
     Metrics, NetConfig, Outbox, Protocol, RoundCtx, Runner, Status, WireCodec, WireSize,
 };
-use km_graph::{CsrGraph, DistGraphBuilder, Edge, LocalGraph, Partition, Vertex};
+use km_graph::{CsrGraph, DistGraph, DistGraphBuilder, Edge, LocalGraph, Partition, Vertex};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -436,9 +436,30 @@ impl SketchConnectivity {
     pub fn build_all(g: &CsrGraph, part: &Arc<Partition>) -> Vec<SketchConnectivity> {
         let n = g.n();
         let params = SketchParams::for_graph(n, g.m());
-        DistGraphBuilder::new(part)
-            .undirected(g)
-            .into_locals()
+        Self::from_locals(
+            n,
+            params,
+            DistGraphBuilder::new(part).undirected(g).into_locals(),
+        )
+    }
+
+    /// Builds protocol instances from an already-distributed input (e.g.
+    /// a streaming ingest via `km_graph::stream`) — no global CSR is ever
+    /// needed. Sketch parameters come from the distributed edge loads
+    /// (`Σ loads = 2m` for undirected builds).
+    pub fn build_all_from_dist(dist: &DistGraph) -> Vec<SketchConnectivity> {
+        let n = dist.locals()[0].global_n();
+        let m = dist.edge_loads().iter().sum::<usize>() / 2;
+        let params = SketchParams::for_graph(n, m);
+        Self::from_locals(n, params, dist.locals().to_vec())
+    }
+
+    fn from_locals(
+        n: usize,
+        params: SketchParams,
+        locals: Vec<LocalGraph>,
+    ) -> Vec<SketchConnectivity> {
+        locals
             .into_iter()
             .map(|lg| SketchConnectivity {
                 n,
@@ -953,6 +974,54 @@ pub fn run_sketch_connectivity(
     net: NetConfig,
 ) -> Result<(ConnectivityOutput, Metrics), km_core::EngineError> {
     let outcome = run_algorithm(&DistributedSketchConnectivity { g, part }, Runner::new(net))?;
+    Ok((outcome.output, outcome.metrics))
+}
+
+/// Sketch connectivity over an already-distributed input: the streaming
+/// counterpart of [`DistributedSketchConnectivity`], for graphs ingested
+/// via `km_graph::stream` where no global [`CsrGraph`] ever exists.
+#[derive(Debug, Clone, Copy)]
+pub struct PrebuiltSketchConnectivity<'a> {
+    /// The distributed input (its partition `k` must match the runner's).
+    pub dist: &'a DistGraph,
+}
+
+impl KmAlgorithm for PrebuiltSketchConnectivity<'_> {
+    type Machine = SketchConnectivity;
+    type Output = ConnectivityOutput;
+
+    fn build(&self, k: usize) -> Vec<SketchConnectivity> {
+        assert_eq!(
+            self.dist.k(),
+            k,
+            "distributed input k must match the network k"
+        );
+        SketchConnectivity::build_all_from_dist(self.dist)
+    }
+
+    fn extract(&self, machines: Vec<SketchConnectivity>, _metrics: &Metrics) -> ConnectivityOutput {
+        let phases = machines[0].phases;
+        let mut forest: Vec<Edge> = machines.into_iter().flat_map(|m| m.forest).collect();
+        forest.sort_unstable();
+        debug_assert!(
+            forest.windows(2).all(|w| w[0] != w[1]),
+            "a forest edge was recorded twice"
+        );
+        ConnectivityOutput {
+            components: self.dist.locals()[0].global_n() - forest.len(),
+            forest,
+            phases,
+        }
+    }
+}
+
+/// Runs sketch connectivity from an already-distributed input (streaming
+/// ingest path).
+pub fn run_sketch_connectivity_dist(
+    dist: &DistGraph,
+    net: NetConfig,
+) -> Result<(ConnectivityOutput, Metrics), km_core::EngineError> {
+    let outcome = run_algorithm(&PrebuiltSketchConnectivity { dist }, Runner::new(net))?;
     Ok((outcome.output, outcome.metrics))
 }
 

@@ -37,7 +37,8 @@ pub mod conn;
 pub mod sketch;
 
 pub use conn::{
-    run_sketch_connectivity, ConnectivityOutput, DistributedSketchConnectivity, SketchConnectivity,
+    run_sketch_connectivity, run_sketch_connectivity_dist, ConnectivityOutput,
+    DistributedSketchConnectivity, PrebuiltSketchConnectivity, SketchConnectivity,
 };
 
 use km_core::rng::keyed_hash;
@@ -45,7 +46,7 @@ use km_core::{
     id_bits, run_algorithm, BitReader, BitWriter, CodecError, Envelope, KmAlgorithm, Metrics,
     NetConfig, Outbox, Protocol, RoundCtx, Runner, Status, WireCodec, WireSize,
 };
-use km_graph::{DistGraphBuilder, Edge, LocalGraph, Partition, Vertex, WeightedGraph};
+use km_graph::{DistGraph, DistGraphBuilder, Edge, LocalGraph, Partition, Vertex, WeightedGraph};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -287,9 +288,27 @@ impl BoruvkaMst {
     /// global graph via [`DistGraphBuilder`]).
     pub fn build_all(g: &WeightedGraph, part: &Arc<Partition>) -> Vec<BoruvkaMst> {
         let n = g.n();
-        DistGraphBuilder::new(part)
-            .weighted(g)
-            .into_locals()
+        Self::from_locals(n, DistGraphBuilder::new(part).weighted(g).into_locals())
+    }
+
+    /// Builds protocol instances from an already-distributed weighted
+    /// input (e.g. a streaming ingest via `km_graph::stream`) — no global
+    /// [`WeightedGraph`] is ever materialized.
+    ///
+    /// # Panics
+    /// Panics if the distributed input was not built from a weighted
+    /// stream.
+    pub fn build_all_from_dist(dist: &DistGraph) -> Vec<BoruvkaMst> {
+        let n = dist.locals()[0].global_n();
+        assert!(
+            dist.locals().iter().all(LocalGraph::is_weighted),
+            "Borůvka needs a weighted distributed input"
+        );
+        Self::from_locals(n, dist.locals().to_vec())
+    }
+
+    fn from_locals(n: usize, locals: Vec<LocalGraph>) -> Vec<BoruvkaMst> {
+        locals
             .into_iter()
             .map(|lg| BoruvkaMst {
                 n,
@@ -536,6 +555,51 @@ pub fn run_boruvka(
     Ok((edges, weight, outcome.metrics))
 }
 
+/// Distributed Borůvka over an already-distributed weighted input: the
+/// streaming counterpart of [`DistributedMst`], for graphs ingested via
+/// `km_graph::stream` where no global [`WeightedGraph`] ever exists.
+#[derive(Debug, Clone, Copy)]
+pub struct PrebuiltMst<'a> {
+    /// The distributed weighted input (its `k` must match the runner's).
+    pub dist: &'a DistGraph,
+}
+
+impl KmAlgorithm for PrebuiltMst<'_> {
+    type Machine = BoruvkaMst;
+    type Output = (Vec<Edge>, f64);
+
+    fn build(&self, k: usize) -> Vec<BoruvkaMst> {
+        assert_eq!(
+            self.dist.k(),
+            k,
+            "distributed input k must match the network k"
+        );
+        BoruvkaMst::build_all_from_dist(self.dist)
+    }
+
+    fn extract(&self, machines: Vec<BoruvkaMst>, _metrics: &Metrics) -> (Vec<Edge>, f64) {
+        let m0 = &machines[0];
+        let mut edges: Vec<Edge> = m0.forest.iter().map(|&(e, _)| e).collect();
+        edges.sort_unstable();
+        let weight = m0.forest_weight();
+        for m in &machines[1..] {
+            debug_assert_eq!(m.forest.len(), m0.forest.len());
+        }
+        (edges, weight)
+    }
+}
+
+/// Runs distributed Borůvka from an already-distributed weighted input
+/// (streaming ingest path).
+pub fn run_boruvka_dist(
+    dist: &DistGraph,
+    net: NetConfig,
+) -> Result<(Vec<Edge>, f64, km_core::Metrics), km_core::EngineError> {
+    let outcome = run_algorithm(&PrebuiltMst { dist }, Runner::new(net))?;
+    let (edges, weight) = outcome.output;
+    Ok((edges, weight, outcome.metrics))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,7 +654,7 @@ mod tests {
         // The paper's MST lower-bound family (footnote 6).
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let n = 24;
-        let g = complete_weighted_random(n, &mut rng);
+        let g = complete_weighted_random(n, &mut rng).unwrap();
         let part = Arc::new(Partition::by_hash(n, 6, 1));
         let (edges, w, metrics) = run_boruvka(&g, &part, net(6, n, 13)).unwrap();
         assert_eq!(edges.len(), n - 1, "spanning tree of a connected graph");

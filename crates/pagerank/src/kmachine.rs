@@ -35,7 +35,7 @@ use km_core::{
     id_bits, run_algorithm, BitReader, BitWriter, CodecError, Envelope, KmAlgorithm, Metrics,
     NetConfig, Outbox, Protocol, RoundCtx, Runner, Status, WireCodec, WireSize,
 };
-use km_graph::{DiGraph, DistGraphBuilder, LocalGraph, Partition, Vertex};
+use km_graph::{DiGraph, DistGraph, DistGraphBuilder, LocalGraph, Partition, Vertex};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -210,9 +210,18 @@ impl LocalState {
     /// out-edges and in-edges) plus the shared hash function. One fused
     /// pass over the global graph via [`DistGraphBuilder`].
     pub fn build_all(g: &DiGraph, part: &Arc<Partition>, cfg: &PrConfig) -> Vec<LocalState> {
-        DistGraphBuilder::new(part)
-            .directed(g)
-            .into_locals()
+        Self::from_locals(DistGraphBuilder::new(part).directed(g).into_locals(), cfg)
+    }
+
+    /// Builds the local state of every machine from an already-distributed
+    /// directed input (e.g. a streaming ingest via `km_graph::stream`) —
+    /// no global [`DiGraph`] is ever materialized.
+    pub fn build_all_from_dist(dist: &DistGraph, cfg: &PrConfig) -> Vec<LocalState> {
+        Self::from_locals(dist.locals().to_vec(), cfg)
+    }
+
+    fn from_locals(locals: Vec<LocalGraph>, cfg: &PrConfig) -> Vec<LocalState> {
+        locals
             .into_iter()
             .map(|lg| {
                 let hosted = lg.hosted();
@@ -291,19 +300,25 @@ impl KmPageRank {
     ) -> Vec<KmPageRank> {
         LocalState::build_all(g, part, &cfg)
             .into_iter()
-            .map(|st| KmPageRank {
-                st,
-                cfg,
-                heavy_threshold,
-                parity: false,
-                flushes_seen: 0,
-                flush_live: 0,
-                my_live: 0,
-                pending: Vec::new(),
-                finished: false,
-                iterations: 0,
-            })
+            .map(|st| Self::from_state(st, cfg, heavy_threshold))
             .collect()
+    }
+
+    /// One protocol instance wrapping an already-built local state (the
+    /// shared tail of the in-memory and streaming build paths).
+    pub(crate) fn from_state(st: LocalState, cfg: PrConfig, heavy_threshold: u64) -> KmPageRank {
+        KmPageRank {
+            st,
+            cfg,
+            heavy_threshold,
+            parity: false,
+            flushes_seen: 0,
+            flush_live: 0,
+            my_live: 0,
+            pending: Vec::new(),
+            finished: false,
+            iterations: 0,
+        }
     }
 
     /// This machine's output: `(vertex, PageRank estimate)` for every
@@ -568,6 +583,58 @@ pub fn run_kmachine_pagerank(
     net: NetConfig,
 ) -> Result<(Vec<f64>, km_core::Metrics), km_core::EngineError> {
     let outcome = run_algorithm(&DistributedPageRank::new(g, part, cfg), Runner::new(net))?;
+    Ok((outcome.output, outcome.metrics))
+}
+
+/// Algorithm 1 over an already-distributed directed input: the streaming
+/// counterpart of [`DistributedPageRank`], for graphs ingested via
+/// `km_graph::stream` where no global [`DiGraph`] ever exists. Uses the
+/// paper's heavy threshold (`k`).
+#[derive(Debug, Clone, Copy)]
+pub struct PrebuiltPageRank<'a> {
+    /// The distributed directed input (its `k` must match the runner's).
+    pub dist: &'a DistGraph,
+    /// Token parameters.
+    pub cfg: PrConfig,
+}
+
+impl KmAlgorithm for PrebuiltPageRank<'_> {
+    type Machine = KmPageRank;
+    type Output = Vec<f64>;
+
+    fn build(&self, k: usize) -> Vec<KmPageRank> {
+        assert_eq!(
+            self.dist.k(),
+            k,
+            "distributed input k must match the network k"
+        );
+        let heavy = self.dist.k() as u64;
+        LocalState::build_all_from_dist(self.dist, &self.cfg)
+            .into_iter()
+            .map(|st| KmPageRank::from_state(st, self.cfg, heavy))
+            .collect()
+    }
+
+    fn extract(&self, machines: Vec<KmPageRank>, _metrics: &Metrics) -> Vec<f64> {
+        let n = self.dist.locals()[0].global_n();
+        let mut pr = vec![0.0; n];
+        for m in &machines {
+            for (v, est) in m.output().estimates {
+                pr[v as usize] = est;
+            }
+        }
+        pr
+    }
+}
+
+/// Runs Algorithm 1 from an already-distributed directed input
+/// (streaming ingest path).
+pub fn run_kmachine_pagerank_dist(
+    dist: &DistGraph,
+    cfg: PrConfig,
+    net: NetConfig,
+) -> Result<(Vec<f64>, km_core::Metrics), km_core::EngineError> {
+    let outcome = run_algorithm(&PrebuiltPageRank { dist, cfg }, Runner::new(net))?;
     Ok((outcome.output, outcome.metrics))
 }
 

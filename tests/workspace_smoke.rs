@@ -231,6 +231,40 @@ fn distributed_engine_path_tiny() {
     assert!(wire.measured_bits() >= wire.logical_bits);
 }
 
+/// `examples/streaming_ingest.rs` path: chunked streaming build (with
+/// and without disk spill) bit-identical to the in-memory builder, then
+/// sketch connectivity on the prebuilt input.
+#[test]
+fn streaming_ingest_path_tiny() {
+    use km_repro::graph::{
+        DistGraphBuilder, EdgeStream, GnpStream, SpillConfig, StreamingDistBuilder,
+    };
+    use km_repro::mst::run_sketch_connectivity_dist;
+
+    let (n, k, seed) = (56usize, 4usize, 12u64);
+    let p = 0.08;
+    let part = Arc::new(Partition::by_hash(n, k, 7));
+
+    let mut stream = GnpStream::<ChaCha8Rng>::new(n, p, seed, 16);
+    let streamed = StreamingDistBuilder::new(&part)
+        .undirected(&mut stream)
+        .expect("in-range edges");
+    stream.reset();
+    let spilled = StreamingDistBuilder::new(&part)
+        .spill(SpillConfig::default())
+        .undirected(&mut stream)
+        .expect("spill build");
+    let g = gnp(n, p, &mut ChaCha8Rng::seed_from_u64(seed));
+    let in_memory = DistGraphBuilder::new(&part).undirected(&g);
+    assert_eq!(streamed, spilled, "spill path must be bit-identical");
+    assert_eq!(streamed, in_memory, "streaming == in-memory");
+
+    let net = NetConfig::polylog(k, n, 5).max_rounds(50_000_000);
+    let (cc, metrics) = run_sketch_connectivity_dist(&streamed, net).expect("sketch run");
+    assert_eq!(cc.components, n - cc.forest.len());
+    assert!(metrics.rounds > 0);
+}
+
 /// `examples/sketch_connectivity.rs` path: the O~(n/k²) sketch protocol
 /// and the Borůvka baseline on the same topology, with matching forest
 /// sizes and the no-broadcast recv-bits gap.
