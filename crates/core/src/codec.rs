@@ -4,11 +4,14 @@
 //! [`WireCodec`] makes that claim executable: `encode` must write
 //! **exactly** `bits()` bits (clamped ≥ 1, like the engine's bandwidth
 //! accounting), and `decode` must reconstruct the message from them.
-//! [`WireCodec::encode_frame`] packs the bits into a length-prefixed
-//! byte frame of exactly `⌈bits/8⌉` payload bytes, asserting the
-//! size claim on every message that crosses a link — so a `WireSize`
-//! implementation that under- or over-counts its own encoding fails
-//! loudly the first time the distributed engine ships it.
+//! [`WireCodec::encode_frame`] packs the bits into a self-checking
+//! byte frame of exactly `⌈bits/8⌉` payload bytes behind a header
+//! carrying the length, the logical bit claim, a per-link sequence
+//! number, a frame kind, and a CRC-32 (see [`FRAME_HEADER_BYTES`]) —
+//! so a `WireSize` implementation that under- or over-counts its own
+//! encoding fails loudly the first time the distributed engine ships
+//! it, and a frame corrupted in transit is *detected* (and NACKed for
+//! retransmission) rather than silently mis-decoded.
 //!
 //! # Decoding variable-width fields
 //!
@@ -28,10 +31,15 @@
 use crate::message::{Raw, WireSize};
 use std::fmt;
 
-/// Why a frame could not be decoded. Frames are produced by
-/// [`WireCodec::encode`] in the same process, so any of these indicates
-/// a codec/`WireSize` bug (or a corrupted frame), not a runtime
-/// condition a protocol should handle.
+/// Why a frame could not be decoded.
+///
+/// [`CodecError::Checksum`] (and header-shape errors from
+/// [`split_frame`]) are the *detection layer* of the distributed
+/// engine's fault tolerance: a frame that was bit-flipped or truncated
+/// in transit fails its CRC and is discarded and retransmitted rather
+/// than decoded into garbage. The remaining variants, surfacing from a
+/// frame whose checksum *passed*, indicate a codec/`WireSize` bug —
+/// not a runtime condition a protocol should handle.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// The decoder asked for more bits than the frame holds.
@@ -59,6 +67,15 @@ pub enum CodecError {
         /// What was wrong with the frame.
         reason: String,
     },
+    /// The frame's CRC32 does not match its contents — the frame was
+    /// corrupted in transit (or by fault injection) and must not be
+    /// decoded.
+    Checksum {
+        /// CRC32 the header carries.
+        expected: u32,
+        /// CRC32 computed over the received bytes.
+        found: u32,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -74,6 +91,11 @@ impl fmt::Display for CodecError {
                 write!(f, "invalid {what}: {value}")
             }
             CodecError::Frame { reason } => write!(f, "malformed frame: {reason}"),
+            CodecError::Checksum { expected, found } => write!(
+                f,
+                "frame checksum mismatch: header says {expected:#010x}, contents hash to \
+                 {found:#010x}"
+            ),
         }
     }
 }
@@ -208,11 +230,146 @@ impl<'a> BitReader<'a> {
     }
 }
 
-/// Byte-frame layout: a 12-byte header (`payload_len: u32 LE`,
-/// `logical_bits: u64 LE`) followed by `payload_len` payload bytes.
+/// Byte-frame layout: a 21-byte header followed by `payload_len`
+/// payload bytes.
+///
+/// | bytes  | field          | meaning                                      |
+/// |--------|----------------|----------------------------------------------|
+/// | 0..4   | `payload_len`  | `u32` LE, payload byte count                 |
+/// | 4..12  | `logical_bits` | `u64` LE, the sender's `WireSize` claim      |
+/// | 12..16 | `seq`          | `u32` LE, per-link sequence number           |
+/// | 16     | `kind`         | [`FRAME_KIND_DATA`] or [`FRAME_KIND_NACK`]   |
+/// | 17..21 | `crc32`        | `u32` LE over bytes `0..17` + payload        |
+///
 /// `payload_len == ⌈logical_bits/8⌉` always; both are carried so a
 /// receiver can validate the frame against the sender's size claim.
-pub const FRAME_HEADER_BYTES: usize = 12;
+/// The sequence number counts DATA frames per directed link from 0
+/// within a round, letting receivers detect loss (a gap), discard
+/// duplicates, and reorder delayed frames; the CRC turns any in-flight
+/// bit corruption into a typed [`CodecError::Checksum`] instead of a
+/// silent mis-decode.
+pub const FRAME_HEADER_BYTES: usize = 21;
+
+/// Header byte count covered by the CRC (everything before the CRC
+/// field itself).
+const FRAME_CRC_OFFSET: usize = 17;
+
+/// `kind` byte of a frame carrying a protocol message payload.
+pub const FRAME_KIND_DATA: u8 = 0;
+
+/// `kind` byte of a retransmit-request control frame; its 4-byte
+/// payload is the first sequence number the receiver is still missing
+/// (see [`encode_nack_frame`]).
+pub const FRAME_KIND_NACK: u8 = 1;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup
+/// table, built at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            j += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) over the concatenation of `parts`. Taking slices
+/// avoids materializing `header ++ payload` just to hash it.
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut c = !0u32;
+    for part in parts {
+        for &b in *part {
+            c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
+
+/// A validated view into a frame: header fields parsed, lengths
+/// cross-checked, CRC verified. Produced by [`split_frame`]; holding a
+/// `FrameView` is proof the frame arrived intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    /// The payload bytes (`⌈bits/8⌉` of them).
+    pub payload: &'a [u8],
+    /// The sender's logical bit count for the payload.
+    pub bits: u64,
+    /// Per-link sequence number.
+    pub seq: u32,
+    /// [`FRAME_KIND_DATA`] or [`FRAME_KIND_NACK`].
+    pub kind: u8,
+}
+
+/// Assembles a frame from its parts, computing the CRC.
+fn build_frame(payload: &[u8], bits: u64, seq: u32, kind: u8) -> Vec<u8> {
+    debug_assert_eq!(payload.len() as u64, bits.div_ceil(8));
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&bits.to_le_bytes());
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.push(kind);
+    let crc = crc32(&[&frame, payload]);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Builds a retransmit-request (NACK) control frame: "re-send every
+/// DATA frame on this link with `seq >= from_seq`". `seq` is the
+/// sender's NACK ordinal — it has no protocol meaning (retransmits are
+/// idempotent) but keeps every physical frame distinct for fault
+/// injection and tracing.
+pub fn encode_nack_frame(from_seq: u32, seq: u32) -> Vec<u8> {
+    build_frame(&from_seq.to_le_bytes(), 32, seq, FRAME_KIND_NACK)
+}
+
+/// Extracts the `from_seq` a NACK frame asks to retransmit from.
+///
+/// # Errors
+/// [`CodecError::Frame`] if the view is not a well-formed NACK.
+pub fn decode_nack(view: &FrameView<'_>) -> Result<u32, CodecError> {
+    if view.kind != FRAME_KIND_NACK {
+        return Err(CodecError::Frame {
+            reason: format!("expected a NACK frame, got kind {}", view.kind),
+        });
+    }
+    if view.payload.len() != 4 || view.bits != 32 {
+        return Err(CodecError::Frame {
+            reason: format!(
+                "NACK payload is {} bytes / {} bits, expected 4 / 32",
+                view.payload.len(),
+                view.bits
+            ),
+        });
+    }
+    Ok(u32::from_le_bytes(
+        view.payload.try_into().expect("4 bytes"),
+    ))
+}
+
+/// Decodes a validated DATA payload as a `T`, consuming every bit.
+///
+/// # Errors
+/// Any [`CodecError`] the decoder raises.
+pub fn decode_payload<T: WireCodec>(view: &FrameView<'_>) -> Result<T, CodecError> {
+    let mut r = BitReader::new(view.payload, view.bits)?;
+    let msg = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(msg)
+}
 
 /// Serialization contract for messages that cross the distributed
 /// engine's byte channels.
@@ -235,14 +392,27 @@ pub trait WireCodec: WireSize + Sized {
     /// Any [`CodecError`] on a frame no encoder produces.
     fn decode(r: &mut BitReader<'_>) -> Result<Self, CodecError>;
 
-    /// Encodes into a length-prefixed byte frame (see
-    /// [`FRAME_HEADER_BYTES`]).
+    /// Encodes into a checksummed byte frame with sequence number 0
+    /// (see [`FRAME_HEADER_BYTES`] for the layout). Callers outside the
+    /// distributed engine's per-link send path — tests, benchmarks,
+    /// size probes — don't track sequence numbers, so 0 is the neutral
+    /// default.
     ///
     /// # Panics
     /// If `encode` wrote a different number of bits than
     /// [`WireSize::bits`] claims — the wire-validation teeth of the
     /// distributed engine.
     fn encode_frame(&self) -> Vec<u8> {
+        self.encode_frame_seq(0)
+    }
+
+    /// Encodes into a checksummed DATA frame carrying per-link
+    /// sequence number `seq`.
+    ///
+    /// # Panics
+    /// If `encode` wrote a different number of bits than
+    /// [`WireSize::bits`] claims.
+    fn encode_frame_seq(&self, seq: u32) -> Vec<u8> {
         let claimed = self.bits().max(1);
         let mut w = BitWriter::new();
         self.encode(&mut w);
@@ -254,40 +424,52 @@ pub trait WireCodec: WireSize + Sized {
             w.bit_len(),
             claimed
         );
-        let payload = w.into_bytes();
-        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&claimed.to_le_bytes());
-        frame.extend_from_slice(&payload);
-        frame
+        build_frame(&w.into_bytes(), claimed, seq, FRAME_KIND_DATA)
     }
 
-    /// Parses a frame produced by [`WireCodec::encode_frame`], returning
-    /// the message and its logical bit count.
+    /// Parses a DATA frame produced by [`WireCodec::encode_frame`],
+    /// returning the message and its logical bit count.
     ///
     /// # Errors
-    /// Any [`CodecError`] on a malformed frame.
+    /// Any [`CodecError`] on a malformed, corrupted, or non-DATA frame.
     fn decode_frame(frame: &[u8]) -> Result<(Self, u64), CodecError> {
-        let (payload, bits) = split_frame(frame)?;
-        let mut r = BitReader::new(payload, bits)?;
-        let msg = Self::decode(&mut r)?;
-        r.finish()?;
-        Ok((msg, bits))
+        let view = split_frame(frame)?;
+        if view.kind != FRAME_KIND_DATA {
+            return Err(CodecError::Frame {
+                reason: format!("expected a DATA frame, got kind {}", view.kind),
+            });
+        }
+        Ok((decode_payload::<Self>(&view)?, view.bits))
     }
 }
 
-/// Splits a frame into `(payload, logical_bits)`, validating the header.
+/// Parses and validates a frame: header shape, length consistency,
+/// known kind, and CRC. Every single-bit flip anywhere in the frame is
+/// guaranteed to surface as an error here (CRC-32 detects all 1-bit
+/// errors), so a [`FrameView`] never exposes corrupted bytes.
 ///
 /// # Errors
-/// [`CodecError::Frame`] on truncation or a length/bit-count mismatch.
-pub fn split_frame(frame: &[u8]) -> Result<(&[u8], u64), CodecError> {
+/// [`CodecError::Frame`] on truncation, length/bit-count mismatch, or
+/// an unknown kind; [`CodecError::Checksum`] when the CRC disagrees
+/// with the contents.
+pub fn split_frame(frame: &[u8]) -> Result<FrameView<'_>, CodecError> {
     if frame.len() < FRAME_HEADER_BYTES {
         return Err(CodecError::Frame {
-            reason: format!("{} bytes is shorter than the header", frame.len()),
+            reason: format!(
+                "{} bytes is shorter than the {FRAME_HEADER_BYTES}-byte header",
+                frame.len()
+            ),
         });
     }
     let payload_len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes")) as usize;
     let bits = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+    let seq = u32::from_le_bytes(frame[12..16].try_into().expect("4 bytes"));
+    let kind = frame[16];
+    let expected = u32::from_le_bytes(
+        frame[FRAME_CRC_OFFSET..FRAME_HEADER_BYTES]
+            .try_into()
+            .expect("4 bytes"),
+    );
     let payload = &frame[FRAME_HEADER_BYTES..];
     if payload.len() != payload_len {
         return Err(CodecError::Frame {
@@ -302,7 +484,21 @@ pub fn split_frame(frame: &[u8]) -> Result<(&[u8], u64), CodecError> {
             reason: format!("{bits} logical bits inconsistent with {payload_len} payload bytes"),
         });
     }
-    Ok((payload, bits))
+    if kind != FRAME_KIND_DATA && kind != FRAME_KIND_NACK {
+        return Err(CodecError::Frame {
+            reason: format!("unknown frame kind {kind}"),
+        });
+    }
+    let found = crc32(&[&frame[..FRAME_CRC_OFFSET], payload]);
+    if found != expected {
+        return Err(CodecError::Checksum { expected, found });
+    }
+    Ok(FrameView {
+        payload,
+        bits,
+        seq,
+        kind,
+    })
 }
 
 /// Test helper: asserts that encode → frame → decode is the identity for
@@ -533,12 +729,69 @@ mod tests {
         let frame = 0x1234_5678u32.encode_frame();
         // Truncated payload.
         assert!(u32::decode_frame(&frame[..frame.len() - 1]).is_err());
-        // Header shorter than 12 bytes.
+        // Header shorter than 21 bytes.
         assert!(u32::decode_frame(&frame[..4]).is_err());
         // Lying bit count.
         let mut bad = frame.clone();
         bad[4] = 7; // 7 bits can't need 4 payload bytes
         assert!(u32::decode_frame(&bad).is_err());
+        // A payload flip that keeps every length consistent is caught
+        // by the CRC specifically.
+        let mut bad = frame.clone();
+        *bad.last_mut().unwrap() ^= 0x10;
+        assert!(matches!(
+            u32::decode_frame(&bad),
+            Err(CodecError::Checksum { .. })
+        ));
+        // Unknown kind byte (recomputing the CRC so only the kind is
+        // wrong).
+        let mut bad = frame.clone();
+        bad[16] = 9;
+        let crc = crc32(&[&bad[..17], &bad[FRAME_HEADER_BYTES..]]);
+        bad[17..21].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            u32::decode_frame(&bad),
+            Err(CodecError::Frame { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        // Split points don't matter.
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[]), 0);
+    }
+
+    #[test]
+    fn frames_carry_their_sequence_number() {
+        let frame = 0xABCDu16.encode_frame_seq(4242);
+        let view = split_frame(&frame).unwrap();
+        assert_eq!(view.seq, 4242);
+        assert_eq!(view.kind, FRAME_KIND_DATA);
+        assert_eq!(view.bits, 16);
+        assert_eq!(decode_payload::<u16>(&view).unwrap(), 0xABCD);
+        // encode_frame is encode_frame_seq at seq 0.
+        assert_eq!(split_frame(&0xABCDu16.encode_frame()).unwrap().seq, 0);
+    }
+
+    #[test]
+    fn nack_frames_roundtrip_and_reject_kind_confusion() {
+        let nack = encode_nack_frame(17, 3);
+        assert_eq!(nack.len(), FRAME_HEADER_BYTES + 4);
+        let view = split_frame(&nack).unwrap();
+        assert_eq!(view.kind, FRAME_KIND_NACK);
+        assert_eq!(view.seq, 3);
+        assert_eq!(decode_nack(&view).unwrap(), 17);
+        // A NACK is not a DATA frame and vice versa.
+        assert!(matches!(
+            u32::decode_frame(&nack),
+            Err(CodecError::Frame { .. })
+        ));
+        let data_frame = 0u32.encode_frame();
+        let data = split_frame(&data_frame).unwrap();
+        assert!(matches!(decode_nack(&data), Err(CodecError::Frame { .. })));
     }
 
     #[test]
@@ -580,6 +833,47 @@ mod tests {
         #[test]
         fn vecs_roundtrip(v in collection::vec(0u64..=u64::MAX, 0..20)) {
             roundtrip(v);
+        }
+
+        // The CRC detection guarantee behind the self-healing wire:
+        // flip ANY single bit anywhere in a frame (header or payload)
+        // and decoding must fail — never silently return a message.
+        #[test]
+        fn any_single_bit_flip_is_detected(
+            v in collection::vec(0u64..=u64::MAX, 0..12),
+            seq in 0u32..=u32::MAX,
+            flip in 0usize..10_000,
+        ) {
+            let frame = v.encode_frame_seq(seq);
+            let bit = flip % (frame.len() * 8);
+            let mut bad = frame.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(
+                Vec::<u64>::decode_frame(&bad).is_err(),
+                "bit {bit} flipped in a {}-byte frame decoded silently",
+                frame.len()
+            );
+            // The pristine frame still decodes (the flip test isn't
+            // vacuous) and carries its seq.
+            let view = split_frame(&frame).unwrap();
+            prop_assert_eq!(view.seq, seq);
+            prop_assert_eq!(decode_payload::<Vec<u64>>(&view).unwrap(), v);
+        }
+
+        #[test]
+        fn nack_single_bit_flips_are_detected(
+            from in 0u32..=u32::MAX,
+            seq in 0u32..=u32::MAX,
+            flip in 0usize..10_000,
+        ) {
+            let frame = encode_nack_frame(from, seq);
+            let bit = flip % (frame.len() * 8);
+            let mut bad = frame.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(
+                split_frame(&bad).is_err(),
+                "bit {bit} flipped in a NACK frame passed validation"
+            );
         }
     }
 }

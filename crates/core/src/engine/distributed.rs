@@ -1,16 +1,16 @@
 //! The message-passing engine: one OS thread per machine, real byte
-//! channels per ordered link.
+//! channels per ordered link, and a self-healing wire.
 //!
 //! Where [`super::SequentialEngine`] and [`super::ParallelEngine`]
 //! simulate the network in process (messages move as in-memory values
 //! and never serialize), this engine actually *ships bytes*: every
-//! link message is encoded by [`WireCodec`] into a length-prefixed
-//! frame, pushed through that ordered pair's bounded byte channel, and
-//! decoded on receipt into the destination's per-source FIFO
-//! [`Link`] — the same bandwidth-limited structure the other engines
-//! use — before the per-round budget releases it. A [`WireReport`]
-//! records what the frames measured against the logical [`WireSize`]
-//! bits.
+//! link message is encoded by [`WireCodec`] into a checksummed,
+//! sequence-numbered frame, pushed through that ordered pair's bounded
+//! byte channel, and decoded on receipt into the destination's
+//! per-source FIFO [`Link`] — the same bandwidth-limited structure the
+//! other engines use — before the per-round budget releases it. A
+//! [`WireReport`] records what the frames measured against the logical
+//! [`WireSize`] bits.
 //!
 //! # Round anatomy (coordinator barriers)
 //!
@@ -20,62 +20,121 @@
 //!    held inbox, then encodes and sends its staged messages
 //!    (self-sends bypass serialization and stay local, free — the same
 //!    drain-and-move semantics as the other engines). It answers
-//!    `Sent`.
-//! 2. The coordinator collects all `Sent`s, then issues `Deliver`. The
-//!    channel operations on this path establish the happens-before
-//!    edges that make every round-`r` frame visible to its receiver's
-//!    drain — no frame can straggle into a later round.
-//! 3. Each worker drains its incoming channels into per-source links,
-//!    runs the same sorted active-source, budget-limited delivery walk
-//!    as the in-process engines' `Network::deliver` (its slice of it,
-//!    preserving the
+//!    `Sent`, carrying its cumulative per-destination frame counts.
+//! 2. The coordinator collects all `Sent`s, transposes the count
+//!    matrix, and issues each worker a `Deliver` carrying exactly how
+//!    many frames it is owed per source.
+//! 3. Each worker drains its incoming channels until every owed frame
+//!    has been absorbed (see the failure model below for how loss is
+//!    repaired), then runs the same sorted active-source,
+//!    budget-limited delivery walk as the in-process engines'
+//!    `Network::deliver` (its slice of it, preserving the
 //!    sparse-delivery invariant: only links with queued traffic are
-//!    visited, counted in [`crate::Metrics::link_visits`]), and reports
-//!    its status and local queue depths.
+//!    visited, counted in [`crate::Metrics::link_visits`]), and
+//!    reports its status and local queue depths.
 //! 4. The coordinator aggregates: quiescence and the round limit are
 //!    checked exactly as in the sequential engine, so error cases are
 //!    bit-identical too.
 //!
-//! Bounded channels mean a sender can hit a full link mid-round; it
-//! then drains its *own* incoming channels while retrying. Every
-//! blocked or barrier-waiting worker keeps draining, so the wait-for
-//! graph never contains a cycle of non-draining threads and the round
-//! always completes — this is what lets the channels stay bounded
-//! without a per-round capacity proportional to the traffic.
+//! Bounded channels mean a sender can hit a full link mid-round; the
+//! overflow waits in a local per-destination queue that every blocked
+//! or barrier-waiting worker keeps pumping while draining its own
+//! incoming channels, so the wait-for graph never contains a cycle of
+//! non-draining threads and the round always completes.
+//!
+//! # Failure model
+//!
+//! The wire tolerates a seeded adversary ([`FaultPlan`]) that drops,
+//! duplicates, bit-corrupts, and delays individual frames, and may
+//! crash one machine at a round boundary:
+//!
+//! - **Detection.** Every frame carries a CRC-32 and a per-link
+//!   sequence number ([`crate::codec::FRAME_HEADER_BYTES`]). A
+//!   corrupted frame fails its checksum and is discarded; a missing
+//!   frame is a sequence gap against the `Deliver` counts; a
+//!   duplicated or stale frame has `seq <` the next expected and is
+//!   dropped without touching the logical transcript.
+//! - **Recovery.** A receiver still owed frames sends paced NACK
+//!   control frames naming the first missing sequence number; the
+//!   sender retains the current round's frames and retransmits from
+//!   that point (retention resets every round — the barrier proves the
+//!   previous round was fully absorbed). Out-of-order arrivals wait in
+//!   a reorder buffer so links stay FIFO. Recovery traffic is
+//!   accounted in [`WireReport::retransmit_frames`] /
+//!   [`WireReport::nack_frames`], never in [`Metrics`] — under any
+//!   crash-free fault mix the run's `RunOutcome` stays bit-identical
+//!   to the sequential engine's.
+//! - **Crashes and hangs.** The coordinator waits out a barrier
+//!   timeout ([`FaultPlan::barrier_timeout_ms`], default
+//!   [`DEFAULT_BARRIER_TIMEOUT_MS`]) and converts silence into
+//!   [`EngineError::MachineLost`]. A worker panic (usually the
+//!   protocol's own `round`) is caught, reported, and surfaces as
+//!   [`EngineError::WorkerPanicked`]. Either way the coordinator
+//!   aborts every surviving worker and joins all threads — no orphan
+//!   threads, no hung caller, no poisoned panic.
+//!
+//! Out of scope: recovering the *work* of a crashed machine
+//! (checkpoint/restart, state handoff). A crash fails the run with a
+//! typed error; it never silently degrades the computation.
 //!
 //! # Bit-identity
 //!
 //! [`Metrics`] are accounted from the *logical* sizes (sender side at
-//! staging, receiver side from the sizes carried in frame headers),
-//! and the per-link FIFO/budget structure is byte-for-byte the
-//! sequential engine's — so outputs, metrics, RNG streams, and even
-//! error payloads are bit-identical across all three engines (enforced
-//! by `tests/engine_equivalence.rs` and `tests/engine_fuzz.rs`). The
-//! measured frame bytes appear only in the separate [`WireReport`].
+//! staging, receiver side from the sizes carried in frame headers, in
+//! sequence order exactly once), and the per-link FIFO/budget
+//! structure is byte-for-byte the sequential engine's — so outputs,
+//! metrics, RNG streams, and even error payloads are bit-identical
+//! across all three engines (enforced by `tests/engine_equivalence.rs`,
+//! `tests/engine_fuzz.rs`, and under fault injection by
+//! `tests/chaos_matrix.rs`). The measured frame bytes appear only in
+//! the separate [`WireReport`].
 
-use crate::codec::{WireCodec, FRAME_HEADER_BYTES};
+use crate::codec::{
+    decode_nack, decode_payload, split_frame, WireCodec, FRAME_HEADER_BYTES, FRAME_KIND_NACK,
+};
 use crate::config::NetConfig;
 use crate::error::EngineError;
+use crate::faults::FaultPlan;
 use crate::link::Link;
 use crate::message::{Envelope, Outbox, WireSize};
 use crate::metrics::{Metrics, RunReport, WireReport};
 use crate::protocol::{Protocol, RoundCtx, Status};
 use crate::rng;
 use crate::MachineIdx;
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 /// Frames a link channel buffers before senders feel backpressure.
 /// Small enough that heavy rounds actually exercise the drain-while-
 /// blocked path (stress-tested in `tests/` at k = 64).
 const LINK_CHANNEL_FRAMES: usize = 32;
 
+/// Default coordinator barrier timeout (milliseconds): how long a
+/// machine may stay silent at a round barrier before the run fails
+/// with [`EngineError::MachineLost`]. Generous because a legitimate
+/// protocol round may compute for a while; fault tests lower it via
+/// [`FaultPlan::barrier_timeout_ms`].
+pub const DEFAULT_BARRIER_TIMEOUT_MS: u64 = 10_000;
+
+/// Idle receive polls between NACK rounds while a worker is owed
+/// frames — paces retransmit requests so a lossy link is repaired
+/// without flooding the reverse direction.
+const NACK_IDLE_POLLS: u32 = 64;
+
 enum Cmd {
     /// Run one protocol round and send the staged frames.
     Round { round: u64 },
-    /// All peers have sent; drain, deliver under the budget, report.
-    Deliver,
+    /// All peers have reported; `expected[src]` is the cumulative
+    /// frame count owed from each source — drain until whole, deliver
+    /// under the budget, report.
+    Deliver { expected: Box<[u32]> },
     /// Ship the final state back and exit.
     Finish,
+    /// Teardown after a failure: exit immediately, no final state.
+    Abort,
 }
 
 /// Per-round worker report after its delivery phase.
@@ -100,15 +159,34 @@ struct FinalState<P> {
     link_visits: u64,
     /// `(messages, bits)` totals per incoming link, indexed by source.
     link_totals: Vec<(u64, u64)>,
-    frames: u64,
-    frame_bytes: u64,
-    payload_bytes: u64,
+    wire: WireCounters,
 }
 
 enum Resp<P> {
-    Sent,
+    /// Round compute + staging done; cumulative frames staged per
+    /// destination (the coordinator transposes these into `Deliver`).
+    Sent {
+        counts: Box<[u32]>,
+    },
     Round(RoundDone),
     Final(Box<FinalState<P>>),
+    /// The worker's thread panicked; sent best-effort from the panic
+    /// handler so the coordinator can type the failure.
+    Panicked {
+        message: String,
+    },
+}
+
+/// Per-worker slice of the [`WireReport`].
+#[derive(Default)]
+struct WireCounters {
+    frames: u64,
+    frame_bytes: u64,
+    payload_bytes: u64,
+    retransmit_frames: u64,
+    retransmit_bytes: u64,
+    nack_frames: u64,
+    nack_bytes: u64,
 }
 
 /// Machine `i`'s slice of the network: its incoming links, self-queue,
@@ -206,43 +284,347 @@ impl<M: WireSize> Inlinks<M> {
     }
 }
 
-/// Drains every incoming channel into the local links, decoding frames
-/// on receipt.
-fn drain_incoming<M: WireCodec>(rxs: &[Option<Receiver<Vec<u8>>>], inl: &mut Inlinks<M>) {
-    for (src, rx) in rxs.iter().enumerate() {
-        let Some(rx) = rx else { continue };
-        // A disconnected peer already sent everything it ever will;
-        // either way the loop ends once all visible frames are in.
-        while let Ok(frame) = rx.try_recv() {
-            let (msg, bits) = M::decode_frame(&frame).unwrap_or_else(|e| {
-                panic!(
-                    "machine {}: undecodable frame from machine {src}: {e}",
-                    inl.me
-                )
-            });
-            inl.absorb(src, msg, bits);
+/// The sending half of a worker's wire: outgoing channels, per-link
+/// sequence numbers, the current round's retention buffer (for
+/// NACK-driven retransmits), overflow/delay queues, and the fault
+/// adversary itself.
+struct Outwire {
+    me: MachineIdx,
+    plan: FaultPlan,
+    /// Whether the plan can touch frames; when `false` the retention
+    /// and fault paths are skipped entirely (the zero-overhead path).
+    faulty: bool,
+    /// Outgoing channels by destination; `None` for self or a peer
+    /// that hung up (crashed).
+    txs: Vec<Option<Sender<Vec<u8>>>>,
+    /// Next DATA sequence number per destination — cumulative over the
+    /// whole run, so stale frames from earlier rounds can never alias
+    /// fresh ones.
+    seq_next: Vec<u32>,
+    /// This round's staged frames per destination, kept for
+    /// retransmission. Cleared at round start: the barrier proves the
+    /// previous round was fully absorbed.
+    retained: Vec<Vec<(u32, Vec<u8>)>>,
+    /// Frames waiting for channel capacity (or fault-delayed), FIFO
+    /// per destination.
+    pending: Vec<VecDeque<Vec<u8>>>,
+    /// Physical transmissions attempted per destination — the fault
+    /// adversary's decision key, so every attempt draws a fresh fate.
+    attempts: Vec<u64>,
+    /// NACK ordinals per source being nagged.
+    nacks_sent: Vec<u32>,
+    counters: WireCounters,
+}
+
+impl Outwire {
+    fn new(me: MachineIdx, k: usize, plan: FaultPlan, txs: Vec<Option<Sender<Vec<u8>>>>) -> Self {
+        Outwire {
+            me,
+            plan,
+            faulty: plan.any(),
+            txs,
+            seq_next: vec![0; k],
+            retained: vec![Vec::new(); k],
+            pending: (0..k).map(|_| VecDeque::new()).collect(),
+            attempts: vec![0; k],
+            nacks_sent: vec![0; k],
+            counters: WireCounters::default(),
+        }
+    }
+
+    /// Drops the previous round's retention — every retained frame was
+    /// provably absorbed (the round barrier certifies it).
+    fn start_round(&mut self) {
+        if self.faulty {
+            for r in &mut self.retained {
+                r.clear();
+            }
+        }
+    }
+
+    /// Stages one logical link message: assigns the next sequence
+    /// number, accounts the frame once (logical accounting is per
+    /// *message*, not per physical copy — fault-dropped first
+    /// transmissions still count here, their retransmissions never
+    /// do), retains it for NACKs when faults are live, and transmits.
+    fn stage<M: WireCodec>(&mut self, dst: MachineIdx, msg: &M) {
+        let seq = self.seq_next[dst];
+        self.seq_next[dst] += 1;
+        let frame = msg.encode_frame_seq(seq);
+        self.counters.frames += 1;
+        self.counters.frame_bytes += frame.len() as u64;
+        self.counters.payload_bytes += (frame.len() - FRAME_HEADER_BYTES) as u64;
+        if self.faulty {
+            self.retained[dst].push((seq, frame.clone()));
+        }
+        self.transmit(dst, frame);
+    }
+
+    /// One physical transmission through the adversary: the frame may
+    /// be dropped, duplicated, bit-flipped, or parked in the pending
+    /// queue. Never blocks.
+    fn transmit(&mut self, dst: MachineIdx, frame: Vec<u8>) {
+        if self.txs[dst].is_none() {
+            return; // peer hung up: the coordinator will type the failure
+        }
+        if !self.faulty {
+            self.enqueue(dst, frame);
+            return;
+        }
+        let fate = self
+            .plan
+            .fate(self.me, dst, self.attempts[dst], frame.len() as u64 * 8);
+        self.attempts[dst] += 1;
+        if fate.drop {
+            return;
+        }
+        if fate.duplicate {
+            self.counters.retransmit_frames += 1;
+            self.counters.retransmit_bytes += frame.len() as u64;
+            self.enqueue(dst, frame.clone());
+        }
+        let mut frame = frame;
+        if let Some(bit) = fate.corrupt_bit {
+            frame[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        if fate.delay {
+            self.pending[dst].push_back(frame);
+        } else {
+            self.enqueue(dst, frame);
+        }
+    }
+
+    /// Channel push with local overflow: a full channel parks the
+    /// frame behind any already-pending ones (preserving per-link
+    /// FIFO); a disconnected channel means the peer crashed and the
+    /// link is void.
+    fn enqueue(&mut self, dst: MachineIdx, frame: Vec<u8>) {
+        if !self.pending[dst].is_empty() {
+            self.pending[dst].push_back(frame);
+            return;
+        }
+        let Some(tx) = self.txs[dst].as_ref() else {
+            return;
+        };
+        match tx.try_send(frame) {
+            Ok(()) => {}
+            Err(TrySendError::Full(frame)) => self.pending[dst].push_back(frame),
+            Err(TrySendError::Disconnected(_)) => {
+                self.txs[dst] = None;
+                self.pending[dst].clear();
+            }
+        }
+    }
+
+    /// Pushes pending frames into channels as capacity frees up.
+    fn pump(&mut self) {
+        for dst in 0..self.txs.len() {
+            while let Some(frame) = self.pending[dst].pop_front() {
+                let Some(tx) = self.txs[dst].as_ref() else {
+                    self.pending[dst].clear();
+                    break;
+                };
+                match tx.try_send(frame) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(frame)) => {
+                        self.pending[dst].push_front(frame);
+                        break;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.txs[dst] = None;
+                        self.pending[dst].clear();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn pending_empty(&self) -> bool {
+        self.pending.iter().all(VecDeque::is_empty)
+    }
+
+    /// Services a retransmit request from `dst`: re-sends every
+    /// retained frame with `seq >= from_seq`, each through the
+    /// adversary again. A stale NACK (from a round already absorbed)
+    /// at worst re-sends frames the receiver will discard as
+    /// duplicates.
+    fn handle_nack(&mut self, dst: MachineIdx, from_seq: u32) {
+        let frames: Vec<Vec<u8>> = self.retained[dst]
+            .iter()
+            .filter(|(seq, _)| *seq >= from_seq)
+            .map(|(_, frame)| frame.clone())
+            .collect();
+        for frame in frames {
+            self.counters.retransmit_frames += 1;
+            self.counters.retransmit_bytes += frame.len() as u64;
+            self.transmit(dst, frame);
+        }
+    }
+
+    /// Asks `src` to retransmit everything from `from_seq` on.
+    fn send_nack(&mut self, src: MachineIdx, from_seq: u32) {
+        let nack_seq = self.nacks_sent[src];
+        self.nacks_sent[src] += 1;
+        let frame = crate::codec::encode_nack_frame(from_seq, nack_seq);
+        self.counters.nack_frames += 1;
+        self.counters.nack_bytes += frame.len() as u64;
+        self.transmit(src, frame);
+    }
+
+    /// Simulates this machine's death: closes every outgoing channel
+    /// (peers see `Disconnected` and stop waiting on the wire).
+    fn sever(&mut self) {
+        for tx in &mut self.txs {
+            *tx = None;
+        }
+        for q in &mut self.pending {
+            q.clear();
+        }
+    }
+}
+
+/// The receiving half: incoming channels plus the per-source sequence
+/// cursor and reorder buffer that turn an unreliable frame stream back
+/// into the exact FIFO the logical model requires.
+struct Inwire<M> {
+    /// Incoming channels by source; `None` for self or a hung-up peer.
+    rxs: Vec<Option<Receiver<Vec<u8>>>>,
+    /// Next expected DATA sequence number per source (== frames
+    /// absorbed, since sequence numbers are cumulative).
+    expect: Vec<u32>,
+    /// Out-of-order arrivals waiting for the gap to fill, per source.
+    ooo: Vec<BTreeMap<u32, (M, u64)>>,
+}
+
+impl<M> Inwire<M> {
+    fn new(rxs: Vec<Option<Receiver<Vec<u8>>>>) -> Self {
+        let k = rxs.len();
+        Inwire {
+            rxs,
+            expect: vec![0; k],
+            ooo: (0..k).map(|_| BTreeMap::new()).collect(),
+        }
+    }
+
+    /// Has every source delivered all frames the coordinator says it
+    /// staged?
+    fn complete(&self, me: MachineIdx, expected: &[u32]) -> bool {
+        self.expect
+            .iter()
+            .enumerate()
+            .all(|(src, &got)| src == me || got >= expected[src])
+    }
+}
+
+/// Drains every incoming channel: validates each frame (CRC + header),
+/// discards corrupted and duplicate frames, services NACKs, buffers
+/// out-of-order arrivals, and absorbs in-sequence messages into the
+/// local links — in sequence order exactly once, which is what keeps
+/// the logical transcript bit-identical under faults.
+fn drain_incoming<M: WireCodec>(inw: &mut Inwire<M>, out: &mut Outwire, inl: &mut Inlinks<M>) {
+    for src in 0..inw.rxs.len() {
+        let mut hung_up = false;
+        {
+            let Some(rx) = inw.rxs[src].as_ref() else {
+                continue;
+            };
+            loop {
+                let frame = match rx.try_recv() {
+                    Ok(frame) => frame,
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        // Crashed peer; whatever it still owed will
+                        // surface as a barrier timeout.
+                        hung_up = true;
+                        break;
+                    }
+                };
+                let view = match split_frame(&frame) {
+                    Ok(view) => view,
+                    // Corrupted in transit: drop it. The sequence gap
+                    // is repaired by NACK/retransmit.
+                    Err(_) => continue,
+                };
+                if view.kind == FRAME_KIND_NACK {
+                    let from = decode_nack(&view).unwrap_or_else(|e| {
+                        panic!("machine {}: malformed NACK from {src}: {e}", inl.me)
+                    });
+                    out.handle_nack(src, from);
+                    continue;
+                }
+                if view.seq < inw.expect[src] {
+                    continue; // duplicate or stale retransmission
+                }
+                // A CRC-valid frame that fails to decode is a codec
+                // bug, not a wire fault — fail loudly.
+                let msg: M = decode_payload(&view).unwrap_or_else(|e| {
+                    panic!(
+                        "machine {}: undecodable frame from machine {src}: {e}",
+                        inl.me
+                    )
+                });
+                if view.seq == inw.expect[src] {
+                    inl.absorb(src, msg, view.bits);
+                    inw.expect[src] += 1;
+                    while let Some((msg, bits)) = inw.ooo[src].remove(&inw.expect[src]) {
+                        inl.absorb(src, msg, bits);
+                        inw.expect[src] += 1;
+                    }
+                } else {
+                    inw.ooo[src].entry(view.seq).or_insert((msg, view.bits));
+                }
+            }
+        }
+        if hung_up {
+            inw.rxs[src] = None;
         }
     }
 }
 
 /// The message-passing engine: `k` worker threads, `k·(k−1)` bounded
 /// byte channels, a round-barrier coordinator. Transcript-identical to
-/// [`super::SequentialEngine`]; additionally measures real frame sizes
-/// into a [`WireReport`].
+/// [`super::SequentialEngine`] — including under injected wire faults
+/// (see the module docs' failure model); additionally measures real
+/// frame sizes into a [`WireReport`].
 #[derive(Debug, Default, Clone, Copy)]
 pub struct DistributedEngine;
 
 impl DistributedEngine {
-    /// Executes `machines` under `config`; semantics identical to
-    /// [`super::SequentialEngine::run`], plus a populated
-    /// [`RunReport::wire`].
+    /// Executes `machines` under `config` on a reliable wire;
+    /// semantics identical to [`super::SequentialEngine::run`], plus a
+    /// populated [`RunReport::wire`].
     ///
     /// # Errors
     /// [`EngineError::InvalidConfig`] if the config fails
     /// [`NetConfig::validate`] or `machines.len() != config.k`;
     /// [`EngineError::RoundLimitExceeded`] if the safety valve fires
-    /// (with the same payload as the sequential engine).
+    /// (with the same payload as the sequential engine);
+    /// [`EngineError::MachineLost`] / [`EngineError::WorkerPanicked`]
+    /// if a worker stalls past the barrier timeout or panics.
     pub fn run<P>(config: NetConfig, machines: Vec<P>) -> Result<RunReport<P>, EngineError>
+    where
+        P: Protocol,
+        P::Msg: WireCodec,
+    {
+        Self::run_with_faults(config, machines, None)
+    }
+
+    /// [`DistributedEngine::run`] under an adversarial wire: `faults`
+    /// injects frame drops, duplicates, corruption, delays, and at
+    /// most one machine crash (see [`FaultPlan`] and the module docs'
+    /// failure model). `None` is the reliable wire.
+    ///
+    /// # Errors
+    /// As [`DistributedEngine::run`]; additionally
+    /// [`EngineError::InvalidConfig`] when the plan crashes a machine
+    /// index `≥ k`, and [`EngineError::MachineLost`] for the planned
+    /// crash itself.
+    pub fn run_with_faults<P>(
+        config: NetConfig,
+        machines: Vec<P>,
+        faults: Option<FaultPlan>,
+    ) -> Result<RunReport<P>, EngineError>
     where
         P: Protocol,
         P::Msg: WireCodec,
@@ -257,6 +639,22 @@ impl DistributedEngine {
                 ),
             });
         }
+        let plan = faults.unwrap_or_default();
+        if let Some(crash) = plan.crash {
+            if crash.machine >= config.k {
+                return Err(EngineError::InvalidConfig {
+                    reason: format!(
+                        "fault plan crashes machine {} but k = {}",
+                        crash.machine, config.k
+                    ),
+                });
+            }
+        }
+        let barrier = Duration::from_millis(if plan.barrier_timeout_ms > 0 {
+            plan.barrier_timeout_ms
+        } else {
+            DEFAULT_BARRIER_TIMEOUT_MS
+        });
         let k = config.k;
         let shared = rng::shared_seed(config.seed);
 
@@ -305,79 +703,188 @@ impl DistributedEngine {
                 cmd_txs.push(cmd_tx);
                 resp_rxs.push(resp_rx);
                 scope.spawn(move |_| {
-                    run_worker(
-                        config, me, shared, proto, out_txs, in_rxs, &cmd_rx, &resp_tx,
-                    )
+                    // Capture panics (typically the protocol's own
+                    // `round`) so a worker death becomes a typed
+                    // report instead of a poisoned join.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        run_worker(
+                            config, me, shared, plan, proto, out_txs, in_rxs, &cmd_rx, &resp_tx,
+                        )
+                    }));
+                    if let Err(payload) = result {
+                        // `&*payload`: reborrow the *contents* — a bare
+                        // `&payload` would unsize the Box itself into the
+                        // `dyn Any` and every downcast would miss.
+                        let _ = resp_tx.try_send(Resp::Panicked {
+                            message: panic_message(&*payload),
+                        });
+                    }
                 });
             }
 
             // Coordinator: same control flow, quiescence test, and
-            // round-limit ordering as the sequential engine's loop.
+            // round-limit ordering as the sequential engine's loop —
+            // plus barrier timeouts and typed failure propagation.
             let mut statuses = vec![Status::Active; k];
+            let mut counts: Vec<Box<[u32]>> = vec![vec![0u32; k].into_boxed_slice(); k];
             let mut iterations: u64 = 0;
             let mut comm_rounds: u64 = 0;
-            let result = loop {
-                for tx in &cmd_txs {
-                    tx.send(Cmd::Round { round: iterations })
-                        .expect("worker alive");
-                }
-                for rx in &resp_rxs {
-                    match rx.recv().expect("worker alive") {
-                        Resp::Sent => {}
-                        _ => unreachable!("Round is answered by Sent first"),
-                    }
-                }
-                for tx in &cmd_txs {
-                    tx.send(Cmd::Deliver).expect("worker alive");
-                }
-                let mut any = false;
-                let mut queued_msgs = 0usize;
-                let mut queued_bits = 0u64;
-                let mut inboxes_empty = true;
-                for (i, rx) in resp_rxs.iter().enumerate() {
-                    match rx.recv().expect("worker alive") {
-                        Resp::Round(r) => {
-                            statuses[i] = r.status;
-                            any |= r.any_link_bits;
-                            queued_msgs += r.queued_msgs;
-                            queued_bits += r.queued_bits;
-                            inboxes_empty &= r.inbox_empty;
+            let result: Result<(), EngineError> = loop {
+                let mut phase = || -> Result<bool, EngineError> {
+                    for (i, tx) in cmd_txs.iter().enumerate() {
+                        if tx.send(Cmd::Round { round: iterations }).is_err() {
+                            return Err(worker_gone(&resp_rxs, i));
                         }
-                        _ => unreachable!("Deliver is answered by Round"),
                     }
-                }
-                if any {
-                    comm_rounds += 1;
-                }
-                iterations += 1;
-                if statuses.iter().all(|s| *s == Status::Done) && queued_msgs == 0 && inboxes_empty
-                {
-                    break Ok(());
-                }
-                if iterations >= config.max_rounds {
-                    break Err(EngineError::RoundLimitExceeded {
-                        limit: config.max_rounds,
-                        active_machines: statuses.iter().filter(|s| **s == Status::Active).count(),
-                        queued_msgs,
-                        queued_bits,
-                    });
+                    for (i, slot) in counts.iter_mut().enumerate() {
+                        match await_resp(&resp_rxs, i, barrier, iterations)? {
+                            Resp::Sent {
+                                counts: sent_counts,
+                            } => *slot = sent_counts,
+                            _ => unreachable!("Round is answered by Sent first"),
+                        }
+                    }
+                    for (i, tx) in cmd_txs.iter().enumerate() {
+                        let expected: Box<[u32]> = (0..k).map(|src| counts[src][i]).collect();
+                        if tx.send(Cmd::Deliver { expected }).is_err() {
+                            return Err(worker_gone(&resp_rxs, i));
+                        }
+                    }
+                    let mut any = false;
+                    let mut queued_msgs = 0usize;
+                    let mut queued_bits = 0u64;
+                    let mut inboxes_empty = true;
+                    for (i, status) in statuses.iter_mut().enumerate() {
+                        match await_resp(&resp_rxs, i, barrier, iterations)? {
+                            Resp::Round(r) => {
+                                *status = r.status;
+                                any |= r.any_link_bits;
+                                queued_msgs += r.queued_msgs;
+                                queued_bits += r.queued_bits;
+                                inboxes_empty &= r.inbox_empty;
+                            }
+                            _ => unreachable!("Deliver is answered by Round"),
+                        }
+                    }
+                    if any {
+                        comm_rounds += 1;
+                    }
+                    iterations += 1;
+                    if statuses.iter().all(|s| *s == Status::Done)
+                        && queued_msgs == 0
+                        && inboxes_empty
+                    {
+                        return Ok(true);
+                    }
+                    if iterations >= config.max_rounds {
+                        return Err(EngineError::RoundLimitExceeded {
+                            limit: config.max_rounds,
+                            active_machines: statuses
+                                .iter()
+                                .filter(|s| **s == Status::Active)
+                                .count(),
+                            queued_msgs,
+                            queued_bits,
+                        });
+                    }
+                    Ok(false)
+                };
+                match phase() {
+                    Ok(true) => break Ok(()),
+                    Ok(false) => {}
+                    Err(e) => break Err(e),
                 }
             };
 
-            // Collect final states (always, even on error, to join).
-            let mut finals: Vec<FinalState<P>> = Vec::with_capacity(k);
-            for tx in &cmd_txs {
-                tx.send(Cmd::Finish).expect("worker alive");
-            }
-            for rx in &resp_rxs {
-                match rx.recv().expect("worker alive") {
-                    Resp::Final(f) => finals.push(*f),
-                    _ => unreachable!("Finish yields Final"),
+            let result = result.and_then(|()| {
+                // Collect final states; a worker can in principle die
+                // even here, so the teardown path stays typed too.
+                let mut finals: Vec<FinalState<P>> = Vec::with_capacity(k);
+                for (i, tx) in cmd_txs.iter().enumerate() {
+                    if tx.send(Cmd::Finish).is_err() {
+                        return Err(worker_gone(&resp_rxs, i));
+                    }
+                }
+                for i in 0..k {
+                    match await_resp(&resp_rxs, i, barrier, iterations)? {
+                        Resp::Final(f) => finals.push(*f),
+                        _ => unreachable!("Finish yields Final"),
+                    }
+                }
+                Ok(assemble(k, comm_rounds, finals))
+            });
+            if result.is_err() {
+                // Graceful teardown: every surviving worker (including
+                // a crash-simulating one) is polling for commands and
+                // exits on Abort; channels of already-dead workers
+                // just error. The scope below then joins every thread.
+                for tx in &cmd_txs {
+                    let _ = tx.send(Cmd::Abort);
                 }
             }
-            result.map(|_| assemble(k, comm_rounds, finals))
+            result
         })
-        .expect("worker thread panicked")
+        .expect("scoped workers never propagate panics (caught in the worker)")
+    }
+}
+
+/// Renders a caught panic payload for [`EngineError::WorkerPanicked`].
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Waits for machine `i`'s next response, converting panics, silent
+/// exits, and barrier timeouts into typed errors. On a timeout the
+/// other response channels are swept for a `Panicked` report first, so
+/// a machine that hangs *because a peer died* blames the culprit, not
+/// the victim.
+fn await_resp<P>(
+    resp_rxs: &[Receiver<Resp<P>>],
+    i: usize,
+    barrier: Duration,
+    round: u64,
+) -> Result<Resp<P>, EngineError> {
+    match resp_rxs[i].recv_timeout(barrier) {
+        Ok(Resp::Panicked { message }) => Err(EngineError::WorkerPanicked {
+            machine: i,
+            message,
+        }),
+        Ok(resp) => Ok(resp),
+        Err(RecvTimeoutError::Disconnected) => Err(worker_gone(resp_rxs, i)),
+        Err(RecvTimeoutError::Timeout) => {
+            for (j, rx) in resp_rxs.iter().enumerate() {
+                // The run is failing regardless; eating a pending
+                // healthy response here is fine.
+                if let Ok(Resp::Panicked { message }) = rx.try_recv() {
+                    return Err(EngineError::WorkerPanicked {
+                        machine: j,
+                        message,
+                    });
+                }
+            }
+            Err(EngineError::MachineLost { machine: i, round })
+        }
+    }
+}
+
+/// Types the failure of a worker whose thread is already gone: prefer
+/// its own panic report if one is queued, otherwise a placeholder.
+fn worker_gone<P>(resp_rxs: &[Receiver<Resp<P>>], i: usize) -> EngineError {
+    if let Ok(Resp::Panicked { message }) = resp_rxs[i].try_recv() {
+        return EngineError::WorkerPanicked {
+            machine: i,
+            message,
+        };
+    }
+    EngineError::WorkerPanicked {
+        machine: i,
+        message: "worker thread exited without reporting".to_string(),
     }
 }
 
@@ -386,12 +893,7 @@ impl DistributedEngine {
 fn assemble<P>(k: usize, comm_rounds: u64, finals: Vec<FinalState<P>>) -> RunReport<P> {
     let mut metrics = Metrics::new(k);
     metrics.rounds = comm_rounds;
-    let mut wire = WireReport {
-        frames: 0,
-        frame_bytes: 0,
-        payload_bytes: 0,
-        logical_bits: 0,
-    };
+    let mut wire = WireReport::default();
     let mut machines = Vec::with_capacity(k);
     for (i, f) in finals.into_iter().enumerate() {
         metrics.sent_msgs[i] = f.sent_msgs;
@@ -406,9 +908,13 @@ fn assemble<P>(k: usize, comm_rounds: u64, finals: Vec<FinalState<P>>) -> RunRep
                 .max()
                 .unwrap_or(0),
         );
-        wire.frames += f.frames;
-        wire.frame_bytes += f.frame_bytes;
-        wire.payload_bytes += f.payload_bytes;
+        wire.frames += f.wire.frames;
+        wire.frame_bytes += f.wire.frame_bytes;
+        wire.payload_bytes += f.wire.payload_bytes;
+        wire.retransmit_frames += f.wire.retransmit_frames;
+        wire.retransmit_bytes += f.wire.retransmit_bytes;
+        wire.nack_frames += f.wire.nack_frames;
+        wire.nack_bytes += f.wire.nack_bytes;
         wire.logical_bits += f.sent_bits;
         machines.push(f.proto);
     }
@@ -425,6 +931,7 @@ fn run_worker<P>(
     config: NetConfig,
     me: MachineIdx,
     shared: u64,
+    plan: FaultPlan,
     mut proto: P,
     out_txs: Vec<Option<Sender<Vec<u8>>>>,
     in_rxs: Vec<Option<Receiver<Vec<u8>>>>,
@@ -435,16 +942,51 @@ fn run_worker<P>(
     P::Msg: WireCodec,
 {
     let k = config.k;
+    let faulty = plan.any();
     let mut rng = rng::machine_rng(config.seed, me);
     let mut inl: Inlinks<P::Msg> = Inlinks::new(k, me);
+    let mut inw: Inwire<P::Msg> = Inwire::new(in_rxs);
+    let mut out = Outwire::new(me, k, plan, out_txs);
     let mut inbox: Vec<Envelope<P::Msg>> = Vec::new();
     let mut outbox: Outbox<P::Msg> = Outbox::new(k);
     let (mut sent_msgs, mut sent_bits) = (0u64, 0u64);
-    let (mut frames, mut frame_bytes, mut payload_bytes) = (0u64, 0u64, 0u64);
 
     loop {
-        match cmd_rx.recv().expect("coordinator alive") {
-            Cmd::Round { round } => {
+        // Between phases a worker must keep servicing the wire when
+        // faults are live: a peer's delivery may hinge on our
+        // retransmits even after our own round report went out.
+        let cmd = if faulty {
+            loop {
+                match cmd_rx.try_recv() {
+                    Ok(cmd) => break Some(cmd),
+                    Err(TryRecvError::Empty) => {
+                        drain_incoming(&mut inw, &mut out, &mut inl);
+                        out.pump();
+                        std::thread::yield_now();
+                    }
+                    Err(TryRecvError::Disconnected) => break None,
+                }
+            }
+        } else {
+            cmd_rx.recv().ok()
+        };
+        match cmd {
+            Some(Cmd::Round { round }) => {
+                if plan.crashes(me, round) {
+                    // Simulated crash: close every channel (peers see
+                    // a hung-up link, the coordinator a missed
+                    // barrier) and only keep consuming commands so the
+                    // final Abort can reach us for a clean join.
+                    out.sever();
+                    inw.rxs.clear();
+                    loop {
+                        match cmd_rx.recv() {
+                            Ok(Cmd::Abort | Cmd::Finish) | Err(_) => return,
+                            Ok(_) => {}
+                        }
+                    }
+                }
+                out.start_round();
                 let mut ctx = RoundCtx {
                     round,
                     me,
@@ -462,49 +1004,76 @@ fn run_worker<P>(
                     }
                     // Sender-side accounting uses the logical size, as
                     // at `Network::stage`; the frame is the real bytes.
-                    let bits = msg.bits().max(1);
                     sent_msgs += 1;
-                    sent_bits += bits;
-                    let frame = msg.encode_frame();
-                    frames += 1;
-                    frame_bytes += frame.len() as u64;
-                    payload_bytes += (frame.len() - FRAME_HEADER_BYTES) as u64;
-                    let tx = out_txs[dst].as_ref().expect("no self channel");
-                    let mut pending = frame;
-                    loop {
-                        match tx.try_send(pending) {
-                            Ok(()) => break,
-                            Err(TrySendError::Full(back)) => {
-                                // Backpressure: drain our own incoming
-                                // channels so the system always makes
-                                // progress, then retry.
-                                pending = back;
-                                drain_incoming(&in_rxs, &mut inl);
-                                std::thread::yield_now();
-                            }
-                            Err(TrySendError::Disconnected(_)) => {
-                                panic!("machine {me}: peer {dst} hung up mid-round")
-                            }
-                        }
+                    sent_bits += msg.bits().max(1);
+                    out.stage(dst, &msg);
+                }
+                if faulty {
+                    out.pump();
+                } else {
+                    // Reliable wire: flush everything before reporting,
+                    // draining our own incoming channels against
+                    // backpressure cycles — so the barrier proof "all
+                    // Sent ⇒ all frames visible" holds with no NACK
+                    // machinery in play.
+                    while !out.pending_empty() {
+                        out.pump();
+                        drain_incoming(&mut inw, &mut out, &mut inl);
+                        std::thread::yield_now();
                     }
                 }
-                resp_tx.send(Resp::Sent).expect("coordinator alive");
-                // Barrier: keep draining until every peer has finished
-                // sending (the coordinator's Deliver certifies it).
-                loop {
+                if resp_tx
+                    .send(Resp::Sent {
+                        counts: out.seq_next.clone().into_boxed_slice(),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                // Barrier: keep servicing the wire until the
+                // coordinator certifies every peer reported, then
+                // drain until every owed frame is in.
+                let expected = loop {
                     match cmd_rx.try_recv() {
-                        Ok(Cmd::Deliver) => break,
-                        Ok(_) => unreachable!("only Deliver follows Sent"),
+                        Ok(Cmd::Deliver { expected }) => break expected,
+                        Ok(Cmd::Abort) => return,
+                        Ok(_) => unreachable!("only Deliver or Abort follows Sent"),
                         Err(TryRecvError::Empty) => {
-                            drain_incoming(&in_rxs, &mut inl);
+                            drain_incoming(&mut inw, &mut out, &mut inl);
+                            out.pump();
                             std::thread::yield_now();
                         }
-                        Err(TryRecvError::Disconnected) => panic!("coordinator hung up"),
+                        Err(TryRecvError::Disconnected) => return,
                     }
+                };
+                let mut idle_polls: u32 = 0;
+                loop {
+                    drain_incoming(&mut inw, &mut out, &mut inl);
+                    out.pump();
+                    if inw.complete(me, &expected) {
+                        break;
+                    }
+                    // Only an Abort can arrive here: the coordinator
+                    // sends nothing else before our round report.
+                    match cmd_rx.try_recv() {
+                        Ok(Cmd::Abort) => return,
+                        Ok(_) => unreachable!("only Abort can preempt delivery"),
+                        Err(TryRecvError::Empty) => {}
+                        Err(TryRecvError::Disconnected) => return,
+                    }
+                    idle_polls += 1;
+                    if faulty && idle_polls.is_multiple_of(NACK_IDLE_POLLS) {
+                        for src in 0..k {
+                            if src != me && inw.expect[src] < expected[src] {
+                                let from = inw.expect[src];
+                                out.send_nack(src, from);
+                            }
+                        }
+                    }
+                    std::thread::yield_now();
                 }
-                drain_incoming(&in_rxs, &mut inl);
                 let any_link_bits = inl.deliver(config.bandwidth_bits, &mut inbox);
-                resp_tx
+                if resp_tx
                     .send(Resp::Round(RoundDone {
                         status,
                         any_link_bits,
@@ -512,35 +1081,37 @@ fn run_worker<P>(
                         queued_bits: inl.queued_bits,
                         inbox_empty: inbox.is_empty(),
                     }))
-                    .expect("coordinator alive");
+                    .is_err()
+                {
+                    return;
+                }
             }
-            Cmd::Deliver => unreachable!("Deliver only follows a Round"),
-            Cmd::Finish => break,
+            Some(Cmd::Deliver { .. }) => unreachable!("Deliver only follows a Round"),
+            Some(Cmd::Finish) => break,
+            Some(Cmd::Abort) | None => return,
         }
     }
-    resp_tx
-        .send(Resp::Final(Box::new(FinalState {
-            proto,
-            sent_msgs,
-            sent_bits,
-            recv_msgs: inl.recv_msgs,
-            recv_bits: inl.recv_bits,
-            link_visits: inl.link_visits,
-            link_totals: inl.links.iter().map(Link::totals).collect(),
-            frames,
-            frame_bytes,
-            payload_bytes,
-        })))
-        .expect("coordinator alive");
+    let _ = resp_tx.send(Resp::Final(Box::new(FinalState {
+        proto,
+        sent_msgs,
+        sent_bits,
+        recv_msgs: inl.recv_msgs,
+        recv_bits: inl.recv_bits,
+        link_visits: inl.link_visits,
+        link_totals: inl.links.iter().map(Link::totals).collect(),
+        wire: out.counters,
+    })));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::SequentialEngine;
+    use crate::faults::CrashSpec;
     use rand::Rng;
 
     /// Random traffic with self-sends and oversized messages.
+    #[derive(Debug)]
     struct Gossip {
         log: Vec<(usize, u32)>,
     }
@@ -568,18 +1139,17 @@ mod tests {
         }
     }
 
+    fn gossip_machines(k: usize) -> Vec<Gossip> {
+        (0..k).map(|_| Gossip { log: Vec::new() }).collect()
+    }
+
     #[test]
     fn distributed_matches_sequential_transcript() {
-        let mk = || {
-            (0..7)
-                .map(|_| Gossip { log: Vec::new() })
-                .collect::<Vec<_>>()
-        };
         // B = 40 bits < one 44-bit... (32-bit messages) — small enough
         // that messages span rounds, exercising partial delivery.
         let cfg = NetConfig::with_bandwidth(7, 40, 2024);
-        let seq = SequentialEngine::run(cfg, mk()).unwrap();
-        let dist = DistributedEngine::run(cfg, mk()).unwrap();
+        let seq = SequentialEngine::run(cfg, gossip_machines(7)).unwrap();
+        let dist = DistributedEngine::run(cfg, gossip_machines(7)).unwrap();
         assert_eq!(seq.metrics, dist.metrics);
         for (s, d) in seq.machines.iter().zip(&dist.machines) {
             assert_eq!(s.log, d.log);
@@ -588,11 +1158,125 @@ mod tests {
         let wire = dist.wire.expect("distributed run measures frames");
         assert_eq!(wire.logical_bits, dist.metrics.total_bits());
         assert_eq!(wire.frames, dist.metrics.total_msgs());
-        // Every frame: 12-byte header + ⌈32/8⌉ = 4 payload bytes.
-        assert_eq!(wire.frame_bytes, wire.frames * 16);
+        // Every frame: 21-byte header + ⌈32/8⌉ = 4 payload bytes.
+        assert_eq!(wire.frame_bytes, wire.frames * 25);
         assert_eq!(wire.payload_bytes, wire.frames * 4);
         assert_eq!(wire.padding_bits(), 0, "u32 payloads are byte-aligned");
         assert!(wire.wire_vs_logical() > 1.0);
+        // A reliable wire never recovers anything.
+        assert_eq!(wire.retransmit_frames, 0);
+        assert_eq!(wire.retransmit_bytes, 0);
+        assert_eq!(wire.nack_frames, 0);
+        assert_eq!(wire.recovery_bytes(), 0);
+    }
+
+    #[test]
+    fn faulty_wire_is_transcript_identical_and_accounts_recovery() {
+        let cfg = NetConfig::with_bandwidth(6, 40, 77);
+        let seq = SequentialEngine::run(cfg, gossip_machines(6)).unwrap();
+        let plan = FaultPlan {
+            seed: 5,
+            drop: 0.25,
+            duplicate: 0.2,
+            corrupt: 0.2,
+            delay: 0.25,
+            ..FaultPlan::default()
+        };
+        let dist = DistributedEngine::run_with_faults(cfg, gossip_machines(6), Some(plan)).unwrap();
+        assert_eq!(
+            seq.metrics, dist.metrics,
+            "drop/dup/corrupt/delay must not leak into logical metrics"
+        );
+        for (s, d) in seq.machines.iter().zip(&dist.machines) {
+            assert_eq!(s.log, d.log);
+        }
+        let wire = dist.wire.unwrap();
+        assert_eq!(
+            wire.frames,
+            dist.metrics.total_msgs(),
+            "one frame per message, still"
+        );
+        assert!(
+            wire.retransmit_frames > 0,
+            "those rates over this traffic must trigger recovery"
+        );
+        assert!(wire.recovery_bytes() > 0);
+    }
+
+    /// Satellite contract: duplicated frames are deduplicated by
+    /// sequence number — `link_visits` and the transcripts cannot tell
+    /// the difference, while the duplicates show up as recovery
+    /// traffic.
+    #[test]
+    fn duplicate_frames_are_invisible_to_the_transcript() {
+        let cfg = NetConfig::with_bandwidth(5, 40, 99);
+        let seq = SequentialEngine::run(cfg, gossip_machines(5)).unwrap();
+        let plan = FaultPlan {
+            seed: 1,
+            duplicate: 1.0,
+            ..FaultPlan::default()
+        };
+        let dist = DistributedEngine::run_with_faults(cfg, gossip_machines(5), Some(plan)).unwrap();
+        assert_eq!(seq.metrics, dist.metrics);
+        assert_eq!(
+            seq.metrics.link_visits, dist.metrics.link_visits,
+            "dedup must keep the sparse-delivery walk identical"
+        );
+        for (s, d) in seq.machines.iter().zip(&dist.machines) {
+            assert_eq!(s.log, d.log);
+        }
+        let wire = dist.wire.unwrap();
+        assert_eq!(
+            wire.retransmit_frames, wire.frames,
+            "every frame was duplicated exactly once"
+        );
+        assert_eq!(wire.nack_frames, 0, "nothing was ever missing");
+    }
+
+    #[test]
+    fn planned_crash_is_a_typed_machine_lost() {
+        let plan = FaultPlan {
+            crash: Some(CrashSpec {
+                machine: 2,
+                round: 1,
+            }),
+            barrier_timeout_ms: 400,
+            ..FaultPlan::default()
+        };
+        let err = DistributedEngine::run_with_faults(
+            NetConfig::with_bandwidth(5, 40, 3),
+            gossip_machines(5),
+            Some(plan),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::MachineLost {
+                machine: 2,
+                round: 1
+            }
+        );
+    }
+
+    #[test]
+    fn crash_plan_for_a_machine_out_of_range_is_invalid() {
+        let plan = FaultPlan {
+            crash: Some(CrashSpec {
+                machine: 9,
+                round: 0,
+            }),
+            ..FaultPlan::default()
+        };
+        let err = DistributedEngine::run_with_faults(
+            NetConfig::with_bandwidth(4, 40, 3),
+            gossip_machines(4),
+            Some(plan),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EngineError::InvalidConfig { ref reason } if reason.contains('9')),
+            "{err}"
+        );
     }
 
     #[test]

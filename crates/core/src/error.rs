@@ -26,6 +26,28 @@ pub enum EngineError {
         /// free and contribute nothing here).
         queued_bits: u64,
     },
+    /// A machine stopped participating in the round barrier: the
+    /// distributed engine's coordinator waited out its barrier timeout
+    /// without hearing from it. Raised for injected crashes
+    /// ([`crate::faults::FaultPlan`]) and for genuinely stalled workers —
+    /// either way the engine tears down every surviving thread instead
+    /// of hanging forever.
+    MachineLost {
+        /// The machine that went silent.
+        machine: usize,
+        /// The round (iteration index) whose barrier it missed.
+        round: u64,
+    },
+    /// A worker thread of the distributed engine panicked (usually the
+    /// protocol's own `round` code) or terminated without reporting. The
+    /// engine captures the panic, joins every other thread, and returns
+    /// this instead of poisoning the caller with a propagated panic.
+    WorkerPanicked {
+        /// The machine whose worker died.
+        machine: usize,
+        /// The panic payload (or a placeholder when it was not a string).
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -44,6 +66,14 @@ impl fmt::Display for EngineError {
                 "round limit {limit} exceeded with {active_machines} active machine(s) \
                  and {queued_msgs} queued message(s) ({queued_bits} undelivered bits)"
             ),
+            EngineError::MachineLost { machine, round } => write!(
+                f,
+                "machine {machine} missed the round-{round} barrier (crashed or stalled \
+                 past the barrier timeout)"
+            ),
+            EngineError::WorkerPanicked { machine, message } => {
+                write!(f, "worker thread of machine {machine} panicked: {message}")
+            }
         }
     }
 }
@@ -64,6 +94,25 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains('5') && s.contains('2') && s.contains('7') && s.contains("96"));
+    }
+
+    #[test]
+    fn failure_variants_name_the_machine() {
+        let e = EngineError::MachineLost {
+            machine: 3,
+            round: 17,
+        };
+        let s = e.to_string();
+        assert!(s.contains("machine 3") && s.contains("round-17"), "{s}");
+        let e = EngineError::WorkerPanicked {
+            machine: 5,
+            message: "index out of bounds".into(),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("machine 5") && s.contains("index out of bounds"),
+            "{s}"
+        );
     }
 
     #[test]

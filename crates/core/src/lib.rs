@@ -31,6 +31,15 @@
 //! statistics ([`Metrics`]) feed the lower-bound validators in
 //! `km-lower`.
 //!
+//! The distributed engine additionally survives an unreliable wire: a
+//! seeded [`FaultPlan`] (or the `KM_FAULTS` environment knob) injects
+//! frame drops, duplicates, bit corruption, delays, and machine
+//! crashes, and the engine's checksum + sequence-number + NACK
+//! recovery layer keeps `RunOutcome`s bit-identical to the sequential
+//! engine under everything short of a crash — which surfaces as a
+//! typed [`EngineError::MachineLost`] instead of a hang (see
+//! [`faults`]).
+//!
 //! The congested clique (`k = n`, one vertex per machine — Corollary 1)
 //! is the special case provided by [`clique`]. The randomized-routing
 //! toolbox of Lemma 13 and the proxy patterns of Section 1.3 live in
@@ -41,6 +50,7 @@ pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod link;
 pub mod message;
 pub mod metrics;
@@ -53,6 +63,7 @@ pub use codec::{assert_roundtrip, BitReader, BitWriter, CodecError, WireCodec};
 pub use config::NetConfig;
 pub use engine::{DistributedEngine, ParallelEngine, RunReport, SequentialEngine};
 pub use error::EngineError;
+pub use faults::{CrashSpec, FaultPlan, FrameFate, FAULTS_ENV};
 pub use message::{id_bits, Envelope, Outbox, Raw, WireSize};
 pub use metrics::{Metrics, WireReport};
 pub use protocol::{Protocol, RoundCtx, Status};

@@ -87,14 +87,23 @@ impl Metrics {
 /// cross-engine bit-identity guarantee, which covers output, metrics,
 /// and config.
 ///
-/// The gap has exactly two sources, both mechanical: every frame pays a
-/// fixed header ([`crate::codec::FRAME_HEADER_BYTES`]), and every
-/// payload is padded to a whole byte (`⌈bits/8⌉`). The *payload bits
-/// before padding* equal `logical_bits` by construction —
+/// The logical/measured gap has exactly two sources, both mechanical:
+/// every frame pays a fixed header
+/// ([`crate::codec::FRAME_HEADER_BYTES`]: length, bit claim, sequence
+/// number, kind, CRC-32), and every payload is padded to a whole byte
+/// (`⌈bits/8⌉`). The *payload bits before padding* equal
+/// `logical_bits` by construction —
 /// [`crate::codec::WireCodec::encode_frame`] asserts it per message —
 /// so `wire_vs_logical` quantifies pure framing overhead, not any
 /// disagreement about message content.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+///
+/// Under fault injection ([`crate::faults::FaultPlan`]) the recovery
+/// layer's extra traffic lands in the `retransmit_*`/`nack_*`
+/// counters — *never* in `frames`/`frame_bytes` (which keep counting
+/// one frame per logical link message, preserving
+/// `frames == Metrics::total_msgs()`) and never in the logical
+/// [`Metrics`]. On a fault-free run all four are zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct WireReport {
     /// Frames shipped over byte channels (one per link message).
     pub frames: u64,
@@ -105,6 +114,15 @@ pub struct WireReport {
     /// Total logical bits ([`crate::WireSize`]) of the framed messages;
     /// equals `Metrics::total_bits()` of the same run.
     pub logical_bits: u64,
+    /// Extra physical DATA transmissions beyond each frame's first:
+    /// NACK-triggered retransmits and fault-injected duplicates.
+    pub retransmit_frames: u64,
+    /// Bytes behind `retransmit_frames`.
+    pub retransmit_bytes: u64,
+    /// Retransmit-request control frames sent by receivers.
+    pub nack_frames: u64,
+    /// Bytes behind `nack_frames`.
+    pub nack_bytes: u64,
 }
 
 impl WireReport {
@@ -125,12 +143,20 @@ impl WireReport {
 
     /// The headline ratio: measured frame bits over logical bits
     /// (`1.0` = the encoding is exactly as large as the theory charges;
-    /// `0.0` when nothing was sent).
+    /// `0.0` when nothing was sent). Recovery traffic is excluded — it
+    /// measures the adversary, not the encoding.
     pub fn wire_vs_logical(&self) -> f64 {
         if self.logical_bits == 0 {
             return 0.0;
         }
         self.measured_bits() as f64 / self.logical_bits as f64
+    }
+
+    /// Bytes the recovery layer spent on top of the logical traffic:
+    /// retransmitted DATA plus NACK control frames. Zero on a
+    /// fault-free wire.
+    pub fn recovery_bytes(&self) -> u64 {
+        self.retransmit_bytes + self.nack_bytes
     }
 }
 
@@ -164,25 +190,26 @@ mod tests {
 
     #[test]
     fn wire_report_arithmetic() {
-        // 3 frames of 12-byte headers; 10 payload bytes carrying 75
+        // 3 frames of 21-byte headers; 10 payload bytes carrying 75
         // logical bits (5 bits of byte padding).
         let w = WireReport {
             frames: 3,
-            frame_bytes: 46,
+            frame_bytes: 73,
             payload_bytes: 10,
             logical_bits: 75,
+            retransmit_frames: 2,
+            retransmit_bytes: 50,
+            nack_frames: 1,
+            nack_bytes: 25,
         };
-        assert_eq!(w.measured_bits(), 368);
-        assert_eq!(w.header_bits(), 36 * 8);
+        assert_eq!(w.measured_bits(), 73 * 8);
+        assert_eq!(w.header_bits(), 63 * 8);
         assert_eq!(w.padding_bits(), 5);
-        assert!((w.wire_vs_logical() - 368.0 / 75.0).abs() < 1e-12);
-        let idle = WireReport {
-            frames: 0,
-            frame_bytes: 0,
-            payload_bytes: 0,
-            logical_bits: 0,
-        };
+        assert!((w.wire_vs_logical() - (73.0 * 8.0) / 75.0).abs() < 1e-12);
+        assert_eq!(w.recovery_bytes(), 75);
+        let idle = WireReport::default();
         assert_eq!(idle.wire_vs_logical(), 0.0);
+        assert_eq!(idle.recovery_bytes(), 0);
     }
 
     #[test]

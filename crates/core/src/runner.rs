@@ -46,6 +46,7 @@ use crate::codec::WireCodec;
 use crate::config::NetConfig;
 use crate::engine::{DistributedEngine, ParallelEngine, RunReport, SequentialEngine};
 use crate::error::EngineError;
+use crate::faults::FaultPlan;
 use crate::metrics::{Metrics, WireReport};
 use crate::protocol::Protocol;
 
@@ -188,6 +189,7 @@ impl EngineKind {
 pub struct Runner {
     config: NetConfig,
     engine: EngineKind,
+    faults: Option<FaultPlan>,
 }
 
 impl Runner {
@@ -196,12 +198,25 @@ impl Runner {
         Runner {
             config,
             engine: EngineKind::Auto,
+            faults: None,
         }
     }
 
     /// Selects the engine.
     pub fn engine(mut self, kind: EngineKind) -> Self {
         self.engine = kind;
+        self
+    }
+
+    /// Injects wire faults (see [`crate::faults`]). Faults act on the
+    /// distributed engine's physical frames; the sequential and
+    /// parallel engines have no wire, so they ignore the plan — which
+    /// is exactly what lets a faulted distributed run be compared
+    /// against a fault-free sequential ground truth. When no plan is
+    /// set here, the [`crate::faults::FAULTS_ENV`] environment variable
+    /// is consulted at run time.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -240,16 +255,25 @@ impl Runner {
         self.dispatch(machines)
     }
 
-    /// Engine dispatch after validation.
+    /// Engine dispatch after validation. A malformed
+    /// [`crate::faults::FAULTS_ENV`] value is a hard error regardless
+    /// of which engine resolves — a typo must not silently run
+    /// fault-free.
     fn dispatch<P: Protocol>(&self, machines: Vec<P>) -> Result<RunReport<P>, EngineError>
     where
         P::Msg: WireCodec,
     {
+        let faults = match self.faults {
+            Some(plan) => Some(plan),
+            None => FaultPlan::from_env()?,
+        };
         match self.resolved_engine()? {
             EngineKind::Parallel { threads } if threads > 1 => {
                 ParallelEngine::with_threads(threads).run(self.config, machines)
             }
-            EngineKind::Distributed => DistributedEngine::run(self.config, machines),
+            EngineKind::Distributed => {
+                DistributedEngine::run_with_faults(self.config, machines, faults)
+            }
             _ => SequentialEngine::run(self.config, machines),
         }
     }

@@ -6,8 +6,9 @@ pub mod channel {
     //! Bounded MPSC channels (crossbeam-channel API subset).
 
     use std::sync::mpsc;
+    use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
     /// The sending half of a bounded channel.
     pub struct Sender<T>(mpsc::SyncSender<T>);
@@ -43,6 +44,13 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Blocks until a message arrives, all senders are gone, or
+        /// `timeout` elapses — the primitive behind the distributed
+        /// engine's round-barrier timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
     }
 
@@ -98,6 +106,24 @@ mod tests {
         let (tx, rx) = super::channel::bounded::<u32>(1);
         tx.send(5).unwrap();
         assert_eq!(rx.recv().unwrap(), 5);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_recovers() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Chaos matrix: the distributed engine under an adversarial wire.
+//!
+//! For every algorithm family in the workspace, and for arbitrary
+//! frame drop/duplicate/corrupt/delay probabilities, a distributed run
+//! on the faulty wire must produce a `RunOutcome` **bit-identical** to
+//! the fault-free sequential reference — the checksum + sequence
+//! number + NACK recovery layer (see `km_core::faults` and the
+//! distributed engine's failure model) makes the adversary invisible
+//! to the logical transcript, visible only in the `WireReport`'s
+//! recovery counters.
+//!
+//! And when the adversary crashes a machine outright, every family
+//! must fail with the *typed* `EngineError::MachineLost` naming the
+//! crashed machine and round — no hang, no panic, no partial output.
+//!
+//! Fault rates are sampled in `0.0..0.35`: high enough to mangle a
+//! large fraction of frames, low enough that recovery converges (at
+//! rate 1.0 the NACKs and retransmits die too, which is
+//! indistinguishable from a cut link and correctly times out).
+
+use km_core::{
+    run_algorithm, CrashSpec, EngineError, EngineKind, FaultPlan, KmAlgorithm, NetConfig, Protocol,
+    RunOutcome, Runner, WireCodec,
+};
+use km_graph::generators::gnp;
+use km_graph::{Partition, Vertex, WeightedGraph};
+use km_mst::{DistributedMst, DistributedSketchConnectivity};
+use km_pagerank::congest_baseline::CongestBaseline;
+use km_pagerank::kmachine::{bidirect, DistributedPageRank};
+use km_pagerank::PrConfig;
+use km_sort::DistributedSort;
+use km_triangle::baseline::BroadcastTriangles;
+use km_triangle::kmachine::{DistributedTriangles, TriConfig};
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn net(k: usize, n: usize, seed: u64) -> NetConfig {
+    NetConfig::polylog(k, n, seed).max_rounds(10_000_000)
+}
+
+/// Runs `alg` once on the sequential engine (fault-free ground truth)
+/// and once on the distributed engine under `plan`, asserting the
+/// outcomes are bit-identical and that any recovery traffic stayed out
+/// of the logical accounting.
+fn assert_chaos_identical<A>(alg: &A, netc: NetConfig, plan: FaultPlan)
+where
+    A: KmAlgorithm,
+    A::Output: PartialEq + std::fmt::Debug,
+    <A::Machine as Protocol>::Msg: WireCodec,
+{
+    let seq = run_algorithm(alg, Runner::new(netc).engine(EngineKind::Sequential))
+        .expect("sequential reference");
+    let dist = run_algorithm(
+        alg,
+        Runner::new(netc)
+            .engine(EngineKind::Distributed)
+            .faults(plan),
+    )
+    .expect("faulted distributed run must still converge");
+    assert_eq!(
+        seq, dist,
+        "outcome diverged under faults {plan:?} (RunOutcome equality covers output, metrics, config)"
+    );
+    let wire = dist.wire.expect("distributed runs report wire traffic");
+    assert_eq!(
+        wire.frames,
+        dist.metrics.total_msgs(),
+        "one frame per logical message, whatever the adversary did"
+    );
+    assert_eq!(wire.logical_bits, dist.metrics.total_bits());
+    if plan == FaultPlan::default() {
+        assert_eq!(wire.recovery_bytes(), 0, "no faults, no recovery traffic");
+    }
+}
+
+/// Runs `alg` on the distributed engine with machine `crash.machine`
+/// crashing at round `crash.round`, asserting the exact typed failure
+/// arrives (within the plan's short barrier timeout — no hang).
+fn assert_crash_is_typed<A>(alg: &A, netc: NetConfig, crash: CrashSpec)
+where
+    A: KmAlgorithm,
+    A::Output: std::fmt::Debug,
+    <A::Machine as Protocol>::Msg: WireCodec,
+{
+    let plan = FaultPlan {
+        crash: Some(crash),
+        barrier_timeout_ms: 500,
+        ..FaultPlan::default()
+    };
+    let err = run_algorithm(
+        alg,
+        Runner::new(netc)
+            .engine(EngineKind::Distributed)
+            .faults(plan),
+    )
+    .expect_err("a crashed machine must fail the run");
+    assert_eq!(
+        err,
+        EngineError::MachineLost {
+            machine: crash.machine,
+            round: crash.round,
+        }
+    );
+}
+
+fn chaos_plan(seed: u64, drop: f64, duplicate: f64, corrupt: f64, delay: f64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        drop,
+        duplicate,
+        corrupt,
+        delay,
+        ..FaultPlan::default()
+    }
+}
+
+// ---- sample-sort ----------------------------------------------------
+
+fn sort_alg(n: usize, k: usize) -> DistributedSort {
+    let mut rng = ChaCha8Rng::seed_from_u64(402);
+    DistributedSort {
+        inputs: km_sort::SampleSort::random_input(n, k, &mut rng),
+        samples_per_machine: 20,
+    }
+}
+
+proptest! {
+    #[test]
+    fn sort_survives_chaos(
+        seed in 0u64..1_000_000,
+        drop in 0.0f64..0.35,
+        dup in 0.0f64..0.35,
+        corrupt in 0.0f64..0.35,
+        delay in 0.0f64..0.35,
+    ) {
+        let alg = sort_alg(200, 5);
+        assert_chaos_identical(&alg, net(5, 200, 20), chaos_plan(seed, drop, dup, corrupt, delay));
+    }
+}
+
+#[test]
+fn sort_crash_is_typed() {
+    let alg = sort_alg(200, 5);
+    assert_crash_is_typed(
+        &alg,
+        net(5, 200, 20),
+        CrashSpec {
+            machine: 1,
+            round: 1,
+        },
+    );
+}
+
+// ---- MST ------------------------------------------------------------
+
+struct MstInstance {
+    wg: WeightedGraph,
+    part: Arc<Partition>,
+}
+
+fn mst_instance() -> MstInstance {
+    let mut rng = ChaCha8Rng::seed_from_u64(403);
+    let g = gnp(40, 0.2, &mut rng);
+    let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
+    let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
+    MstInstance {
+        wg: WeightedGraph::from_weighted_edges(40, &edges, &ws).unwrap(),
+        part: Arc::new(Partition::by_hash(40, 5, 3)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn mst_survives_chaos(
+        seed in 0u64..1_000_000,
+        drop in 0.0f64..0.35,
+        dup in 0.0f64..0.35,
+        corrupt in 0.0f64..0.35,
+        delay in 0.0f64..0.35,
+    ) {
+        let inst = mst_instance();
+        let alg = DistributedMst { g: &inst.wg, part: &inst.part };
+        assert_chaos_identical(&alg, net(5, 40, 21), chaos_plan(seed, drop, dup, corrupt, delay));
+    }
+}
+
+#[test]
+fn mst_crash_is_typed() {
+    let inst = mst_instance();
+    let alg = DistributedMst {
+        g: &inst.wg,
+        part: &inst.part,
+    };
+    assert_crash_is_typed(
+        &alg,
+        net(5, 40, 21),
+        CrashSpec {
+            machine: 2,
+            round: 1,
+        },
+    );
+}
+
+// ---- sketch connectivity --------------------------------------------
+
+struct CcInstance {
+    g: km_graph::CsrGraph,
+    part: Arc<Partition>,
+}
+
+fn cc_instance() -> CcInstance {
+    let mut rng = ChaCha8Rng::seed_from_u64(406);
+    CcInstance {
+        g: gnp(60, 0.03, &mut rng),
+        part: Arc::new(Partition::by_hash(60, 5, 2)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn sketch_connectivity_survives_chaos(
+        seed in 0u64..1_000_000,
+        drop in 0.0f64..0.35,
+        dup in 0.0f64..0.35,
+        corrupt in 0.0f64..0.35,
+        delay in 0.0f64..0.35,
+    ) {
+        let inst = cc_instance();
+        let alg = DistributedSketchConnectivity { g: &inst.g, part: &inst.part };
+        assert_chaos_identical(&alg, net(5, 60, 24), chaos_plan(seed, drop, dup, corrupt, delay));
+    }
+}
+
+#[test]
+fn sketch_connectivity_crash_is_typed() {
+    let inst = cc_instance();
+    let alg = DistributedSketchConnectivity {
+        g: &inst.g,
+        part: &inst.part,
+    };
+    assert_crash_is_typed(
+        &alg,
+        net(5, 60, 24),
+        CrashSpec {
+            machine: 4,
+            round: 2,
+        },
+    );
+}
+
+// ---- PageRank (k-machine) -------------------------------------------
+
+struct PrInstance {
+    g: km_graph::DiGraph,
+    part: Arc<Partition>,
+    cfg: PrConfig,
+}
+
+fn pr_instance(k: usize) -> PrInstance {
+    let mut rng = ChaCha8Rng::seed_from_u64(400);
+    let g = bidirect(&gnp(50, 0.1, &mut rng));
+    let part = Arc::new(Partition::by_hash(g.n(), k, 1));
+    PrInstance {
+        g,
+        part,
+        cfg: PrConfig {
+            reset_prob: 0.4,
+            tokens_per_vertex: 15,
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn pagerank_survives_chaos(
+        seed in 0u64..1_000_000,
+        drop in 0.0f64..0.35,
+        dup in 0.0f64..0.35,
+        corrupt in 0.0f64..0.35,
+        delay in 0.0f64..0.35,
+    ) {
+        let inst = pr_instance(5);
+        let alg = DistributedPageRank::new(&inst.g, &inst.part, inst.cfg);
+        let n = inst.g.n();
+        assert_chaos_identical(&alg, net(5, n, 18), chaos_plan(seed, drop, dup, corrupt, delay));
+    }
+}
+
+#[test]
+fn pagerank_crash_is_typed() {
+    let inst = pr_instance(5);
+    let alg = DistributedPageRank::new(&inst.g, &inst.part, inst.cfg);
+    let n = inst.g.n();
+    assert_crash_is_typed(
+        &alg,
+        net(5, n, 18),
+        CrashSpec {
+            machine: 0,
+            round: 1,
+        },
+    );
+}
+
+// ---- CONGEST baseline -----------------------------------------------
+
+proptest! {
+    #[test]
+    fn congest_baseline_survives_chaos(
+        seed in 0u64..1_000_000,
+        drop in 0.0f64..0.35,
+        dup in 0.0f64..0.35,
+        corrupt in 0.0f64..0.35,
+        delay in 0.0f64..0.35,
+    ) {
+        let inst = pr_instance(4);
+        let alg = CongestBaseline { g: &inst.g, part: &inst.part, cfg: inst.cfg };
+        let n = inst.g.n();
+        assert_chaos_identical(&alg, net(4, n, 22), chaos_plan(seed, drop, dup, corrupt, delay));
+    }
+}
+
+#[test]
+fn congest_baseline_crash_is_typed() {
+    let inst = pr_instance(4);
+    let alg = CongestBaseline {
+        g: &inst.g,
+        part: &inst.part,
+        cfg: inst.cfg,
+    };
+    let n = inst.g.n();
+    assert_crash_is_typed(
+        &alg,
+        net(4, n, 22),
+        CrashSpec {
+            machine: 3,
+            round: 1,
+        },
+    );
+}
+
+// ---- triangles ------------------------------------------------------
+
+struct TriInstance {
+    g: km_graph::CsrGraph,
+    part: Arc<Partition>,
+}
+
+fn tri_instance(k: usize) -> TriInstance {
+    let mut rng = ChaCha8Rng::seed_from_u64(401);
+    TriInstance {
+        g: gnp(40, 0.3, &mut rng),
+        part: Arc::new(Partition::by_hash(40, k, 2)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn triangles_survive_chaos(
+        seed in 0u64..1_000_000,
+        drop in 0.0f64..0.35,
+        dup in 0.0f64..0.35,
+        corrupt in 0.0f64..0.35,
+        delay in 0.0f64..0.35,
+    ) {
+        let inst = tri_instance(6);
+        let alg = DistributedTriangles { g: &inst.g, part: &inst.part, cfg: TriConfig::default() };
+        assert_chaos_identical(&alg, net(6, 40, 19), chaos_plan(seed, drop, dup, corrupt, delay));
+    }
+}
+
+#[test]
+fn triangles_crash_is_typed() {
+    let inst = tri_instance(6);
+    let alg = DistributedTriangles {
+        g: &inst.g,
+        part: &inst.part,
+        cfg: TriConfig::default(),
+    };
+    assert_crash_is_typed(
+        &alg,
+        net(6, 40, 19),
+        CrashSpec {
+            machine: 5,
+            round: 1,
+        },
+    );
+}
+
+// ---- broadcast triangle baseline ------------------------------------
+
+proptest! {
+    #[test]
+    fn broadcast_baseline_survives_chaos(
+        seed in 0u64..1_000_000,
+        drop in 0.0f64..0.35,
+        dup in 0.0f64..0.35,
+        corrupt in 0.0f64..0.35,
+        delay in 0.0f64..0.35,
+    ) {
+        let inst = tri_instance(5);
+        let alg = BroadcastTriangles { g: &inst.g, part: &inst.part };
+        assert_chaos_identical(&alg, net(5, 40, 23), chaos_plan(seed, drop, dup, corrupt, delay));
+    }
+}
+
+#[test]
+fn broadcast_baseline_crash_is_typed() {
+    let inst = tri_instance(5);
+    let alg = BroadcastTriangles {
+        g: &inst.g,
+        part: &inst.part,
+    };
+    assert_crash_is_typed(
+        &alg,
+        net(5, 40, 23),
+        CrashSpec {
+            machine: 2,
+            round: 2,
+        },
+    );
+}
+
+// ---- cross-cutting sanity -------------------------------------------
+
+/// The maximal non-crash adversary the recovery layer is specified
+/// for: every fault class at once, at aggressive (but sub-saturating)
+/// rates, on the chattiest family. One deterministic worst case that
+/// always runs, however few `PROPTEST_CASES` the environment asks for.
+#[test]
+fn kitchen_sink_adversary_is_invisible() {
+    let alg = sort_alg(240, 6);
+    let plan = chaos_plan(1234, 0.3, 0.3, 0.3, 0.3);
+    assert_chaos_identical(&alg, net(6, 240, 25), plan);
+
+    // And the same plan's recovery traffic is visible where it should
+    // be: the wire report, not the metrics (checked inside the helper).
+    let outcome: RunOutcome<_> = run_algorithm(
+        &alg,
+        Runner::new(net(6, 240, 25))
+            .engine(EngineKind::Distributed)
+            .faults(plan),
+    )
+    .unwrap();
+    let wire = outcome.wire.unwrap();
+    assert!(
+        wire.retransmit_frames > 0 && wire.nack_frames > 0,
+        "an adversary this aggressive must have forced actual recovery \
+         (got {} retransmits, {} nacks)",
+        wire.retransmit_frames,
+        wire.nack_frames
+    );
+}
