@@ -14,9 +14,10 @@
 //! per-machine and per-link received bits next to the `n/k²` prediction.
 //!
 //! Finally it re-runs scatter, Borůvka MST, and sketch connectivity on
-//! the *distributed* engine (real byte channels, one serialized frame
-//! per link message) and writes `BENCH_<date>_wire.json`, pairing each
-//! run's measured frame bits with its logical `WireSize` bits.
+//! the *distributed* engine (real byte channels, one batched frame per
+//! (link, round)) and writes `BENCH_<date>_wire.json`, pairing each
+//! run's measured frame bits with its logical `WireSize` bits and the
+//! pre-batching PR 6/PR 8 per-message baselines.
 //!
 //! It also measures the streaming-ingestion tier — `km_graph::stream`
 //! building the distributed input at n ∈ {10⁶, 10⁷} without ever
@@ -28,6 +29,9 @@
 //!
 //! Pass `--ingest-only` to run (and write) just the ingest tier — the
 //! mode CI uses, and the cheapest way to regenerate the ingest snapshot.
+//! Pass `--wire-only` to run (and write) just the wire tier — the CI
+//! wire smoke, which also asserts `header_bits < logical_bits` on the
+//! scatter rows.
 
 use km_bench::workloads::{dense_delivery_reference, sparse_ring_machines};
 use km_core::router::UniformScatter;
@@ -156,31 +160,52 @@ struct WireCell {
     logical_bits: u64,
     /// Frame bytes × 8 actually shipped over the byte channels.
     measured_bits: u64,
-    /// Frames shipped (one per link message).
+    /// Batch frames shipped (one per (link, round) with traffic).
     frames: u64,
+    /// Link messages carried inside those frames.
+    messages: u64,
+    /// `messages / frames` — how far the header amortizes.
+    msgs_per_frame: f64,
     /// Bits spent on frame headers
     /// ([`km_core::codec::FRAME_HEADER_BYTES`] per frame).
     header_bits: u64,
-    /// Bits lost to byte-aligning each payload.
+    /// Bits spent on batch bookkeeping (count + per-message length
+    /// varints).
+    record_bits: u64,
+    /// Bits lost to byte-aligning each frame's payload (≤ 7 per frame).
     padding_bits: u64,
     /// `measured_bits / logical_bits` — framing overhead only, since the
-    /// codec layer asserts payload bits == logical bits per message.
+    /// codec layer asserts payload bits == logical bits per batch.
     wire_vs_logical: f64,
+    /// What PR 8's one-frame-per-message wire (21-byte header each, no
+    /// batch records) would have shipped for the same transcript,
+    /// divided by `logical_bits`. Comparing against `wire_vs_logical`
+    /// isolates what batching bought.
+    wire_vs_logical_pr8: f64,
+    /// PR 8 solo-framed bits / measured bits — how many × the batched
+    /// wire shrinks the same transcript. > 1.0 means batching helped.
+    batching_gain_vs_pr8: f64,
     /// Recovery-layer traffic (retransmits + NACKs). perfsnap runs on a
     /// reliable wire, so this is asserted zero — the self-healing
     /// machinery must be pay-for-what-you-use.
     recovery_bytes: u64,
-    /// Zero-fault cost of the self-healing header (sequence number +
-    /// kind + CRC-32: the bytes beyond PR 6's 12-byte length+bits
-    /// header) as a fraction of the PR 6 baseline's measured bits.
+    /// Measured bits vs what PR 6's pre-self-healing wire (12-byte
+    /// header, one frame per message) would have shipped:
+    /// `measured / pr6_solo − 1`. Negative means batching reclaimed
+    /// more than the seq + kind + CRC-32 bytes cost.
     zero_fault_overhead_vs_pr6: f64,
 }
 
-/// Frame-header bytes PR 6 shipped (payload length + logical bits),
-/// before the self-healing wire added seq + kind + CRC-32. The
-/// `zero_fault_overhead_vs_pr6` column measures today's header against
-/// this baseline.
+/// Frame-header bytes PR 6 shipped per message (payload length +
+/// logical bits), before the self-healing wire added seq + kind +
+/// CRC-32. The `zero_fault_overhead_vs_pr6` column measures today's
+/// batched wire against that per-message baseline.
 const PR6_HEADER_BYTES: u64 = 12;
+
+/// Frame-header bytes PR 8 shipped per message (PR 6's 12 plus seq +
+/// kind + CRC-32), back when every message got its own frame. The
+/// batching columns measure against this baseline.
+const PR8_HEADER_BYTES: u64 = km_core::codec::FRAME_HEADER_BYTES as u64;
 
 #[derive(Serialize)]
 struct WireSnapshot {
@@ -330,6 +355,21 @@ fn run_ingest(date: &str, host_threads: usize, out: &str) {
     println!("wrote {ingest_out}");
 }
 
+/// The G(600, 0.02) weighted MST instance shared by the wall and wire
+/// matrices: same seed, same weight stream, so the two tiers run the
+/// identical workload.
+fn mst_instance() -> (usize, WeightedGraph) {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let n = 600;
+    let g = gnp(n, 0.02, &mut rng);
+    let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
+    let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
+    (
+        n,
+        WeightedGraph::from_weighted_edges(n, &edges, &ws).unwrap(),
+    )
+}
+
 fn wire_cell(
     name: &str,
     n: usize,
@@ -348,23 +388,63 @@ fn wire_cell(
         0,
         "a fault-free run must trigger zero recovery traffic"
     );
-    // What PR 6's 12-byte framing would have measured for the same
-    // frames, vs the 9 extra self-healing bytes each frame now carries.
-    let extra_header_bits =
-        (km_core::codec::FRAME_HEADER_BYTES as u64 - PR6_HEADER_BYTES) * 8 * wire.frames;
-    let pr6_measured_bits = wire.measured_bits() - extra_header_bits;
-    let zero_fault_overhead_vs_pr6 = if pr6_measured_bits == 0 {
+    assert_eq!(
+        wire.messages,
+        metrics.total_msgs(),
+        "every link message must be framed exactly once"
+    );
+    // What the pre-batching wires would have shipped for the same
+    // transcript: one frame per message, 12-byte (PR 6) or 21-byte
+    // (PR 8) header each, payloads byte-aligned per message.
+    let pr6_solo_bits = wire.solo_framing_bits(PR6_HEADER_BYTES);
+    let pr8_solo_bits = wire.solo_framing_bits(PR8_HEADER_BYTES);
+    let measured = wire.measured_bits();
+    let zero_fault_overhead_vs_pr6 = if pr6_solo_bits == 0 {
         0.0
     } else {
-        extra_header_bits as f64 / pr6_measured_bits as f64
+        measured as f64 / pr6_solo_bits as f64 - 1.0
     };
-    if name.starts_with("sketch_cc") && zero_fault_overhead_vs_pr6 > 0.03 {
+    let batching_gain_vs_pr8 = if measured == 0 {
+        1.0
+    } else {
+        pr8_solo_bits as f64 / measured as f64
+    };
+    if name.starts_with("sketch_cc") && zero_fault_overhead_vs_pr6 > 0.01 {
         println!(
-            "WARN wire {name} k={k}: self-healing header costs {:.2}% over the PR 6 \
-             baseline (>3% budget) — consider header squeeze or frame coalescing \
-             (ROADMAP item)",
+            "WARN wire {name} k={k}: batched self-healing wire costs {:.2}% over the \
+             PR 6 per-message baseline (>1% budget) — header amortization regressed",
             zero_fault_overhead_vs_pr6 * 100.0
         );
+    }
+    if measured >= pr8_solo_bits {
+        println!(
+            "WARN wire {name} k={k}: batching does not improve wire_vs_logical \
+             ({:.3}x measured vs {:.3}x under PR 8 per-message framing)",
+            wire.wire_vs_logical(),
+            pr8_solo_bits as f64 / wire.logical_bits as f64
+        );
+    }
+    if name.starts_with("scatter") {
+        // CI wire-tier smoke: the batched wire must hold the Lemma-13
+        // scatter within the PR 9 budget (one-frame-per-message framing
+        // measured 11.5x here).
+        assert!(
+            wire.wire_vs_logical() <= 3.0,
+            "{name} k={k}: wire_vs_logical {:.3} blew the 3.0 budget",
+            wire.wire_vs_logical()
+        );
+        // …and where the workload gives batching room (k=16 puts ~32
+        // tokens on each link; k=64 only ~8 × 16-bit tokens, less than
+        // one 168-bit header by construction), the header must be
+        // amortized strictly below the payload it fronts.
+        if k <= 16 {
+            assert!(
+                wire.header_bits() < wire.logical_bits,
+                "{name} k={k}: header bits {} not amortized below logical bits {}",
+                wire.header_bits(),
+                wire.logical_bits
+            );
+        }
     }
     WireCell {
         name: name.to_string(),
@@ -374,11 +454,16 @@ fn wire_cell(
         wall_ms,
         rounds: metrics.rounds,
         logical_bits: wire.logical_bits,
-        measured_bits: wire.measured_bits(),
+        measured_bits: measured,
         frames: wire.frames,
+        messages: wire.messages,
+        msgs_per_frame: wire.msgs_per_frame(),
         header_bits: wire.header_bits(),
+        record_bits: wire.record_bits(),
         padding_bits: wire.padding_bits(),
         wire_vs_logical: wire.wire_vs_logical(),
+        wire_vs_logical_pr8: pr8_solo_bits as f64 / wire.logical_bits as f64,
+        batching_gain_vs_pr8,
         recovery_bytes: wire.recovery_bytes(),
         zero_fault_overhead_vs_pr6,
     }
@@ -432,10 +517,12 @@ fn today_utc() -> String {
 
 fn main() {
     let mut ingest_only = false;
+    let mut wire_only = false;
     let mut out_arg: Option<String> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--ingest-only" => ingest_only = true,
+            "--wire-only" => wire_only = true,
             other => out_arg = Some(other.to_string()),
         }
     }
@@ -443,6 +530,10 @@ fn main() {
     let out = out_arg.unwrap_or_else(|| format!("BENCH_{date}.json"));
     let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
 
+    if wire_only {
+        run_wire(&date, host_threads, &out);
+        return;
+    }
     run_ingest(&date, host_threads, &out);
     if ingest_only {
         return;
@@ -465,12 +556,7 @@ fn main() {
     }
 
     // Borůvka MST on G(600, 0.02) with random weights.
-    let mut rng = ChaCha8Rng::seed_from_u64(42);
-    let n = 600;
-    let g = gnp(n, 0.02, &mut rng);
-    let edges: Vec<(Vertex, Vertex)> = g.edges().map(|e| (e.u, e.v)).collect();
-    let ws: Vec<f64> = (0..edges.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let wg = WeightedGraph::from_weighted_edges(n, &edges, &ws).unwrap();
+    let (n, wg) = mst_instance();
     for &k in &ks {
         let part = Arc::new(Partition::by_hash(n, k, 3));
         let cfg = NetConfig::polylog(k, n, 11).max_rounds(50_000_000);
@@ -618,7 +704,7 @@ fn main() {
     }
 
     let snap = Snapshot {
-        date,
+        date: date.clone(),
         host_threads,
         workloads,
         sparse_fast_path: sparse,
@@ -645,12 +731,20 @@ fn main() {
     std::fs::write(&sketch_out, json + "\n").expect("write sketch snapshot");
     println!("wrote {sketch_out}");
 
-    // Wire matrix: the same protocols on the distributed engine, where
-    // every message crosses a real byte channel, so measured frame bits
-    // can be reported next to the logical WireSize accounting.
+    run_wire(&date, host_threads, &out);
+}
+
+/// The wire matrix: scatter, Borůvka MST, and sketch connectivity on
+/// the distributed engine, where each (link, round) ships one batched
+/// byte frame, so measured frame bits can be reported next to the
+/// logical WireSize accounting. Standalone so `--wire-only` (the CI
+/// smoke) can run it without the ingest and wall tiers.
+fn run_wire(date: &str, host_threads: usize, out: &str) {
+    let (n, wg) = mst_instance();
     let mut wire = Vec::new();
     for &k in &[16usize, 64] {
-        // Lemma-13 scatter: 512 tokens/machine.
+        // Lemma-13 scatter: 512 tokens/machine, so the workload size is
+        // 512·k 16-bit tokens.
         let cfg = NetConfig::with_bandwidth(k, 64, 9).max_rounds(50_000_000);
         let runner = Runner::new(cfg).engine(EngineKind::Distributed);
         let (ms, report) = best_ms(1, || {
@@ -658,12 +752,20 @@ fn main() {
             runner.run(machines).unwrap()
         });
         let w = report.wire.as_ref().expect("distributed runs report wire");
-        wire.push(wire_cell("scatter_x512", 0, k, ms, &report.metrics, w));
+        wire.push(wire_cell(
+            "scatter_x512",
+            512 * k,
+            k,
+            ms,
+            &report.metrics,
+            w,
+        ));
         println!(
-            "wire scatter   k={k:<4} {:>12} logical bits vs {:>12} measured ({:.2}x)",
+            "wire scatter   k={k:<4} {:>12} logical bits vs {:>12} measured ({:.2}x, {:.1} msgs/frame)",
             w.logical_bits,
             w.measured_bits(),
-            w.wire_vs_logical()
+            w.wire_vs_logical(),
+            w.msgs_per_frame()
         );
 
         // Borůvka MST on G(600, 0.02), same instance as the wall matrix.
@@ -682,10 +784,11 @@ fn main() {
         let w = outcome.wire.as_ref().expect("distributed runs report wire");
         wire.push(wire_cell("mst_n600_p02", n, k, ms, &outcome.metrics, w));
         println!(
-            "wire mst       k={k:<4} {:>12} logical bits vs {:>12} measured ({:.2}x)",
+            "wire mst       k={k:<4} {:>12} logical bits vs {:>12} measured ({:.2}x, {:.1} msgs/frame)",
             w.logical_bits,
             w.measured_bits(),
-            w.wire_vs_logical()
+            w.wire_vs_logical(),
+            w.msgs_per_frame()
         );
 
         // Sketch connectivity on G(n = 10k, m = 4n).
@@ -707,25 +810,33 @@ fn main() {
         let w = outcome.wire.as_ref().expect("distributed runs report wire");
         wire.push(wire_cell("sketch_cc_n10k", cn, k, ms, &outcome.metrics, w));
         println!(
-            "wire sketch_cc k={k:<4} {:>12} logical bits vs {:>12} measured ({:.2}x)",
+            "wire sketch_cc k={k:<4} {:>12} logical bits vs {:>12} measured ({:.2}x, {:.1} msgs/frame)",
             w.logical_bits,
             w.measured_bits(),
-            w.wire_vs_logical()
+            w.wire_vs_logical(),
+            w.msgs_per_frame()
         );
     }
     let wire_snap = WireSnapshot {
-        date: snap.date.clone(),
-        host_threads: snap.host_threads,
+        date: date.to_string(),
+        host_threads,
         wire,
-        note: "distributed-engine runs on a reliable wire: every link message is \
-               serialized to a checksummed, sequence-numbered byte frame (21-byte \
-               header: length + logical bits + seq + kind + CRC-32) and crosses a \
-               real channel; measured_bits counts those frame bytes while \
-               logical_bits is the WireSize transcript the theory charges, so \
-               wire_vs_logical isolates pure framing overhead (headers + byte \
-               padding); recovery_bytes is asserted zero (no faults injected) and \
-               zero_fault_overhead_vs_pr6 is the cost of the self-healing header \
-               bytes against PR 6's 12-byte baseline"
+        note: "distributed-engine runs on a reliable wire: each (link, round) ships \
+               ONE batched frame — a 21-byte self-healing header (length + batch \
+               bits + seq + kind + CRC-32) followed by a message-count varint and \
+               per-message (bit-length varint, payload) records bit-packed back to \
+               back; n for scatter rows is the total token count (512·k); \
+               measured_bits counts frame bytes while logical_bits is the WireSize \
+               transcript the theory charges, so wire_vs_logical isolates framing \
+               overhead (header + batch records + ≤7 padding bits per frame); \
+               wire_vs_logical_pr8 / batching_gain_vs_pr8 compare against PR 8's \
+               one-frame-per-message wire and zero_fault_overhead_vs_pr6 against \
+               PR 6's pre-self-healing 12-byte per-message wire (negative = \
+               batching reclaimed more than seq+kind+CRC cost); recovery_bytes is \
+               asserted zero (no faults injected); known gap: sketch_cc at k=64 \
+               averages only ~1.5 msgs/frame (sparse links), which leaves the \
+               21-byte header under-amortized and that row above the 1% pr6 \
+               budget — flagged by the WARN, tracked in ROADMAP"
             .to_string(),
     };
     let wire_out = match out.strip_suffix(".json") {

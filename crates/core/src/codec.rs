@@ -6,12 +6,22 @@
 //! accounting), and `decode` must reconstruct the message from them.
 //! [`WireCodec::encode_frame`] packs the bits into a self-checking
 //! byte frame of exactly `⌈bits/8⌉` payload bytes behind a header
-//! carrying the length, the logical bit claim, a per-link sequence
+//! carrying the length, the payload bit count, a per-link sequence
 //! number, a frame kind, and a CRC-32 (see [`FRAME_HEADER_BYTES`]) —
 //! so a `WireSize` implementation that under- or over-counts its own
 //! encoding fails loudly the first time the distributed engine ships
 //! it, and a frame corrupted in transit is *detected* (and NACKed for
 //! retransmission) rather than silently mis-decoded.
+//!
+//! The distributed engine itself never frames messages one at a time:
+//! [`encode_batch_frame_into`] packs everything a (link, round) pair
+//! queued behind a *single* header — a message-count varint, then
+//! per-message `(bit-length varint, payload bits)` records back to
+//! back — and [`decode_batch`] replays them in order, each through a
+//! borrowed [`BitReader::sub`] window straight out of the received
+//! frame (no per-message copies). That amortizes the 21-byte header
+//! and CRC over the whole batch while keeping loss detection and
+//! retransmission (one sequence number per batch) intact.
 //!
 //! # Decoding variable-width fields
 //!
@@ -143,9 +153,40 @@ impl BitWriter {
         }
     }
 
+    /// Appends `value` as an LEB128 varint: 8-bit groups of 7 value
+    /// bits plus a continuation flag, least-significant group first.
+    /// Costs `8·⌈bits(value)/7⌉` bits (8 for values below 128), which
+    /// is what makes batch frame records cheap for the small messages
+    /// the k-machine model traffics in.
+    pub fn put_varint(&mut self, value: u64) {
+        let mut v = value;
+        loop {
+            let group = v & 0x7F;
+            v >>= 7;
+            if v == 0 {
+                self.put(group, 8);
+                return;
+            }
+            self.put(group | 0x80, 8);
+        }
+    }
+
     /// Bits written so far.
     pub fn bit_len(&self) -> u64 {
         self.len_bits
+    }
+
+    /// Resets to empty, keeping the allocation — the reuse hook behind
+    /// the engine's per-link scratch buffers.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.len_bits = 0;
+    }
+
+    /// The packed bytes so far (`⌈bit_len/8⌉` of them, trailing bits
+    /// zero) without consuming the writer.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
     }
 
     /// The packed bytes (`⌈bit_len/8⌉` of them, trailing bits zero).
@@ -154,12 +195,29 @@ impl BitWriter {
     }
 }
 
+/// Bits [`BitWriter::put_varint`] spends on `value` (a whole number of
+/// 8-bit groups). Lets senders and tests predict batch payload sizes
+/// without encoding.
+pub fn varint_bits(value: u64) -> u64 {
+    let groups = (64 - u64::from((value | 1).leading_zeros())).div_ceil(7);
+    8 * groups
+}
+
 /// Reads bits LSB-first from a byte slice with an exact bit length.
+///
+/// A reader is a *window* `[pos, end)` over the backing bytes:
+/// [`BitReader::new`] opens one over a whole payload, and
+/// [`BitReader::sub`] splits off a child window covering the next `n`
+/// bits — at any bit offset, no byte alignment — which is how batch
+/// frames are decoded zero-copy: each batched message gets a borrowed
+/// sub-reader over its exact record, and greedy decoders that size
+/// trailing fields from [`BitReader::remaining`] see the record
+/// boundary, not the batch's.
 #[derive(Debug)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
     pos: u64,
-    len_bits: u64,
+    end: u64,
 }
 
 impl<'a> BitReader<'a> {
@@ -180,8 +238,54 @@ impl<'a> BitReader<'a> {
         Ok(BitReader {
             bytes,
             pos: 0,
-            len_bits,
+            end: len_bits,
         })
+    }
+
+    /// Splits off a sub-reader over the next `len_bits` bits (borrowing
+    /// the same bytes — no copy) and advances this reader past them.
+    ///
+    /// # Errors
+    /// [`CodecError::OutOfBits`] if fewer than `len_bits` bits remain.
+    pub fn sub(&mut self, len_bits: u64) -> Result<BitReader<'a>, CodecError> {
+        if len_bits > self.remaining() {
+            return Err(CodecError::OutOfBits {
+                needed: len_bits,
+                remaining: self.remaining(),
+            });
+        }
+        let child = BitReader {
+            bytes: self.bytes,
+            pos: self.pos,
+            end: self.pos + len_bits,
+        };
+        self.pos += len_bits;
+        Ok(child)
+    }
+
+    /// Reads an LEB128 varint written by [`BitWriter::put_varint`].
+    ///
+    /// # Errors
+    /// [`CodecError::OutOfBits`] if the frame ends mid-varint;
+    /// [`CodecError::Invalid`] if the value overflows a `u64`.
+    pub fn take_varint(&mut self) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let group = self.take(8)?;
+            let low = group & 0x7F;
+            if shift > 63 || (shift == 63 && low > 1) {
+                return Err(CodecError::Invalid {
+                    what: "varint overflows u64",
+                    value: low,
+                });
+            }
+            v |= low << shift;
+            if group & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
     }
 
     /// Reads the next `width` bits as an LSB-first value.
@@ -213,7 +317,7 @@ impl<'a> BitReader<'a> {
     /// Bits not yet consumed. Decoders use this to size trailing
     /// variable-width (id) fields — see the module docs.
     pub fn remaining(&self) -> u64 {
-        self.len_bits - self.pos
+        self.end - self.pos
     }
 
     /// Asserts every bit was consumed.
@@ -236,18 +340,21 @@ impl<'a> BitReader<'a> {
 /// | bytes  | field          | meaning                                      |
 /// |--------|----------------|----------------------------------------------|
 /// | 0..4   | `payload_len`  | `u32` LE, payload byte count                 |
-/// | 4..12  | `logical_bits` | `u64` LE, the sender's `WireSize` claim      |
+/// | 4..12  | `bits`         | `u64` LE, exact payload bit count            |
 /// | 12..16 | `seq`          | `u32` LE, per-link sequence number           |
-/// | 16     | `kind`         | [`FRAME_KIND_DATA`] or [`FRAME_KIND_NACK`]   |
+/// | 16     | `kind`         | [`FRAME_KIND_DATA`], [`FRAME_KIND_NACK`], or [`FRAME_KIND_BATCH`] |
 /// | 17..21 | `crc32`        | `u32` LE over bytes `0..17` + payload        |
 ///
-/// `payload_len == ⌈logical_bits/8⌉` always; both are carried so a
-/// receiver can validate the frame against the sender's size claim.
-/// The sequence number counts DATA frames per directed link from 0
-/// within a round, letting receivers detect loss (a gap), discard
-/// duplicates, and reorder delayed frames; the CRC turns any in-flight
-/// bit corruption into a typed [`CodecError::Checksum`] instead of a
-/// silent mis-decode.
+/// `payload_len == ⌈bits/8⌉` always; both are carried so a receiver
+/// can validate the frame against the sender's size claim. For a DATA
+/// frame `bits` is the single message's logical [`WireSize`]; for a
+/// BATCH frame it is the total batch payload bit length (count varint
+/// plus all records — see [`encode_batch_frame_into`] for the layout).
+/// The sequence number counts DATA/BATCH frames per directed link from
+/// 0 over the whole run, letting receivers detect loss (a gap),
+/// discard duplicates, and reorder delayed frames; the CRC turns any
+/// in-flight bit corruption into a typed [`CodecError::Checksum`]
+/// instead of a silent mis-decode.
 pub const FRAME_HEADER_BYTES: usize = 21;
 
 /// Header byte count covered by the CRC (everything before the CRC
@@ -261,6 +368,12 @@ pub const FRAME_KIND_DATA: u8 = 0;
 /// payload is the first sequence number the receiver is still missing
 /// (see [`encode_nack_frame`]).
 pub const FRAME_KIND_NACK: u8 = 1;
+
+/// `kind` byte of a frame batching every message a (link, round) pair
+/// queued behind one header (see [`encode_batch_frame_into`]). This is
+/// the only data kind the distributed engine ships; per-message DATA
+/// frames remain for callers that frame a single message directly.
+pub const FRAME_KIND_BATCH: u8 = 2;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup
 /// table, built at compile time.
@@ -313,17 +426,27 @@ pub struct FrameView<'a> {
     pub kind: u8,
 }
 
-/// Assembles a frame from its parts, computing the CRC.
-fn build_frame(payload: &[u8], bits: u64, seq: u32, kind: u8) -> Vec<u8> {
+/// Assembles a frame from its parts into `frame` (cleared first),
+/// computing the CRC. The buffer-reuse primitive behind every
+/// `*_into` encoder: a caller that keeps the `Vec` around pays one
+/// allocation for the lifetime of the link, not one per frame.
+fn build_frame_into(payload: &[u8], bits: u64, seq: u32, kind: u8, frame: &mut Vec<u8>) {
     debug_assert_eq!(payload.len() as u64, bits.div_ceil(8));
-    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame.clear();
+    frame.reserve(FRAME_HEADER_BYTES + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&bits.to_le_bytes());
     frame.extend_from_slice(&seq.to_le_bytes());
     frame.push(kind);
-    let crc = crc32(&[&frame, payload]);
+    let crc = crc32(&[frame.as_slice(), payload]);
     frame.extend_from_slice(&crc.to_le_bytes());
     frame.extend_from_slice(payload);
+}
+
+/// Assembles a frame from its parts, computing the CRC.
+fn build_frame(payload: &[u8], bits: u64, seq: u32, kind: u8) -> Vec<u8> {
+    let mut frame = Vec::new();
+    build_frame_into(payload, bits, seq, kind, &mut frame);
     frame
 }
 
@@ -371,6 +494,118 @@ pub fn decode_payload<T: WireCodec>(view: &FrameView<'_>) -> Result<T, CodecErro
     Ok(msg)
 }
 
+/// Per-batch byte accounting returned by [`encode_batch_frame_into`],
+/// folded into the engine's [`crate::WireReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Exact payload bits written: the count varint plus every
+    /// `(bit-length varint, message bits)` record.
+    pub payload_bits: u64,
+    /// `Σ ⌈bitsᵢ/8⌉` over the batched messages — the payload bytes the
+    /// same messages would have occupied framed one per message, kept
+    /// so batching can be compared against per-message framing without
+    /// re-deriving message sizes.
+    pub solo_payload_bytes: u64,
+}
+
+/// Encodes `msgs` into one BATCH frame: after the standard header
+/// ([`FRAME_HEADER_BYTES`], with `bits` = total batch payload bits),
+/// the payload is a message-count varint followed by one record per
+/// message — its logical bit-length as a varint, then its
+/// [`WireCodec::encode`] bits — packed back to back with no padding
+/// between records.
+///
+/// `scratch` and `frame` are caller-owned reusable buffers (cleared
+/// here): the distributed engine keeps one of each per worker, so a
+/// whole round of sends allocates nothing on the encode side beyond
+/// the frame the channel takes ownership of.
+///
+/// # Panics
+/// If `msgs` is empty (the engine never ships an empty batch — an
+/// inactive link simply sends no frame) or if any message's `encode`
+/// disagrees with its [`WireSize::bits`] claim.
+pub fn encode_batch_frame_into<M: WireCodec>(
+    msgs: &[M],
+    seq: u32,
+    scratch: &mut BitWriter,
+    frame: &mut Vec<u8>,
+) -> BatchStats {
+    assert!(
+        !msgs.is_empty(),
+        "a batch frame carries at least one message"
+    );
+    scratch.clear();
+    scratch.put_varint(msgs.len() as u64);
+    let mut solo_payload_bytes = 0u64;
+    for msg in msgs {
+        let claimed = msg.bits().max(1);
+        solo_payload_bytes += claimed.div_ceil(8);
+        scratch.put_varint(claimed);
+        let before = scratch.bit_len();
+        msg.encode(scratch);
+        assert_eq!(
+            scratch.bit_len() - before,
+            claimed,
+            "WireCodec/WireSize mismatch for {}: encoded {} bits, claims {claimed}",
+            std::any::type_name::<M>(),
+            scratch.bit_len() - before,
+        );
+    }
+    let payload_bits = scratch.bit_len();
+    build_frame_into(scratch.bytes(), payload_bits, seq, FRAME_KIND_BATCH, frame);
+    BatchStats {
+        payload_bits,
+        solo_payload_bytes,
+    }
+}
+
+/// Decodes a validated BATCH frame, invoking `sink(message,
+/// logical_bits)` for each record in order. Each message decodes
+/// straight out of the frame's payload through a borrowed sub-reader
+/// ([`BitReader::sub`]) — no intermediate per-message buffer — and
+/// must consume its record exactly. Returns the message count.
+///
+/// # Errors
+/// [`CodecError::Frame`] if the view is not a BATCH frame;
+/// [`CodecError::Invalid`] on a zero or impossible count or record
+/// length; any [`CodecError`] a message decoder raises.
+pub fn decode_batch<M: WireCodec>(
+    view: &FrameView<'_>,
+    mut sink: impl FnMut(M, u64),
+) -> Result<u64, CodecError> {
+    if view.kind != FRAME_KIND_BATCH {
+        return Err(CodecError::Frame {
+            reason: format!("expected a BATCH frame, got kind {}", view.kind),
+        });
+    }
+    let mut r = BitReader::new(view.payload, view.bits)?;
+    let count = r.take_varint()?;
+    // Every record is ≥ 9 bits (an 8-bit length varint plus ≥ 1
+    // payload bit), so a count beyond the remaining bits is
+    // unconditionally bogus; zero-message batches are never encoded.
+    if count == 0 || count > r.remaining() {
+        return Err(CodecError::Invalid {
+            what: "batch message count",
+            value: count,
+        });
+    }
+    for _ in 0..count {
+        let bits = r.take_varint()?;
+        if bits == 0 {
+            return Err(CodecError::Invalid {
+                what: "batched message bit length",
+                value: 0,
+            });
+        }
+        let mut record = r.sub(bits)?;
+        let msg = M::decode(&mut record)?;
+        record.finish()?;
+        sink(msg, bits);
+    }
+    r.finish()?;
+    Ok(count)
+}
+
 /// Serialization contract for messages that cross the distributed
 /// engine's byte channels.
 ///
@@ -413,6 +648,19 @@ pub trait WireCodec: WireSize + Sized {
     /// If `encode` wrote a different number of bits than
     /// [`WireSize::bits`] claims.
     fn encode_frame_seq(&self, seq: u32) -> Vec<u8> {
+        let mut frame = Vec::new();
+        self.encode_frame_into(seq, &mut frame);
+        frame
+    }
+
+    /// [`WireCodec::encode_frame_seq`] into a caller-owned buffer
+    /// (cleared first) — the buffer-reuse form for callers framing
+    /// many messages that don't want one fresh `Vec` per frame.
+    ///
+    /// # Panics
+    /// If `encode` wrote a different number of bits than
+    /// [`WireSize::bits`] claims.
+    fn encode_frame_into(&self, seq: u32, frame: &mut Vec<u8>) {
         let claimed = self.bits().max(1);
         let mut w = BitWriter::new();
         self.encode(&mut w);
@@ -424,7 +672,7 @@ pub trait WireCodec: WireSize + Sized {
             w.bit_len(),
             claimed
         );
-        build_frame(&w.into_bytes(), claimed, seq, FRAME_KIND_DATA)
+        build_frame_into(&w.into_bytes(), claimed, seq, FRAME_KIND_DATA, frame);
     }
 
     /// Parses a DATA frame produced by [`WireCodec::encode_frame`],
@@ -484,7 +732,7 @@ pub fn split_frame(frame: &[u8]) -> Result<FrameView<'_>, CodecError> {
             reason: format!("{bits} logical bits inconsistent with {payload_len} payload bytes"),
         });
     }
-    if kind != FRAME_KIND_DATA && kind != FRAME_KIND_NACK {
+    if kind != FRAME_KIND_DATA && kind != FRAME_KIND_NACK && kind != FRAME_KIND_BATCH {
         return Err(CodecError::Frame {
             reason: format!("unknown frame kind {kind}"),
         });
@@ -795,6 +1043,165 @@ mod tests {
     }
 
     #[test]
+    fn varints_roundtrip_and_size_as_claimed() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::MAX] {
+            let mut w = BitWriter::new();
+            w.put_varint(v);
+            assert_eq!(w.bit_len(), varint_bits(v), "width claim for {v}");
+            let len = w.bit_len();
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes, len).unwrap();
+            assert_eq!(r.take_varint().unwrap(), v);
+            r.finish().unwrap();
+        }
+        assert_eq!(varint_bits(0), 8);
+        assert_eq!(varint_bits(127), 8);
+        assert_eq!(varint_bits(128), 16);
+        assert_eq!(varint_bits(u64::MAX), 80);
+    }
+
+    #[test]
+    fn varint_decoding_rejects_overflow_and_truncation() {
+        // Ten groups all-continuing, then one more: > 64 bits of value.
+        let mut w = BitWriter::new();
+        for _ in 0..10 {
+            w.put(0xFF, 8);
+        }
+        w.put(0x01, 8);
+        let len = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, len).unwrap();
+        assert!(matches!(r.take_varint(), Err(CodecError::Invalid { .. })));
+        // A continuation group at the end of the frame.
+        let mut w = BitWriter::new();
+        w.put(0x80, 8);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, 8).unwrap();
+        assert!(matches!(r.take_varint(), Err(CodecError::OutOfBits { .. })));
+    }
+
+    #[test]
+    fn sub_readers_window_unaligned_records() {
+        // 3 bits, then a 7-bit record, then 6 bits — none byte-aligned.
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0x55, 7);
+        w.put(0x2A, 6);
+        let len = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, len).unwrap();
+        assert_eq!(r.take(3).unwrap(), 0b101);
+        let mut record = r.sub(7).unwrap();
+        assert_eq!(record.remaining(), 7, "a sub-reader sees only its window");
+        assert_eq!(record.take(7).unwrap(), 0x55);
+        record.finish().unwrap();
+        assert_eq!(r.remaining(), 6, "the parent advanced past the window");
+        assert_eq!(r.take(6).unwrap(), 0x2A);
+        r.finish().unwrap();
+        // Oversized windows are refused.
+        let mut r = BitReader::new(&bytes, len).unwrap();
+        assert!(matches!(r.sub(len + 1), Err(CodecError::OutOfBits { .. })));
+    }
+
+    #[test]
+    fn batch_frames_roundtrip_with_exact_accounting() {
+        // Mixed sizes: empty Raw (1-bit clamp), small, and multi-byte.
+        let msgs = vec![
+            Raw::from_vec(vec![]),
+            Raw::from_vec(vec![7]),
+            Raw::from_vec(vec![1, 2, 3, 4, 5]),
+        ];
+        let mut scratch = BitWriter::new();
+        let mut frame = Vec::new();
+        let stats = encode_batch_frame_into(&msgs, 42, &mut scratch, &mut frame);
+        // count(8) + [8+1] + [8+8] + [8+40] bits.
+        assert_eq!(stats.payload_bits, 8 + 9 + 16 + 48);
+        assert_eq!(stats.solo_payload_bytes, 1 + 1 + 5);
+        let view = split_frame(&frame).unwrap();
+        assert_eq!(view.kind, FRAME_KIND_BATCH);
+        assert_eq!(view.seq, 42);
+        assert_eq!(view.bits, stats.payload_bits);
+        assert_eq!(view.payload.len() as u64, stats.payload_bits.div_ceil(8));
+        let mut got = Vec::new();
+        let n = decode_batch::<Raw>(&view, |msg, bits| got.push((msg, bits))).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(
+            got,
+            vec![
+                (Raw::from_vec(vec![]), 1),
+                (Raw::from_vec(vec![7]), 8),
+                (Raw::from_vec(vec![1, 2, 3, 4, 5]), 40),
+            ]
+        );
+        // Buffer reuse: a second batch through the same scratch/frame
+        // pair is self-contained.
+        let stats2 = encode_batch_frame_into(&msgs[..1], 43, &mut scratch, &mut frame);
+        assert_eq!(stats2.payload_bits, 8 + 9);
+        let view = split_frame(&frame).unwrap();
+        assert_eq!(view.seq, 43);
+        assert_eq!(
+            decode_batch::<Raw>(&view, |_, _| ()).unwrap(),
+            1,
+            "stale bytes from the previous batch must not leak"
+        );
+    }
+
+    #[test]
+    fn batch_decoding_rejects_malformed_batches() {
+        let msgs = vec![0xAAu8, 0xBB];
+        let mut scratch = BitWriter::new();
+        let mut frame = Vec::new();
+        encode_batch_frame_into(&msgs, 0, &mut scratch, &mut frame);
+        let view = split_frame(&frame).unwrap();
+        // Kind confusion: a batch is not a DATA frame and vice versa.
+        assert!(matches!(
+            u8::decode_frame(&frame),
+            Err(CodecError::Frame { .. })
+        ));
+        assert!(matches!(
+            decode_batch::<u8>(&split_frame(&0xAAu8.encode_frame()).unwrap(), |_, _| ()),
+            Err(CodecError::Frame { .. })
+        ));
+        // A count the payload cannot possibly hold.
+        let mut w = BitWriter::new();
+        w.put_varint(100);
+        let bits = w.bit_len();
+        let bad = build_frame(w.bytes(), bits, 0, FRAME_KIND_BATCH);
+        assert!(matches!(
+            decode_batch::<u8>(&split_frame(&bad).unwrap(), |_, _| ()),
+            Err(CodecError::Invalid { .. })
+        ));
+        // A record length that overruns the batch.
+        let mut w = BitWriter::new();
+        w.put_varint(1);
+        w.put_varint(64);
+        w.put(0, 8);
+        let bits = w.bit_len();
+        let bad = build_frame(w.bytes(), bits, 0, FRAME_KIND_BATCH);
+        assert!(matches!(
+            decode_batch::<u8>(&split_frame(&bad).unwrap(), |_, _| ()),
+            Err(CodecError::OutOfBits { .. })
+        ));
+        // The engine never ships an empty batch.
+        let _ = view;
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one message")]
+    fn empty_batches_are_refused_at_the_encoder() {
+        let mut scratch = BitWriter::new();
+        let mut frame = Vec::new();
+        encode_batch_frame_into::<u8>(&[], 0, &mut scratch, &mut frame);
+    }
+
+    #[test]
+    fn encode_frame_into_reuses_its_buffer() {
+        let mut frame = vec![0xFF; 64]; // stale garbage to overwrite
+        0xDEAD_BEEFu32.encode_frame_into(7, &mut frame);
+        assert_eq!(frame, 0xDEAD_BEEFu32.encode_frame_seq(7));
+    }
+
+    #[test]
     fn vec_rejects_bogus_length() {
         // A frame claiming 2^32-1 elements in 32 bits of payload.
         let mut w = BitWriter::new();
@@ -858,6 +1265,60 @@ mod tests {
             let view = split_frame(&frame).unwrap();
             prop_assert_eq!(view.seq, seq);
             prop_assert_eq!(decode_payload::<Vec<u64>>(&view).unwrap(), v);
+        }
+
+        // Satellite contract: batch round-trips over random message
+        // mixes — counts, sizes (including the empty-payload clamp),
+        // and contents all survive, zero-copy, in order.
+        #[test]
+        fn batches_roundtrip_any_message_mix(
+            payloads in collection::vec(collection::vec(0u8..=255, 0..40), 1..30),
+            seq in 0u32..=u32::MAX,
+        ) {
+            let msgs: Vec<Raw> = payloads.iter().cloned().map(Raw::from_vec).collect();
+            let mut scratch = BitWriter::new();
+            let mut frame = Vec::new();
+            let stats = encode_batch_frame_into(&msgs, seq, &mut scratch, &mut frame);
+            let view = split_frame(&frame).unwrap();
+            prop_assert_eq!(view.seq, seq);
+            prop_assert_eq!(view.bits, stats.payload_bits);
+            let mut got = Vec::new();
+            let n = decode_batch::<Raw>(&view, |msg, bits| got.push((msg, bits))).unwrap();
+            prop_assert_eq!(n as usize, msgs.len());
+            for ((back, bits), msg) in got.iter().zip(&msgs) {
+                prop_assert_eq!(back, msg);
+                prop_assert_eq!(*bits, msg.bits().max(1));
+            }
+        }
+
+        // Satellite contract: flip ANY single bit anywhere in a batch
+        // frame — header, count, a record length, or any message's
+        // payload — and the frame is rejected, never partially
+        // absorbed.
+        #[test]
+        fn any_single_bit_flip_in_a_batch_is_detected(
+            payloads in collection::vec(collection::vec(0u8..=255, 0..12), 1..10),
+            seq in 0u32..=u32::MAX,
+            flip in 0usize..10_000,
+        ) {
+            let msgs: Vec<Raw> = payloads.iter().cloned().map(Raw::from_vec).collect();
+            let mut scratch = BitWriter::new();
+            let mut frame = Vec::new();
+            encode_batch_frame_into(&msgs, seq, &mut scratch, &mut frame);
+            let bit = flip % (frame.len() * 8);
+            let mut bad = frame.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            let mut sunk = 0u64;
+            let rejected = match split_frame(&bad) {
+                Err(_) => true,
+                Ok(view) => decode_batch::<Raw>(&view, |_, _| sunk += 1).is_err(),
+            };
+            prop_assert!(
+                rejected,
+                "bit {bit} flipped in a {}-byte batch frame decoded silently",
+                frame.len()
+            );
+            prop_assert_eq!(sunk, 0, "a corrupted batch must not leak messages");
         }
 
         #[test]

@@ -4,10 +4,14 @@
 //! boundary* of [`crate::DistributedEngine`]: every physical frame
 //! transmission on a directed link may be dropped, duplicated,
 //! bit-corrupted, or delayed, and one machine may crash at the start
-//! of a chosen round. Decisions are pure functions of
-//! `(seed, src, dst, attempt)` — the same plan against the same
-//! schedule of physical sends injects the same faults, so chaos tests
-//! are replayable.
+//! of a chosen round. Since the engine batches each (link, round)'s
+//! messages into one frame, the rates are per *batch* frame — one
+//! dropped fate now takes out every message the batch carried, and one
+//! retransmission replays them all — so a given rate hits fewer,
+//! bigger targets than under the old one-frame-per-message wire.
+//! Decisions are pure functions of `(seed, src, dst, attempt)` — the
+//! same plan against the same schedule of physical sends injects the
+//! same faults, so chaos tests are replayable.
 //!
 //! The plan deliberately lives *outside* [`crate::NetConfig`]: faults
 //! perturb the physical wire, not the logical protocol, and the

@@ -87,30 +87,44 @@ impl Metrics {
 /// cross-engine bit-identity guarantee, which covers output, metrics,
 /// and config.
 ///
-/// The logical/measured gap has exactly two sources, both mechanical:
-/// every frame pays a fixed header
-/// ([`crate::codec::FRAME_HEADER_BYTES`]: length, bit claim, sequence
-/// number, kind, CRC-32), and every payload is padded to a whole byte
-/// (`⌈bits/8⌉`). The *payload bits before padding* equal
-/// `logical_bits` by construction —
-/// [`crate::codec::WireCodec::encode_frame`] asserts it per message —
-/// so `wire_vs_logical` quantifies pure framing overhead, not any
-/// disagreement about message content.
+/// Each frame batches every message a (link, round) pair queued (see
+/// [`crate::codec::encode_batch_frame_into`]), so the logical/measured
+/// gap has exactly three sources, all mechanical: each *batch* pays
+/// one fixed header ([`crate::codec::FRAME_HEADER_BYTES`]: length, bit
+/// count, sequence number, kind, CRC-32); each batch payload carries a
+/// count varint plus a per-message bit-length varint (`record_bits`);
+/// and each batch payload is padded to a whole byte (`⌈bits/8⌉`). The
+/// message bits themselves equal `logical_bits` by construction — the
+/// batch encoder asserts it per message — so `wire_vs_logical`
+/// quantifies pure framing overhead, not any disagreement about
+/// message content.
 ///
 /// Under fault injection ([`crate::faults::FaultPlan`]) the recovery
 /// layer's extra traffic lands in the `retransmit_*`/`nack_*`
 /// counters — *never* in `frames`/`frame_bytes` (which keep counting
-/// one frame per logical link message, preserving
-/// `frames == Metrics::total_msgs()`) and never in the logical
+/// one frame per active link per round, preserving
+/// `messages == Metrics::total_msgs()`) and never in the logical
 /// [`Metrics`]. On a fault-free run all four are zero.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct WireReport {
-    /// Frames shipped over byte channels (one per link message).
+    /// Batch frames shipped over byte channels — one per (link, round)
+    /// pair with queued traffic, *not* one per message.
     pub frames: u64,
+    /// Logical link messages carried inside those frames; equals
+    /// `Metrics::total_msgs()` of the same run.
+    pub messages: u64,
     /// Total frame bytes including headers.
     pub frame_bytes: u64,
     /// Total payload bytes (frames minus headers).
     pub payload_bytes: u64,
+    /// Exact payload bits before byte padding: message bits plus the
+    /// count and bit-length varints of every batch.
+    pub payload_bits: u64,
+    /// `Σ ⌈bitsᵢ/8⌉` over all framed messages — the payload bytes the
+    /// same traffic would occupy framed one message per frame. The
+    /// baseline for the batching-vs-per-message comparisons in the
+    /// wire benches.
+    pub msg_payload_bytes: u64,
     /// Total logical bits ([`crate::WireSize`]) of the framed messages;
     /// equals `Metrics::total_bits()` of the same run.
     pub logical_bits: u64,
@@ -136,9 +150,35 @@ impl WireReport {
         (self.frame_bytes - self.payload_bytes) * 8
     }
 
-    /// Bits lost to byte-aligning each payload (`⌈bits/8⌉` padding).
+    /// Bits spent on batch bookkeeping inside payloads: the
+    /// message-count varint and per-message bit-length varints.
+    pub fn record_bits(&self) -> u64 {
+        self.payload_bits - self.logical_bits
+    }
+
+    /// Bits lost to byte-aligning each batch payload (`⌈bits/8⌉`
+    /// padding) — at most 7 per frame.
     pub fn padding_bits(&self) -> u64 {
-        self.payload_bytes * 8 - self.logical_bits
+        self.payload_bytes * 8 - self.payload_bits
+    }
+
+    /// Average messages per batch frame (0.0 when nothing was sent) —
+    /// the batching win in one number: the 21-byte header is amortized
+    /// over this many messages.
+    pub fn msgs_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        self.messages as f64 / self.frames as f64
+    }
+
+    /// What the same traffic would have measured framed one message
+    /// per frame with `header_bytes` of header each — the baseline the
+    /// wire benches compare batching against (12 bytes for the PR 6
+    /// header, [`crate::codec::FRAME_HEADER_BYTES`] for the PR 8
+    /// self-healing one).
+    pub fn solo_framing_bits(&self, header_bytes: u64) -> u64 {
+        (self.msg_payload_bytes + header_bytes * self.messages) * 8
     }
 
     /// The headline ratio: measured frame bits over logical bits
@@ -190,12 +230,17 @@ mod tests {
 
     #[test]
     fn wire_report_arithmetic() {
-        // 3 frames of 21-byte headers; 10 payload bytes carrying 75
-        // logical bits (5 bits of byte padding).
+        // 3 batch frames of 21-byte headers carrying 6 messages; 10
+        // payload bytes holding 77 exact payload bits (3 of byte
+        // padding), of which 75 are logical message bits (2 are
+        // varint records).
         let w = WireReport {
             frames: 3,
+            messages: 6,
             frame_bytes: 73,
             payload_bytes: 10,
+            payload_bits: 77,
+            msg_payload_bytes: 12,
             logical_bits: 75,
             retransmit_frames: 2,
             retransmit_bytes: 50,
@@ -204,11 +249,18 @@ mod tests {
         };
         assert_eq!(w.measured_bits(), 73 * 8);
         assert_eq!(w.header_bits(), 63 * 8);
-        assert_eq!(w.padding_bits(), 5);
+        assert_eq!(w.record_bits(), 2);
+        assert_eq!(w.padding_bits(), 3);
+        assert!((w.msgs_per_frame() - 2.0).abs() < 1e-12);
         assert!((w.wire_vs_logical() - (73.0 * 8.0) / 75.0).abs() < 1e-12);
         assert_eq!(w.recovery_bytes(), 75);
+        // Per-message framing baselines: payload bytes plus one header
+        // per message.
+        assert_eq!(w.solo_framing_bits(12), (12 + 12 * 6) * 8);
+        assert_eq!(w.solo_framing_bits(21), (12 + 21 * 6) * 8);
         let idle = WireReport::default();
         assert_eq!(idle.wire_vs_logical(), 0.0);
+        assert_eq!(idle.msgs_per_frame(), 0.0);
         assert_eq!(idle.recovery_bytes(), 0);
     }
 

@@ -108,5 +108,17 @@ fn k64_jittered_workers_stay_in_lockstep_and_fifo() {
 
     let wire = dist.wire.expect("distributed runs report wire");
     assert_eq!(wire.logical_bits, seq.metrics.total_bits());
-    assert_eq!(wire.frames, sent, "one frame per link message");
+    assert_eq!(
+        wire.messages, sent,
+        "every link message framed exactly once"
+    );
+    // Batching: at most one frame per (link, round) with traffic —
+    // never more frames than messages, and with 3 sends per machine
+    // per round over 64² links, strictly fewer whenever two sends
+    // share a destination.
+    assert!(
+        wire.frames <= sent,
+        "batching must not split messages across extra frames"
+    );
+    assert!(wire.msgs_per_frame() >= 1.0);
 }

@@ -53,19 +53,23 @@ fn main() {
         seq.metrics.rounds
     );
 
-    // What the wires saw: every frame pays a fixed header and whole-byte
-    // padding; the payload bits themselves equal the logical transcript.
+    // What the wires saw: each (link, round) ships one batch frame, so
+    // the fixed header is amortized over every message it carries; the
+    // message bits themselves equal the logical transcript.
     let wire = dist.wire.expect("distributed runs report wire traffic");
     println!(
-        "wire: {} frames, {} measured bits vs {} logical bits ({:.3}x)",
+        "wire: {} messages in {} batch frames ({:.1} msgs/frame), {} measured bits vs {} logical bits ({:.3}x)",
+        wire.messages,
         wire.frames,
+        wire.msgs_per_frame(),
         wire.measured_bits(),
         wire.logical_bits,
         wire.wire_vs_logical()
     );
     println!(
-        "      overhead: {} header bits + {} padding bits",
+        "      overhead: {} header bits + {} batch-record bits + {} padding bits",
         wire.header_bits(),
+        wire.record_bits(),
         wire.padding_bits()
     );
     assert_eq!(wire.logical_bits, dist.metrics.total_bits());

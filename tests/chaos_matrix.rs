@@ -66,9 +66,13 @@ where
     );
     let wire = dist.wire.expect("distributed runs report wire traffic");
     assert_eq!(
-        wire.frames,
+        wire.messages,
         dist.metrics.total_msgs(),
-        "one frame per logical message, whatever the adversary did"
+        "every logical message framed exactly once, whatever the adversary did"
+    );
+    assert!(
+        wire.frames <= wire.messages,
+        "one batch frame per active link-round, never more frames than messages"
     );
     assert_eq!(wire.logical_bits, dist.metrics.total_bits());
     if plan == FaultPlan::default() {

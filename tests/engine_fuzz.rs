@@ -154,7 +154,16 @@ proptest! {
         prop_assert_eq!(wire.logical_bits, seq.metrics.total_bits());
         prop_assert!(wire.measured_bits() >= wire.logical_bits);
         let link_msgs: u64 = seq.metrics.sent_msgs.iter().sum();
-        prop_assert_eq!(wire.frames, link_msgs, "one frame per link message");
+        prop_assert_eq!(
+            wire.messages,
+            link_msgs,
+            "every link message framed exactly once"
+        );
+        prop_assert!(
+            wire.frames <= link_msgs,
+            "one batch frame per active link-round, never more frames than messages"
+        );
+        prop_assert!((wire.frames == 0) == (link_msgs == 0));
     }
 
     /// The round-limit safety valve fires identically on every engine:
