@@ -1,0 +1,110 @@
+//! `km-check` — schedule-exploring model checker for the distributed
+//! engine.
+//!
+//! ```text
+//! km-check [--schedules N] [--seed S]        explore the full matrix
+//! km-check --replay <config>/<seed>:<index>  re-run one failing schedule
+//! km-check --list                            print the matrix cells
+//! ```
+//!
+//! Schedules per configuration default to `KM_CHECK_SCHEDULES` (96 when
+//! unset); any failing schedule prints a replay handle and exits 1.
+
+use crossbeam::model::ScheduleId;
+use km_check::{matrix, model_config, replay_one, run_matrix, schedules_from_env};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: km-check [--schedules N] [--seed S] [--replay <config>/<seed>:<index>] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("km-check: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut schedules: Option<u64> = None;
+    let mut seed: u64 = 0;
+    let mut replay: Option<String> = None;
+    let mut list = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--schedules" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => schedules = Some(n),
+                    _ => fail(&format!("--schedules expects a positive count, got {v:?}")),
+                }
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match v.parse::<u64>() {
+                    Ok(s) => seed = s,
+                    Err(_) => fail(&format!("--seed expects an integer, got {v:?}")),
+                }
+            }
+            "--replay" => replay = Some(args.next().unwrap_or_else(|| usage())),
+            "--list" => list = true,
+            "--help" | "-h" => usage(),
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if list {
+        for cfg in matrix() {
+            println!("{}", cfg.name);
+        }
+        return;
+    }
+
+    let schedules = match schedules {
+        Some(n) => n,
+        None => schedules_from_env().unwrap_or_else(|e| fail(&e)),
+    };
+
+    if let Some(handle) = replay {
+        // Handle shape: <config>/<seed>:<index>, as printed on failure.
+        let Some((name, id)) = handle.split_once('/') else {
+            fail(&format!(
+                "--replay expects <config>/<seed>:<index>, got {handle:?}"
+            ));
+        };
+        let Some(id) = ScheduleId::parse(id) else {
+            fail(&format!("--replay: malformed schedule id in {handle:?}"));
+        };
+        let Some(cfg) = matrix().into_iter().find(|c| c.name == name) else {
+            fail(&format!(
+                "--replay: unknown config {name:?} (see km-check --list)"
+            ));
+        };
+        match replay_one(&cfg, &model_config(id.seed, schedules), id) {
+            Ok(_) => println!("schedule {id} of {name} passes"),
+            Err(failure) => {
+                eprintln!(
+                    "config {name} schedule {}: {}",
+                    failure.schedule, failure.violation
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    match run_matrix(seed, schedules) {
+        Ok(outcome) => {
+            println!(
+                "km-check: {} schedules across {} configs passed (max {} decision points; {} schedules/config, seed {seed})",
+                outcome.total_schedules, outcome.configs, outcome.max_decision_points, schedules
+            );
+        }
+        Err(failure) => {
+            eprintln!("km-check: FAILED\n{failure}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The checker must *catch* bugs, not just bless the shipped engine.
+//!
+//! This test re-introduces the classic barrier ordering bug the
+//! engine's design rules out — a worker acknowledging the round
+//! barrier *before* draining its owed inbox frames — in a miniature
+//! coordinator/worker harness built from the same shim primitives the
+//! engine uses, and asserts the explorer finds the losing interleaving
+//! within the CI schedule budget. The corrected ordering must pass the
+//! same budget, and the failing schedule must replay bit-for-bit.
+
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use crossbeam::model::{explore, replay, ModelConfig, Violation};
+use crossbeam::thread;
+use crossbeam::utils::Backoff;
+
+const ROUNDS: u64 = 2;
+const K: usize = 2;
+
+struct Worker {
+    cmd_rx: Receiver<u64>,
+    done_tx: Sender<()>,
+    peer_tx: Sender<u64>,
+    peer_rx: Receiver<u64>,
+}
+
+/// One worker of a 2-machine round barrier. Each round it sends one
+/// value to its peer and must end the run having received exactly one
+/// value per round, in round order — the engine's owed-frame contract.
+///
+/// `ack_before_drain` re-introduces the bug: the barrier ack goes out
+/// first and the drain becomes a single opportunistic `try_recv`, so
+/// any schedule where the peer's send lands after the drain loses the
+/// message for good.
+fn worker(me: usize, w: Worker, ack_before_drain: bool) -> Result<(), String> {
+    let mut got: Vec<u64> = Vec::new();
+    for round in 0..ROUNDS {
+        let cmd = w.cmd_rx.recv().map_err(|_| "coordinator gone")?;
+        if cmd != round {
+            return Err(format!("worker {me}: round skew: got {cmd} want {round}"));
+        }
+        w.peer_tx
+            .send(round * 10 + me as u64)
+            .map_err(|_| "peer gone")?;
+        if ack_before_drain {
+            // BUG: barrier ack before the inbox drain.
+            w.done_tx.send(()).map_err(|_| "coordinator gone")?;
+            if let Ok(v) = w.peer_rx.try_recv() {
+                got.push(v);
+            }
+        } else {
+            // Correct ordering: drain everything this round owes us,
+            // then ack the barrier.
+            let backoff = Backoff::new();
+            while got.len() as u64 <= round {
+                match w.peer_rx.try_recv() {
+                    Ok(v) => got.push(v),
+                    Err(TryRecvError::Empty) => backoff.snooze(),
+                    Err(TryRecvError::Disconnected) => return Err("peer hung up".into()),
+                }
+            }
+            w.done_tx.send(()).map_err(|_| "coordinator gone")?;
+        }
+    }
+    // The owed-frame contract: one message per round, in round order.
+    let want: Vec<u64> = (0..ROUNDS).map(|r| r * 10 + (1 - me) as u64).collect();
+    if got != want {
+        return Err(format!(
+            "worker {me}: delivery broke: got {got:?}, want {want:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the miniature barrier under the model: a coordinator task plus
+/// two workers exchanging one message per round over cap-1 channels.
+fn barrier_run(ack_before_drain: bool) -> Result<(), String> {
+    let (cmd0_tx, cmd0_rx) = bounded::<u64>(1);
+    let (cmd1_tx, cmd1_rx) = bounded::<u64>(1);
+    let (done_tx, done_rx) = bounded::<()>(K);
+    // Peer links hold one frame per round so sends never block: the
+    // only way the buggy variant can fail is by *losing* a delivery,
+    // which keeps the violation kind deterministic for the assertions.
+    let (a_tx, a_rx) = bounded::<u64>(ROUNDS as usize);
+    let (b_tx, b_rx) = bounded::<u64>(ROUNDS as usize);
+    let workers = vec![
+        Worker {
+            cmd_rx: cmd0_rx,
+            done_tx: done_tx.clone(),
+            peer_tx: a_tx,
+            peer_rx: b_rx,
+        },
+        Worker {
+            cmd_rx: cmd1_rx,
+            done_tx,
+            peer_tx: b_tx,
+            peer_rx: a_rx,
+        },
+    ];
+    let cmd_txs = [cmd0_tx, cmd1_tx];
+
+    let results = thread::scope(|s| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(me, w)| s.spawn(move |_| worker(me, w, ack_before_drain)))
+            .collect();
+        // Coordinator: release each round to both workers, then wait
+        // for both barrier acks. A worker that already failed drops
+        // its channel ends, so ignore per-send errors and keep going —
+        // the join below surfaces the real failure.
+        for round in 0..ROUNDS {
+            for tx in &cmd_txs {
+                let _ = tx.send(round);
+            }
+            for _ in 0..K {
+                if done_rx.recv().is_err() {
+                    break;
+                }
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(Err("worker panicked".into())))
+            .collect::<Vec<_>>()
+    })
+    .unwrap_or_else(|_| unreachable!("worker panics are joined above"));
+    for r in results {
+        r?;
+    }
+    Ok(())
+}
+
+fn budget() -> ModelConfig {
+    ModelConfig {
+        seed: 3,
+        schedules: 512,
+        dfs_depth: 18,
+        max_steps: 50_000,
+    }
+}
+
+#[test]
+fn correct_barrier_ordering_survives_the_schedule_budget() {
+    let report = explore(&budget(), || barrier_run(false)).unwrap_or_else(|failure| {
+        panic!("correct ordering must pass every schedule, but: {failure}")
+    });
+    assert_eq!(report.schedules, 512);
+    assert!(report.max_decision_points > 0, "schedules must branch");
+}
+
+#[test]
+fn ack_before_drain_is_caught_within_budget_and_replays() {
+    let failure = explore(&budget(), || barrier_run(true))
+        .expect_err("the checker must find the lost delivery");
+    match &failure.violation {
+        Violation::Check { message } => {
+            assert!(message.contains("delivery broke"), "{message}");
+        }
+        other => panic!("expected a Check violation, got {other}"),
+    }
+    // The printed handle replays to the identical violation.
+    let replayed = replay(&budget(), failure.schedule, || barrier_run(true))
+        .expect_err("replay must reproduce the violation");
+    assert_eq!(replayed.schedule, failure.schedule);
+    assert_eq!(replayed.violation, failure.violation);
+}

@@ -146,6 +146,7 @@ impl BitWriter {
             }
             let take = (8 - bit_off).min(w);
             let mask = (1u64 << take) - 1;
+            // lint: allow(panic) — a byte was pushed in the branch above when bit_off == 0
             *self.buf.last_mut().expect("pushed above") |= ((v & mask) as u8) << bit_off;
             v >>= take;
             self.len_bits += u64::from(take);
@@ -479,6 +480,7 @@ pub fn decode_nack(view: &FrameView<'_>) -> Result<u32, CodecError> {
         });
     }
     Ok(u32::from_le_bytes(
+        // lint: allow(panic) — payload length is checked to be exactly 4 just above
         view.payload.try_into().expect("4 bytes"),
     ))
 }
@@ -709,13 +711,17 @@ pub fn split_frame(frame: &[u8]) -> Result<FrameView<'_>, CodecError> {
             ),
         });
     }
+    // lint: allow(panic) — fixed-width subslice of a frame whose length was checked above
     let payload_len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes")) as usize;
+    // lint: allow(panic) — fixed-width subslice of a frame whose length was checked above
     let bits = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+    // lint: allow(panic) — fixed-width subslice of a frame whose length was checked above
     let seq = u32::from_le_bytes(frame[12..16].try_into().expect("4 bytes"));
     let kind = frame[16];
     let expected = u32::from_le_bytes(
         frame[FRAME_CRC_OFFSET..FRAME_HEADER_BYTES]
             .try_into()
+            // lint: allow(panic) — fixed-width subslice of a frame whose length was checked above
             .expect("4 bytes"),
     );
     let payload = &frame[FRAME_HEADER_BYTES..];
@@ -764,6 +770,7 @@ pub fn assert_roundtrip<T: WireCodec + PartialEq + fmt::Debug>(value: &T) {
         FRAME_HEADER_BYTES + value.bits().max(1).div_ceil(8) as usize,
         "frame length must match the WireSize claim for {value:?}"
     );
+    // lint: allow(panic) — assert_roundtrip is a test-assertion helper; failing loud is its job
     let (back, bits) = T::decode_frame(&frame).expect("decode");
     assert_eq!(&back, value, "decode(encode(v)) != v");
     assert_eq!(bits, value.bits().max(1), "frame bit count for {value:?}");

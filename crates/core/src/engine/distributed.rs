@@ -113,6 +113,7 @@ use crate::protocol::{Protocol, RoundCtx, Status};
 use crate::rng;
 use crate::MachineIdx;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use crossbeam::utils::Backoff;
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -131,13 +132,50 @@ const LINK_CHANNEL_FRAMES: usize = 4;
 /// machine may stay silent at a round barrier before the run fails
 /// with [`EngineError::MachineLost`]. Generous because a legitimate
 /// protocol round may compute for a while; fault tests lower it via
-/// [`FaultPlan::barrier_timeout_ms`].
+/// [`FaultPlan::barrier_timeout_ms`] and slow CI can raise it through
+/// [`BARRIER_TIMEOUT_ENV`].
 pub const DEFAULT_BARRIER_TIMEOUT_MS: u64 = 10_000;
+
+/// Environment override for the barrier timeout: a positive integer of
+/// milliseconds. Parsed hard, like `KM_FAULTS` — a malformed or zero
+/// value fails the run with [`EngineError::InvalidConfig`] instead of
+/// being silently ignored. A [`FaultPlan::barrier_timeout_ms`] set by
+/// the caller still wins over the environment.
+pub const BARRIER_TIMEOUT_ENV: &str = "KM_BARRIER_TIMEOUT_MS";
+
+/// Resolves the effective barrier timeout: explicit plan value, then
+/// [`BARRIER_TIMEOUT_ENV`], then [`DEFAULT_BARRIER_TIMEOUT_MS`].
+fn barrier_timeout(plan: &FaultPlan) -> Result<Duration, EngineError> {
+    let env = std::env::var(BARRIER_TIMEOUT_ENV).ok();
+    barrier_timeout_from(plan, env.as_deref())
+}
+
+/// [`barrier_timeout`] with the environment value passed in, so the
+/// parse rules are testable without planting process-global state.
+fn barrier_timeout_from(plan: &FaultPlan, env: Option<&str>) -> Result<Duration, EngineError> {
+    if plan.barrier_timeout_ms > 0 {
+        return Ok(Duration::from_millis(plan.barrier_timeout_ms));
+    }
+    match env {
+        None => Ok(Duration::from_millis(DEFAULT_BARRIER_TIMEOUT_MS)),
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Ok(Duration::from_millis(ms)),
+            Ok(_) => Err(EngineError::InvalidConfig {
+                reason: format!("{BARRIER_TIMEOUT_ENV} must be a positive number of milliseconds"),
+            }),
+            Err(_) => Err(EngineError::InvalidConfig {
+                reason: format!(
+                    "{BARRIER_TIMEOUT_ENV}: expected a positive number of milliseconds, got {raw:?}"
+                ),
+            }),
+        },
+    }
+}
 
 /// Idle receive polls between NACK rounds while a worker is owed
 /// frames — paces retransmit requests so a lossy link is repaired
 /// without flooding the reverse direction.
-const NACK_IDLE_POLLS: u32 = 64;
+const NACK_IDLE_POLLS: u32 = 16;
 
 enum Cmd {
     /// Run one protocol round and send the staged frames.
@@ -247,6 +285,7 @@ impl<M: WireSize> Inlinks<M> {
         let pos = self
             .active
             .binary_search(&src)
+            // lint: allow(panic) — data-structure invariant: callers only activate a source whose queue was empty
             .expect_err("activated twice without draining");
         self.active.insert(pos, src);
     }
@@ -553,6 +592,7 @@ impl Inwire {
 fn absorb_frame<M: WireCodec>(view: &FrameView<'_>, src: MachineIdx, inl: &mut Inlinks<M>) {
     if view.kind == FRAME_KIND_BATCH {
         decode_batch::<M>(view, |msg, bits| inl.absorb(src, msg, bits)).unwrap_or_else(|e| {
+            // lint: allow(panic) — a CRC-valid frame that fails to decode is a codec bug, not a wire fault; fail loudly
             panic!(
                 "machine {}: undecodable batch frame from machine {src}: {e}",
                 inl.me
@@ -560,6 +600,7 @@ fn absorb_frame<M: WireCodec>(view: &FrameView<'_>, src: MachineIdx, inl: &mut I
         });
     } else {
         let msg: M = decode_payload(view).unwrap_or_else(|e| {
+            // lint: allow(panic) — a CRC-valid frame that fails to decode is a codec bug, not a wire fault; fail loudly
             panic!(
                 "machine {}: undecodable frame from machine {src}: {e}",
                 inl.me
@@ -600,6 +641,7 @@ fn drain_incoming<M: WireCodec>(inw: &mut Inwire, out: &mut Outwire, inl: &mut I
                 };
                 if view.kind == FRAME_KIND_NACK {
                     let from = decode_nack(&view).unwrap_or_else(|e| {
+                        // lint: allow(panic) — a CRC-valid NACK that fails to decode is a codec bug, not a wire fault
                         panic!("machine {}: malformed NACK from {src}: {e}", inl.me)
                     });
                     out.handle_nack(src, from);
@@ -613,6 +655,7 @@ fn drain_incoming<M: WireCodec>(inw: &mut Inwire, out: &mut Outwire, inl: &mut I
                     inw.expect[src] += 1;
                     while let Some(buffered) = inw.ooo[src].remove(&inw.expect[src]) {
                         let v = split_frame(&buffered)
+                            // lint: allow(panic) — buffer invariant: frames are CRC-validated before entering `ooo`
                             .expect("reorder buffer only holds validated frames");
                         absorb_frame(&v, src, inl);
                         inw.expect[src] += 1;
@@ -697,11 +740,7 @@ impl DistributedEngine {
                 });
             }
         }
-        let barrier = Duration::from_millis(if plan.barrier_timeout_ms > 0 {
-            plan.barrier_timeout_ms
-        } else {
-            DEFAULT_BARRIER_TIMEOUT_MS
-        });
+        let barrier = barrier_timeout(&plan)?;
         let k = config.k;
         let shared = rng::shared_seed(config.seed);
 
@@ -788,6 +827,7 @@ impl DistributedEngine {
                             Resp::Sent {
                                 counts: sent_counts,
                             } => *slot = sent_counts,
+                            // lint: allow(panic) — worker protocol invariant: Cmd::Round is always answered by Resp::Sent
                             _ => unreachable!("Round is answered by Sent first"),
                         }
                     }
@@ -810,6 +850,7 @@ impl DistributedEngine {
                                 queued_bits += r.queued_bits;
                                 inboxes_empty &= r.inbox_empty;
                             }
+                            // lint: allow(panic) — worker protocol invariant: Cmd::Deliver is always answered by Resp::Round
                             _ => unreachable!("Deliver is answered by Round"),
                         }
                     }
@@ -855,6 +896,7 @@ impl DistributedEngine {
                 for i in 0..k {
                     match await_resp(&resp_rxs, i, barrier, iterations)? {
                         Resp::Final(f) => finals.push(*f),
+                        // lint: allow(panic) — worker protocol invariant: Cmd::Finish is always answered by Resp::Final
                         _ => unreachable!("Finish yields Final"),
                     }
                 }
@@ -871,6 +913,7 @@ impl DistributedEngine {
             }
             result
         })
+        // lint: allow(panic) — unreachable: every worker body runs under catch_unwind, so the scope's Err arm is never produced
         .expect("scoped workers never propagate panics (caught in the worker)")
     }
 }
@@ -1013,13 +1056,14 @@ fn run_worker<P>(
         // faults are live: a peer's delivery may hinge on our
         // retransmits even after our own round report went out.
         let cmd = if faulty {
+            let backoff = Backoff::new();
             loop {
                 match cmd_rx.try_recv() {
                     Ok(cmd) => break Some(cmd),
                     Err(TryRecvError::Empty) => {
                         drain_incoming(&mut inw, &mut out, &mut inl);
                         out.pump();
-                        std::thread::yield_now();
+                        backoff.snooze();
                     }
                     Err(TryRecvError::Disconnected) => break None,
                 }
@@ -1082,10 +1126,11 @@ fn run_worker<P>(
                     // backpressure cycles — so the barrier proof "all
                     // Sent ⇒ all frames visible" holds with no NACK
                     // machinery in play.
+                    let backoff = Backoff::new();
                     while !out.pending_empty() {
                         out.pump();
                         drain_incoming(&mut inw, &mut out, &mut inl);
-                        std::thread::yield_now();
+                        backoff.snooze();
                     }
                 }
                 if resp_tx
@@ -1099,20 +1144,25 @@ fn run_worker<P>(
                 // Barrier: keep servicing the wire until the
                 // coordinator certifies every peer reported, then
                 // drain until every owed frame is in.
-                let expected = loop {
-                    match cmd_rx.try_recv() {
-                        Ok(Cmd::Deliver { expected }) => break expected,
-                        Ok(Cmd::Abort) => return,
-                        Ok(_) => unreachable!("only Deliver or Abort follows Sent"),
-                        Err(TryRecvError::Empty) => {
-                            drain_incoming(&mut inw, &mut out, &mut inl);
-                            out.pump();
-                            std::thread::yield_now();
+                let expected = {
+                    let backoff = Backoff::new();
+                    loop {
+                        match cmd_rx.try_recv() {
+                            Ok(Cmd::Deliver { expected }) => break expected,
+                            Ok(Cmd::Abort) => return,
+                            // lint: allow(panic) — coordinator protocol invariant: the round state machine sends nothing else here
+                            Ok(_) => unreachable!("only Deliver or Abort follows Sent"),
+                            Err(TryRecvError::Empty) => {
+                                drain_incoming(&mut inw, &mut out, &mut inl);
+                                out.pump();
+                                backoff.snooze();
+                            }
+                            Err(TryRecvError::Disconnected) => return,
                         }
-                        Err(TryRecvError::Disconnected) => return,
                     }
                 };
                 let mut idle_polls: u32 = 0;
+                let backoff = Backoff::new();
                 loop {
                     drain_incoming(&mut inw, &mut out, &mut inl);
                     out.pump();
@@ -1123,6 +1173,7 @@ fn run_worker<P>(
                     // sends nothing else before our round report.
                     match cmd_rx.try_recv() {
                         Ok(Cmd::Abort) => return,
+                        // lint: allow(panic) — coordinator protocol invariant: only Abort can preempt delivery
                         Ok(_) => unreachable!("only Abort can preempt delivery"),
                         Err(TryRecvError::Empty) => {}
                         Err(TryRecvError::Disconnected) => return,
@@ -1136,7 +1187,7 @@ fn run_worker<P>(
                             }
                         }
                     }
-                    std::thread::yield_now();
+                    backoff.snooze();
                 }
                 let any_link_bits = inl.deliver(config.bandwidth_bits, &mut inbox);
                 if resp_tx
@@ -1152,6 +1203,7 @@ fn run_worker<P>(
                     return;
                 }
             }
+            // lint: allow(panic) — coordinator protocol invariant: Deliver is only ever sent after a Round
             Some(Cmd::Deliver { .. }) => unreachable!("Deliver only follows a Round"),
             Some(Cmd::Finish) => break,
             Some(Cmd::Abort) | None => return,
@@ -1537,6 +1589,40 @@ mod tests {
                 s.got, d.got,
                 "per-link FIFO order must survive backpressure"
             );
+        }
+    }
+
+    #[test]
+    fn barrier_timeout_env_is_parsed_hard_and_plan_wins() {
+        // Exercised through `barrier_timeout_from` so no test ever
+        // plants an invalid value in the process-global environment
+        // (the same discipline as `EngineKind::from_env_value`).
+        let plan = FaultPlan::default();
+        assert_eq!(
+            barrier_timeout_from(&plan, None).unwrap(),
+            Duration::from_millis(DEFAULT_BARRIER_TIMEOUT_MS)
+        );
+        assert_eq!(
+            barrier_timeout_from(&plan, Some("2500")).unwrap(),
+            Duration::from_millis(2500)
+        );
+        // An explicit plan timeout always wins over the environment.
+        let fast = FaultPlan {
+            barrier_timeout_ms: 40,
+            ..FaultPlan::default()
+        };
+        assert_eq!(
+            barrier_timeout_from(&fast, Some("2500")).unwrap(),
+            Duration::from_millis(40)
+        );
+        for bad in ["0", "-5", "soon", "10s", ""] {
+            let err = barrier_timeout_from(&plan, Some(bad)).unwrap_err();
+            match &err {
+                EngineError::InvalidConfig { reason } => {
+                    assert!(reason.contains(BARRIER_TIMEOUT_ENV), "{reason}");
+                }
+                other => panic!("expected InvalidConfig for {bad:?}, got {other:?}"),
+            }
         }
     }
 }

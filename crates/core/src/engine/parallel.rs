@@ -150,9 +150,11 @@ impl ParallelEngine {
                                         results,
                                         buffers: inboxes,
                                     })
+                                    // lint: allow(panic) — the master outlives workers: it only drops cmd/resp channels after collecting Final
                                     .expect("master alive");
                             }
                             Cmd::Stop => {
+                                // lint: allow(panic) — the master outlives workers: it only drops cmd/resp channels after collecting Final
                                 resp_tx.send(Resp::Final(local)).expect("master alive");
                                 break;
                             }
@@ -181,6 +183,7 @@ impl ParallelEngine {
                         round: iterations,
                         inboxes: batch,
                     })
+                    // lint: allow(panic) — a worker dies only if the protocol panicked, which propagates out of the scope anyway
                     .expect("worker alive");
                 }
                 // Workers answer in worker order with contiguous machine
@@ -189,6 +192,7 @@ impl ParallelEngine {
                 // every buffer's capacity instead of allocating k fresh
                 // `Vec`s per round.
                 for (w, rx) in resp_rxs.iter().enumerate() {
+                    // lint: allow(panic) — a worker dies only if the protocol panicked, which propagates out of the scope anyway
                     match rx.recv().expect("worker alive") {
                         Resp::Round { results, buffers } => {
                             for (j, (msgs, status)) in results.into_iter().enumerate() {
@@ -200,6 +204,7 @@ impl ParallelEngine {
                             }
                             inboxes.extend(buffers);
                         }
+                        // lint: allow(panic) — worker protocol invariant: Final is only sent in response to Stop
                         Resp::Final(_) => unreachable!("workers only finalize on Stop"),
                     }
                 }
@@ -224,11 +229,14 @@ impl ParallelEngine {
             // Collect machines back (always, even on error, to join cleanly).
             let mut final_machines: Vec<P> = Vec::with_capacity(k);
             for tx in &cmd_txs {
+                // lint: allow(panic) — a worker dies only if the protocol panicked, which propagates out of the scope anyway
                 tx.send(Cmd::Stop).expect("worker alive");
             }
             for rx in &resp_rxs {
+                // lint: allow(panic) — a worker dies only if the protocol panicked, which propagates out of the scope anyway
                 match rx.recv().expect("worker alive") {
                     Resp::Final(ms) => final_machines.extend(ms),
+                    // lint: allow(panic) — worker protocol invariant: Stop is always answered by Final
                     Resp::Round { .. } => unreachable!("Stop yields Final"),
                 }
             }
@@ -242,6 +250,7 @@ impl ParallelEngine {
                 }
             })
         })
+        // lint: allow(panic) — deliberate propagation: a protocol panic in a worker resurfaces on the caller thread
         .expect("worker thread panicked")
     }
 }

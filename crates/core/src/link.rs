@@ -74,6 +74,7 @@ impl<M: WireSize> Link<M> {
             if need <= remaining {
                 remaining -= need;
                 self.front_progress = 0;
+                // lint: allow(panic) — the while-let above proved the queue has a front
                 let (env, bits) = self.queue.pop_front().expect("front exists");
                 d.msgs += 1;
                 d.msg_bits += bits;

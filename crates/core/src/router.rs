@@ -415,4 +415,17 @@ mod tests {
             assert!(m.arrived.is_empty());
         }
     }
+
+    proptest::proptest! {
+        #[test]
+        fn routed_scatter_tokens_roundtrip_the_wire(
+            origin in 0usize..1 << 16,
+            target in 0usize..1 << 16,
+            payload in 0u64..=u64::MAX,
+        ) {
+            crate::assert_roundtrip(&Routed { origin, target, inner: ScatterToken });
+            crate::assert_roundtrip(&Routed { origin, target, inner: payload });
+            crate::assert_roundtrip(&ScatterToken);
+        }
+    }
 }

@@ -23,6 +23,11 @@ const ROUNDS: u64 = 6;
 /// source's sequence numbers arrive strictly in order.
 #[derive(Debug)]
 struct JitterSeq {
+    /// Rounds of traffic before Done.
+    rounds: u64,
+    /// Stagger barrier arrivals with real sleeps (off under the model
+    /// checker, whose scheduler explores arrival orders directly).
+    jitter: bool,
     /// Next sequence number per destination.
     next_seq: Vec<u64>,
     /// Highest sequence number seen per source (+1), i.e. expected next.
@@ -32,9 +37,11 @@ struct JitterSeq {
 }
 
 impl JitterSeq {
-    fn fleet(k: usize) -> Vec<JitterSeq> {
+    fn fleet(k: usize, rounds: u64, jitter: bool) -> Vec<JitterSeq> {
         (0..k)
             .map(|_| JitterSeq {
+                rounds,
+                jitter,
                 next_seq: vec![0; k],
                 expect: vec![0; k],
                 log: Vec::new(),
@@ -63,7 +70,7 @@ impl Protocol for JitterSeq {
             self.expect[env.src] = seq + 1;
             self.log.push((env.src, seq));
         }
-        if ctx.round < ROUNDS {
+        if ctx.round < self.rounds {
             // A small random fanout keeps many links active at once.
             for _ in 0..3 {
                 let dst = ctx.rng.gen_range(0..ctx.k);
@@ -71,10 +78,13 @@ impl Protocol for JitterSeq {
                 self.next_seq[dst] += 1;
                 out.send(dst, Raw::from_vec(seq.to_le_bytes().to_vec()));
             }
-            // Randomized jitter (drawn from the same RNG stream on every
-            // engine) staggers when each worker hits the round barrier.
-            let jitter_us = ctx.rng.gen_range(0..1500);
-            std::thread::sleep(Duration::from_micros(jitter_us));
+            if self.jitter {
+                // Randomized jitter (drawn from the same RNG stream on
+                // every engine) staggers when each worker hits the
+                // round barrier.
+                let jitter_us = ctx.rng.gen_range(0..1500);
+                std::thread::sleep(Duration::from_micros(jitter_us));
+            }
             Status::Active
         } else {
             Status::Done
@@ -87,8 +97,10 @@ fn k64_jittered_workers_stay_in_lockstep_and_fifo() {
     // Tight bandwidth forces multi-round deliveries, so the FIFO check
     // also covers partially-delivered messages spanning barriers.
     let cfg = NetConfig::with_bandwidth(K, 96, 4242).max_rounds(1_000_000);
-    let seq = SequentialEngine::run(cfg, JitterSeq::fleet(K)).expect("sequential run");
-    let dist = DistributedEngine::run(cfg, JitterSeq::fleet(K)).expect("distributed run");
+    let seq =
+        SequentialEngine::run(cfg, JitterSeq::fleet(K, ROUNDS, true)).expect("sequential run");
+    let dist =
+        DistributedEngine::run(cfg, JitterSeq::fleet(K, ROUNDS, true)).expect("distributed run");
 
     assert_eq!(seq.metrics, dist.metrics, "metrics diverged");
     for (i, (s, d)) in seq.machines.iter().zip(&dist.machines).enumerate() {
@@ -121,4 +133,50 @@ fn k64_jittered_workers_stay_in_lockstep_and_fifo() {
         "batching must not split messages across extra frames"
     );
     assert!(wire.msgs_per_frame() >= 1.0);
+}
+
+/// The same lockstep/FIFO/conservation invariants, but with barrier
+/// arrival orders driven by the model checker's schedule explorer
+/// instead of real jitter: every explored interleaving of a small
+/// fleet must reproduce the sequential transcript bit for bit.
+#[test]
+fn model_schedules_keep_small_fleet_in_lockstep_and_fifo() {
+    use crossbeam::model::{explore, ModelConfig};
+
+    const MK: usize = 4;
+    const MROUNDS: u64 = 3;
+    let cfg = NetConfig::with_bandwidth(MK, 96, 4242).max_rounds(100_000);
+    let seq =
+        SequentialEngine::run(cfg, JitterSeq::fleet(MK, MROUNDS, false)).expect("sequential run");
+
+    let model_cfg = ModelConfig {
+        seed: 9,
+        schedules: 16,
+        dfs_depth: 16,
+        max_steps: 400_000,
+    };
+    let report = explore(&model_cfg, || {
+        let dist = DistributedEngine::run(cfg, JitterSeq::fleet(MK, MROUNDS, false))
+            .map_err(|e| format!("distributed run failed: {e}"))?;
+        if dist.metrics != seq.metrics {
+            return Err("metrics diverged from sequential".into());
+        }
+        for (i, (s, d)) in seq.machines.iter().zip(&dist.machines).enumerate() {
+            if s.log != d.log || s.expect != d.expect {
+                return Err(format!("machine {i} transcript diverged"));
+            }
+        }
+        Ok(())
+    })
+    .unwrap_or_else(|failure| {
+        panic!(
+            "schedule {} failed: {}",
+            failure.schedule, failure.violation
+        )
+    });
+    assert_eq!(report.schedules, 16);
+    assert!(
+        report.max_decision_points > 0,
+        "engine runs must branch under the scheduler"
+    );
 }

@@ -608,6 +608,7 @@ impl SketchConnectivity {
     fn enter_label_reply(&mut self, ctx: &RoundCtx<'_>, out: &mut Outbox<ConnMsg>) {
         self.stage = Stage::LabelReply;
         for (asker, v) in std::mem::take(&mut self.label_queries) {
+            // lint: allow(panic) — LabelQ messages are routed to home(v), which hosts v
             let j = self.lg.local(v).expect("label queries route to the home");
             let label = self.labels[j];
             self.post(ctx, out, asker, ConnPayload::LabelA { v, label });
@@ -647,6 +648,7 @@ impl SketchConnectivity {
         self.stage = Stage::MinExchange;
         let mut posts: Vec<(MachineIdx, Vertex, Vertex)> = Vec::new();
         for (&c, pmap) in &self.partners {
+            // lint: allow(panic) — partner maps are created with their first entry and only grow
             let min = *pmap.keys().next().expect("partner maps are non-empty");
             let dsts: BTreeSet<MachineIdx> = pmap.keys().map(|&d| self.owner(ctx, d)).collect();
             for dst in dsts {
@@ -666,6 +668,7 @@ impl SketchConnectivity {
     fn apply_hooks(&mut self) {
         self.parent = self.slots.keys().map(|&c| (c, c)).collect();
         for (&c, pmap) in &self.partners {
+            // lint: allow(panic) — partner maps are created with their first entry and only grow
             let (&d, &e) = pmap.iter().next().expect("non-empty");
             match self.partner_mins.get(&d) {
                 Some(&md) if md == c && c < d => {
@@ -713,6 +716,7 @@ impl SketchConnectivity {
             let p = *self
                 .parent
                 .get(&d)
+                // lint: allow(panic) — JumpQ messages are routed to the component owner, which tracks parent
                 .expect("jump queries route to the owner");
             self.post(ctx, out, asker, ConnPayload::JumpA { c, p, root: p == d });
         }

@@ -75,6 +75,7 @@ impl CongestPageRank {
     fn apply(&mut self, msg: &PrMsg) {
         match msg.payload {
             PrPayload::Count { v, count } => self.st.arrive_at_vertex(v, count),
+            // lint: allow(panic) — the CONGEST baseline protocol has no Heavy sender
             PrPayload::Heavy { .. } => unreachable!("baseline never sends Heavy"),
             PrPayload::Flush { live } => {
                 self.flushes_seen += 1;
@@ -114,6 +115,7 @@ impl CongestPageRank {
             for (v, c) in alpha_u {
                 let home = self.st.g.home(v);
                 if home == me {
+                    // lint: allow(panic) — home(v) == me implies v is hosted here
                     let lj = self.st.g.local(v).expect("home(v) == me implies hosted");
                     staged_local.push((lj, c));
                 } else {

@@ -239,6 +239,7 @@ impl LocalState {
         let j = self
             .g
             .local(v)
+            // lint: allow(panic) — Count messages are only ever addressed to home(v)
             .expect("Count message for a non-hosted vertex");
         self.tokens[j] += count;
         self.visits[j] += count;
@@ -250,6 +251,7 @@ impl LocalState {
         let targets = self
             .g
             .host_targets(u)
+            // lint: allow(panic) — Heavy messages are only sent to machines hosting an out-neighbor of u
             .expect("Heavy message but no hosted out-neighbor of u");
         debug_assert!(!targets.is_empty());
         for _ in 0..count {
@@ -425,6 +427,7 @@ impl KmPageRank {
                             .st
                             .g
                             .host_targets(u)
+                            // lint: allow(panic) — this branch runs only when this machine hosts an out-neighbor of u
                             .expect("heavy vertex with no hosted out-neighbor here");
                         for _ in 0..c {
                             let tj = targets[ctx.rng.gen_range(0..targets.len())] as usize;
@@ -441,6 +444,7 @@ impl KmPageRank {
         for (v, c) in alpha {
             let home = self.st.g.home(v);
             if home == me {
+                // lint: allow(panic) — home(v) == me implies v is hosted here
                 let j = self.st.g.local(v).expect("home(v) == me implies hosted");
                 staged_local.push((j, c));
             } else {

@@ -32,6 +32,7 @@ use km_core::{rng::keyed_hash, MachineIdx};
 use km_graph::dist::EdgeListAdjacency;
 use km_graph::ids::Triangle;
 use km_graph::{CsrGraph, DistGraphBuilder, Edge, LocalGraph, Partition, Vertex};
+// lint: allow(hash-iter) — HashMap is imported for the lookup-only triplet index below
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -51,6 +52,7 @@ fn edge_key(e: Edge) -> u64 {
 pub struct ColorScheme {
     q: usize,
     triplets: Vec<[u8; 3]>,
+    // lint: allow(hash-iter) — lookup-only triplet index, never iterated
     index: HashMap<[u8; 3], MachineIdx>,
 }
 
@@ -505,6 +507,7 @@ impl KmTriangle {
                     self.phase3(ctx);
                     self.finished = true;
                 }
+                // lint: allow(panic) — the phase counter is bounded by the protocol's round schedule
                 p => unreachable!("no phase {p}"),
             }
         }

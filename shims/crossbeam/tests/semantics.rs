@@ -1,0 +1,126 @@
+//! Model-mode channels must behave like real-mode channels: same FIFO
+//! order, same capacity blocking, same disconnect errors, same
+//! `recv_timeout` outcomes. Each scenario here is one closure run twice
+//! — once on real OS threads, once under the model scheduler (every
+//! explored schedule) — and must succeed identically in both worlds.
+
+use crossbeam::channel::{bounded, RecvTimeoutError, TryRecvError, TrySendError};
+use crossbeam::model::{explore, ModelConfig};
+use crossbeam::thread;
+use std::time::Duration;
+
+/// Runs `f` on real threads, then under 32 model schedules; any failure
+/// in either world (panic, deadlock, returned Err) fails the test.
+fn both_worlds(name: &str, f: impl Fn() -> Result<(), String> + Sync) {
+    f().unwrap_or_else(|e| panic!("{name} failed on real threads: {e}"));
+    let cfg = ModelConfig {
+        seed: 7,
+        schedules: 32,
+        dfs_depth: 16,
+        max_steps: 100_000,
+    };
+    let report =
+        explore(&cfg, &f).unwrap_or_else(|fail| panic!("{name} failed under the model: {fail}"));
+    assert_eq!(report.schedules, 32);
+}
+
+#[test]
+fn fifo_order_per_channel() {
+    both_worlds("fifo", || {
+        let (tx, rx) = bounded::<u32>(2);
+        thread::scope(|s| {
+            s.spawn(move |_| {
+                for i in 0..8 {
+                    tx.send(i).map_err(|_| "receiver gone")?;
+                }
+                Ok::<(), String>(())
+            });
+            for want in 0..8 {
+                let got = rx.recv().map_err(|_| "sender gone")?;
+                if got != want {
+                    return Err(format!("FIFO broken: got {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })
+        .map_err(|_| "scope panicked")?
+    });
+}
+
+#[test]
+fn capacity_blocks_senders_until_drained() {
+    both_worlds("capacity", || {
+        let (tx, rx) = bounded::<u32>(1);
+        // Fill the only slot; the next try_send must report Full with
+        // the rejected value, not block or drop.
+        tx.send(1).map_err(|_| "receiver gone")?;
+        match tx.try_send(2) {
+            Err(TrySendError::Full(2)) => {}
+            other => return Err(format!("want Full(2), got {other:?}")),
+        }
+        // A blocked send completes once the receiver drains the slot.
+        thread::scope(|s| {
+            let h = s.spawn(move |_| tx.send(2).map_err(|_| "receiver gone".to_string()));
+            if rx.recv().map_err(|_| "sender gone")? != 1 {
+                return Err("first slot wrong".to_string());
+            }
+            if rx.recv().map_err(|_| "sender gone")? != 2 {
+                return Err("blocked send lost".to_string());
+            }
+            h.join().map_err(|_| "sender panicked")?
+        })
+        .map_err(|_| "scope panicked")?
+    });
+}
+
+#[test]
+fn disconnects_surface_as_errors_after_draining() {
+    both_worlds("disconnect", || {
+        // Dropped receiver: send and try_send both fail.
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        if tx.send(1).is_ok() {
+            return Err("send to a dropped receiver succeeded".into());
+        }
+        match tx.try_send(1) {
+            Err(TrySendError::Disconnected(1)) => {}
+            other => return Err(format!("want Disconnected(1), got {other:?}")),
+        }
+        // Dropped sender: buffered values still drain, then Disconnected.
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(7).map_err(|_| "receiver gone")?;
+        drop(tx);
+        if rx.recv() != Ok(7) {
+            return Err("buffered value lost on sender drop".into());
+        }
+        if rx.recv().is_ok() {
+            return Err("recv after disconnect succeeded".into());
+        }
+        match rx.try_recv() {
+            Err(TryRecvError::Disconnected) => Ok(()),
+            other => Err(format!("want Disconnected, got {other:?}")),
+        }
+    });
+}
+
+#[test]
+fn recv_timeout_times_out_empty_and_delivers_sent() {
+    both_worlds("recv_timeout", || {
+        // Empty + live sender: times out (virtually under the model).
+        let (tx, rx) = bounded::<u32>(1);
+        match rx.recv_timeout(Duration::from_millis(5)) {
+            Err(RecvTimeoutError::Timeout) => {}
+            other => return Err(format!("want Timeout, got {other:?}")),
+        }
+        // A value sent from another thread arrives instead of a timeout
+        // (generous bound so slow real schedulers can't flake it).
+        thread::scope(|s| {
+            s.spawn(move |_| tx.send(9));
+            match rx.recv_timeout(Duration::from_secs(30)) {
+                Ok(9) => Ok(()),
+                other => Err(format!("want Ok(9), got {other:?}")),
+            }
+        })
+        .map_err(|_| "scope panicked")?
+    });
+}

@@ -1,0 +1,350 @@
+//! Source scanning for the lint pass: a light Rust "tokenizer" that
+//! blanks comments and string/char literals (so token searches can't
+//! trip over prose), plus `#[cfg(test)]` region mapping via brace
+//! tracking on the blanked text.
+//!
+//! This is intentionally not a real parser. It only needs to be sound
+//! for the narrow questions the lint asks ("does this non-test line
+//! contain `.unwrap()` as code?"), and the blanking rules below cover
+//! everything the workspace's style actually produces: line and
+//! (nested) block comments, plain/byte/raw strings, char literals,
+//! and lifetimes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One `.rs` file, pre-processed for linting.
+pub struct RsFile {
+    /// Repo-relative path with forward slashes (stable lint output).
+    pub rel: String,
+    /// The file exactly as read, split into lines (annotations — which
+    /// live in comments — are looked up here).
+    pub raw_lines: Vec<String>,
+    /// The same lines with comments and literals blanked to spaces;
+    /// token searches run against these.
+    pub code_lines: Vec<String>,
+    /// `test_lines[i]` — line i sits inside a `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+}
+
+impl RsFile {
+    pub fn load(root: &Path, path: &Path) -> std::io::Result<RsFile> {
+        let text = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let blanked = blank_noncode(&text);
+        let raw_lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let code_lines: Vec<String> = blanked.lines().map(str::to_owned).collect();
+        let test_lines = cfg_test_lines(&blanked, raw_lines.len());
+        Ok(RsFile {
+            rel,
+            raw_lines,
+            code_lines,
+            test_lines,
+        })
+    }
+}
+
+/// Recursively collect every `.rs` file under `dir` (sorted, so lint
+/// output and violation ordering are deterministic across runs).
+pub fn rs_files_under(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Replaces the contents of comments and string/char literals with
+/// spaces, preserving every newline (and therefore all line/column
+/// positions).
+pub fn blank_noncode(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    // Blank a byte: newlines survive (line structure), all else spaces.
+    // Multi-byte UTF-8 inside literals collapses to one space per byte,
+    // which is fine — positions of *code* bytes are what matter.
+    let blank = |out: &mut Vec<u8>, c: u8| out.push(if c == b'\n' { b'\n' } else { b' ' });
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match c {
+            b'/' if next == Some(b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            b'/' if next == Some(b'*') => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        blank(&mut out, b[i]);
+                        blank(&mut out, b[i + 1]);
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        blank(&mut out, b[i]);
+                        blank(&mut out, b[i + 1]);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        blank(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = blank_string(b, i, &mut out, 0),
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                // br"...", r#"..."#, b"..." — skip the prefix as code,
+                // then blank the string body.
+                let mut j = i;
+                while b[j] == b'r' || b[j] == b'b' {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while b.get(j) == Some(&b'#') {
+                    out.push(b'#');
+                    j += 1;
+                    hashes += 1;
+                }
+                i = blank_string(b, j, &mut out, hashes);
+            }
+            b'\'' => {
+                // Char literal vs lifetime. A char literal closes with
+                // a quote within a few bytes ('x', '\n', '\u{1F600}');
+                // a lifetime never closes.
+                if let Some(end) = char_literal_end(b, i) {
+                    out.push(b'\'');
+                    for &c in &b[i + 1..end] {
+                        blank(&mut out, c);
+                    }
+                    out.push(b'\'');
+                    i = end + 1;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"') && (i == 0 || !is_ident(b[i - 1]))
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Blanks a string literal starting at the opening quote `b[i]`; raw
+/// strings pass `hashes` > 0 and ignore escapes.
+fn blank_string(b: &[u8], i: usize, out: &mut Vec<u8>, hashes: usize) -> usize {
+    out.push(b'"');
+    let mut j = i + 1;
+    while j < b.len() {
+        if hashes == 0 && b[j] == b'\\' && j + 1 < b.len() {
+            out.push(b' ');
+            // A line-continuation escape must keep its newline.
+            out.push(if b[j + 1] == b'\n' { b'\n' } else { b' ' });
+            j += 2;
+            continue;
+        }
+        if b[j] == b'"' {
+            let close = (1..=hashes).all(|h| b.get(j + h) == Some(&b'#'));
+            if close {
+                out.push(b'"');
+                for _ in 0..hashes {
+                    out.push(b'#');
+                }
+                return j + 1 + hashes;
+            }
+        }
+        out.push(if b[j] == b'\n' { b'\n' } else { b' ' });
+        j += 1;
+    }
+    j
+}
+
+/// Returns the index of the closing quote if `b[i]` opens a char
+/// literal, or None for a lifetime.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    if b.get(i + 1) == Some(&b'\\') {
+        // Escaped: scan to the next quote (covers '\n', '\'', '\u{..}').
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+            j += 1;
+        }
+        return (b.get(j) == Some(&b'\'')).then_some(j);
+    }
+    // Unescaped char literal is exactly one char wide (possibly
+    // multi-byte); a lifetime ('a, 'static) has no closing quote
+    // before an identifier break.
+    let mut j = i + 1;
+    let mut bytes = 0;
+    while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+        j += 1;
+        bytes += 1;
+        if bytes > 4 {
+            return None;
+        }
+    }
+    (b.get(j) == Some(&b'\'') && bytes > 0).then_some(j)
+}
+
+/// Marks lines covered by `#[cfg(test)]` items: from the attribute to
+/// the end of the item it gates (the matching `}` of its block, or the
+/// `;` for bodyless items). Works on blanked text so strings and
+/// comments can't confuse the brace tracking.
+fn cfg_test_lines(blanked: &str, n_lines: usize) -> Vec<bool> {
+    let mut test = vec![false; n_lines];
+    let b = blanked.as_bytes();
+    // Line number (0-based) for every byte offset.
+    let mut line_of = Vec::with_capacity(b.len());
+    let mut ln = 0usize;
+    for &c in b {
+        line_of.push(ln);
+        if c == b'\n' {
+            ln += 1;
+        }
+    }
+    let needle = b"#[cfg(test)]";
+    let mut i = 0;
+    while i + needle.len() <= b.len() {
+        if &b[i..i + needle.len()] != needle.as_slice() {
+            i += 1;
+            continue;
+        }
+        let start_line = line_of[i];
+        let mut j = i + needle.len();
+        // Skip further attributes and whitespace between the cfg and
+        // the item it gates (e.g. `#[cfg(test)]\n#[allow(...)]\nmod`).
+        loop {
+            while j < b.len() && (b[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'#') && b.get(j + 1) == Some(&b'[') {
+                let mut depth = 0usize;
+                while j < b.len() {
+                    match b[j] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // Walk to the end of the gated item.
+        let mut depth = 0usize;
+        let mut end = j;
+        while end < b.len() {
+            match b[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                b';' if depth == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let end_line = line_of.get(end).copied().unwrap_or(n_lines - 1);
+        for t in test.iter_mut().take(end_line + 1).skip(start_line) {
+            *t = true;
+        }
+        i = end.max(i + needle.len());
+    }
+    test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanking_removes_comments_strings_chars_but_keeps_code() {
+        let src = r##"let a = x.unwrap(); // unwrap() here is prose
+let s = "panic!(no)"; let r = r#"unreachable!"#;
+let c = '}'; let lt: &'static str = "";
+/* panic! in a block
+   comment */ let b = y.expect("boom");"##;
+        let out = blank_noncode(src);
+        assert!(out.contains("x.unwrap();"));
+        assert!(out.contains("y.expect(\"    \")"));
+        let panics = out.matches("panic!").count();
+        assert_eq!(panics, 0, "blanked text: {out}");
+        assert!(!out.contains("unreachable!"));
+        // The char literal's brace is blanked; the lifetime survives.
+        assert!(out.contains("let c = ' ';"));
+        assert!(out.contains("&'static str"));
+        // Line structure intact.
+        assert_eq!(out.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_gated_item_only() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn live2() {}\n\
+                   #[cfg(test)]\n\
+                   use std::fmt;\n\
+                   fn live3() {}\n";
+        let blanked = blank_noncode(src);
+        let test = cfg_test_lines(&blanked, src.lines().count());
+        assert_eq!(
+            test,
+            vec![false, true, true, true, true, false, true, true, false]
+        );
+    }
+}
